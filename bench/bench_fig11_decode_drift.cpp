@@ -1,0 +1,43 @@
+// Reproduces the paper's §VI-B limitation analysis: expert-activation
+// variation during decode measured with a 15-token window. The paper
+// reports GSM8K's windowed cosine similarity 3.43% LOWER than TriviaQA's,
+// explaining why a small frozen expert cache fails on GSM8K (Table VI).
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/trace_generator.hpp"
+#include "eval/similarity.hpp"
+#include "model/config.hpp"
+
+int main() {
+  using namespace daop;
+
+  const model::ModelConfig cfg = model::mixtral_8x7b();
+  const int n_seqs = 128;
+  const int window = 15;  // paper's window size
+
+  std::printf(
+      "§VI-B — decode-phase activation drift, %d-token windows, %d seqs\n\n",
+      window, n_seqs);
+
+  TextTable t({"dataset", "windowed similarity (%)"});
+  double trivia = 0.0;
+  double gsm = 0.0;
+  for (const auto& spec : {data::triviaqa(), data::c4(), data::math_ds(),
+                           data::gsm8k()}) {
+    const data::TraceGenerator gen(spec, cfg.n_layers, cfg.n_experts,
+                                   cfg.top_k, 31337);
+    const double sim =
+        eval::avg_decode_window_similarity(gen, n_seqs, window) * 100.0;
+    t.add_row({spec.name, fmt_f(sim, 2)});
+    if (spec.name == "TriviaQA") trivia = sim;
+    if (spec.name == "GSM8K") gsm = sim;
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "GSM8K vs TriviaQA: %.2f%% lower windowed similarity "
+      "(paper: 3.43%% lower)\n",
+      trivia - gsm);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 1 (average parameter distribution in Mixtral 8x7B:
+// only ~27.4% of parameters are activated per sequence) and Fig. 2 (the
+// A6000 evaluation platform's specifications), both derived from the model
+// configs and platform presets rather than measured — they document the
+// problem setup every other experiment builds on.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "model/config.hpp"
+#include "model/op_costs.hpp"
+#include "sim/device.hpp"
+
+int main() {
+  using namespace daop;
+
+  std::printf("Fig. 1 — parameter distribution per input sequence\n\n");
+  TextTable t({"model", "total", "non-MoE", "activated experts",
+               "idle experts", "activated fraction"});
+  for (const model::ModelConfig& cfg :
+       {model::mixtral_8x7b(), model::phi35_moe()}) {
+    const double total = static_cast<double>(cfg.total_params());
+    const double experts = static_cast<double>(cfg.expert_params_total());
+    const double nonmoe = total - experts;
+    const double active_experts =
+        static_cast<double>(cfg.n_layers) * cfg.top_k * cfg.expert_params();
+    t.add_row({cfg.name, fmt_f(total / 1e9, 1) + "B",
+               fmt_f(nonmoe / 1e9, 1) + "B",
+               fmt_f(active_experts / 1e9, 1) + "B",
+               fmt_f((experts - active_experts) / 1e9, 1) + "B",
+               fmt_pct((nonmoe + active_experts) / total)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(paper: 27.4%% of Mixtral 8x7B parameters activated per "
+              "sequence)\n\n");
+
+  std::printf("Fig. 2 — evaluation platform specifications\n\n");
+  const sim::PlatformSpec p = sim::a6000_i9_platform();
+  TextTable t2({"component", "spec"});
+  t2.add_row({"GPU", p.gpu.name});
+  t2.add_row({"GPU memory", fmt_bytes(p.gpu.mem_capacity_bytes)});
+  t2.add_row({"GPU memory bandwidth",
+              fmt_f(p.gpu.mem_bw_bytes_per_s / 1e9, 0) + " GB/s"});
+  t2.add_row({"CPU", p.cpu.name});
+  t2.add_row({"host memory", fmt_bytes(p.cpu.mem_capacity_bytes)});
+  t2.add_row({"PCIe", p.pcie_h2d.name + ", " +
+                          fmt_f(p.pcie_h2d.bw_bytes_per_s / 1e9, 0) + " GB/s"});
+  std::printf("%s", t2.render().c_str());
+
+  // The memory-wall arithmetic that motivates the whole paper.
+  const model::ModelConfig cfg = model::mixtral_8x7b();
+  std::printf(
+      "\nmemory wall: %s of fp16 Mixtral expert weights vs %s of GPU\n"
+      "memory -> max expert cache ratio %s (the paper's 'full GPU memory\n"
+      "utilization' operating point).\n",
+      fmt_bytes(cfg.expert_params_total() * cfg.bytes_per_param).c_str(),
+      fmt_bytes(p.gpu.mem_capacity_bytes).c_str(),
+      fmt_pct(model::max_expert_cache_ratio(cfg, p)).c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 4: layer-wise expert activation pattern of
+// Mixtral 8x7B on C4 — activation probability is near-uniform (~1/8 per
+// expert) at every layer when aggregated across the dataset, even though
+// individual sequences are strongly skewed (observation ①).
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/trace_generator.hpp"
+#include "eval/similarity.hpp"
+#include "model/config.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace daop;
+
+  const model::ModelConfig cfg = model::mixtral_8x7b();
+  const int n_seqs = 512;
+  const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                 cfg.top_k, 99);
+
+  const auto marg = eval::marginal_activation(gen, n_seqs);
+
+  std::printf(
+      "Fig. 4 — layer-wise expert activation pattern, Mixtral 8x7B on C4\n"
+      "(dataset-aggregate probabilities; uniform would be %.4f)\n\n",
+      1.0 / cfg.n_experts);
+
+  std::vector<std::string> header = {"layer"};
+  for (int e = 0; e < cfg.n_experts; ++e) header.push_back("E" + std::to_string(e));
+  header.push_back("max/min");
+  TextTable t(header);
+  for (int l = 0; l < cfg.n_layers; l += 4) {
+    std::vector<std::string> row = {std::to_string(l)};
+    const auto& probs = marg[static_cast<std::size_t>(l)];
+    const double mx = *std::max_element(probs.begin(), probs.end());
+    const double mn = *std::min_element(probs.begin(), probs.end());
+    for (double p : probs) row.push_back(fmt_f(p, 4));
+    row.push_back(fmt_f(mx / mn, 2));
+    t.add_row(row);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Contrast: per-sequence skew. The same dataset, one sequence at a time.
+  double seq_maxmin = 0.0;
+  const int sample = 32;
+  for (int s = 0; s < sample; ++s) {
+    const auto counts = gen.generate(s).activation_counts(data::Phase::Decode);
+    double ratio = 0.0;
+    for (const auto& layer : counts) {
+      const double mx = *std::max_element(layer.begin(), layer.end());
+      const double mn =
+          std::max(1.0, *std::min_element(layer.begin(), layer.end()));
+      ratio += mx / mn;
+    }
+    seq_maxmin += ratio / static_cast<double>(counts.size());
+  }
+  std::printf(
+      "observation ①: dataset-level activation is near-uniform, but within a\n"
+      "single sequence the avg layer max/min activation ratio is %.1fx\n"
+      "(%d-sequence sample) — dominant experts vary with the input.\n",
+      seq_maxmin / sample, sample);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks of the library's own hot paths: tensor
+// kernels used by the functional plane and the timeline scheduler used by
+// the performance plane. These measure THIS library (not the paper's
+// hardware) and guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "cache/placement.hpp"
+#include "common/rng.hpp"
+#include "data/trace_generator.hpp"
+#include "eval/accuracy.hpp"
+#include "model/functional_model.hpp"
+#include "sim/timeline.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace daop;
+
+void BM_Matvec(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  const Tensor w = Tensor::randn(n, n, rng, 0.02F);
+  std::vector<float> x(static_cast<std::size_t>(n), 1.0F);
+  std::vector<float> y(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    matvec(w, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Matvec)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Softmax(benchmark::State& state) {
+  std::vector<float> x(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    std::vector<float> y = x;
+    softmax_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(8)->Arg(4096);
+
+void BM_ExpertForward(benchmark::State& state) {
+  const model::ModelConfig cfg = model::tiny_mixtral();
+  const model::FunctionalModel fm(cfg, 7);
+  std::vector<float> h(static_cast<std::size_t>(cfg.d_model), 0.1F);
+  std::vector<float> out(static_cast<std::size_t>(cfg.d_model));
+  for (auto _ : state) {
+    fm.expert_forward(0, 0, h, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ExpertForward);
+
+void BM_TimelineSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline tl;
+    double ready = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      ready = tl.schedule(sim::Res::GpuStream, ready, 1e-3);
+      tl.schedule(sim::Res::CpuPool, ready, 2e-3);
+    }
+    benchmark::DoNotOptimize(tl.span());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_TimelineSchedule);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const model::ModelConfig cfg = model::mixtral_8x7b();
+  const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                 cfg.top_k, 5);
+  int s = 0;
+  for (auto _ : state) {
+    const auto tr = gen.generate(s++, 64, 64);
+    benchmark::DoNotOptimize(tr.decode.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_Rouge2(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<int> a(64);
+  std::vector<int> b(64);
+  for (auto& v : a) v = rng.uniform_int(0, 50);
+  for (auto& v : b) v = rng.uniform_int(0, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(daop::eval::rouge_n(a, b, 2));
+  }
+}
+
+BENCHMARK(BM_Rouge2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// chatbot_latency — serving-scenario example.
+//
+// Simulates an interactive chat session (ShareGPT-like request mix: short
+// prompts, medium generations) on the paper's A6000 + i9 edge platform and
+// reports per-request latency metrics that matter to a chatbot deployment:
+// time-to-first-token (prefill), per-token decode latency, and request
+// completion time, for each engine.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cache/calibration.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/trace_generator.hpp"
+#include "eval/speed.hpp"
+#include "model/op_costs.hpp"
+
+int main() {
+  using namespace daop;
+
+  const model::ModelConfig cfg = model::mixtral_8x7b();
+  const sim::PlatformSpec platform = sim::a6000_i9_platform();
+  const sim::CostModel cm(platform);
+  const model::OpCosts costs(cfg, cm);
+  const double ecr = 0.469;
+
+  // Request mix: prompt 64-320 tokens, generation 48-256 tokens.
+  const int n_requests = 12;
+  Rng rng(2026);
+  struct Request {
+    int prompt, gen;
+  };
+  std::vector<Request> requests;
+  for (int i = 0; i < n_requests; ++i) {
+    requests.push_back({rng.uniform_int(64, 320), rng.uniform_int(48, 256)});
+  }
+
+  const data::TraceGenerator calib_gen(data::sharegpt_calibration(),
+                                       cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                       0xC0FFEE);
+  const auto calib = cache::calibrate_activation_counts(calib_gen, 32);
+  const auto placement = cache::init_placement_calibrated(
+      cfg.n_layers, cfg.n_experts, ecr, calib);
+  const data::TraceGenerator gen(data::sharegpt_calibration(), cfg.n_layers,
+                                 cfg.n_experts, cfg.top_k, 515);
+
+  std::printf(
+      "chatbot serving scenario — %s, ECR %s, %d chat requests\n"
+      "(prompts 64-320 tokens, generations 48-256 tokens)\n\n",
+      cfg.name.c_str(), fmt_pct(ecr).c_str(), n_requests);
+
+  TextTable t({"engine", "TTFT p50 (ms)", "TTFT p95 (ms)",
+               "ms/token p50", "tok/s (agg)", "session (s)"});
+  for (auto kind :
+       {eval::EngineKind::MixtralOffloading, eval::EngineKind::Fiddler,
+        eval::EngineKind::Daop}) {
+    auto engine = eval::make_engine(kind, costs);
+    std::vector<double> ttft;
+    std::vector<double> per_token;
+    double total_time = 0.0;
+    long long total_tokens = 0;
+    for (int i = 0; i < n_requests; ++i) {
+      const auto tr = gen.generate(i, requests[static_cast<std::size_t>(i)].prompt,
+                                   requests[static_cast<std::size_t>(i)].gen);
+      const auto r = engine->run(tr, placement);
+      ttft.push_back(r.prefill_s * 1e3);
+      per_token.push_back(r.decode_s / r.generated_tokens * 1e3);
+      total_time += r.total_s;
+      total_tokens += r.generated_tokens;
+    }
+    std::sort(ttft.begin(), ttft.end());
+    std::sort(per_token.begin(), per_token.end());
+    auto pct = [](const std::vector<double>& v, double p) {
+      const auto i = static_cast<std::size_t>(p * (v.size() - 1));
+      return v[i];
+    };
+    t.add_row({engine->name(), fmt_f(pct(ttft, 0.5), 0),
+               fmt_f(pct(ttft, 0.95), 0), fmt_f(pct(per_token, 0.5), 1),
+               fmt_f(total_tokens / total_time, 2), fmt_f(total_time, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "DAOP pays a slightly higher time-to-first-token (Algorithm 1 swap\n"
+      "migrations ride the PCIe link during prefill) and wins it back many\n"
+      "times over in per-token decode latency.\n");
+  return 0;
+}

@@ -1,0 +1,388 @@
+// daop_cli — command-line driver over both execution planes.
+//
+// Commands:
+//   speed     simulate an engine on a platform (tokens/s, energy, counters)
+//   serve     FCFS serving simulation under a Poisson request load
+//   accuracy  functional-plane fidelity of DAOP vs the official model
+//   observe   routing statistics of a workload (observations ①-③)
+//   timeline  decode-timeline export (ASCII gantt + Chrome trace JSON)
+//   dump      synthesize a routing trace and write it in daop-trace format
+//   replay    run a saved daop-trace file (possibly dumped from a REAL
+//             model's router) through any engine
+//
+// Examples:
+//   daop_cli speed --engine daop --model mixtral --ecr 0.469 --in 256 --out 256
+//   daop_cli serve --engine fiddler --rate 0.02 --requests 24
+//   daop_cli accuracy --dataset gsm8k --ecr 0.25 --episodes 16
+//   daop_cli timeline --engine daop --out-json /tmp/daop.json
+//   daop_cli dump --dataset c4 --seq 0 --path /tmp/seq0.trace
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "cache/calibration.hpp"
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/trace_io.hpp"
+#include "eval/accuracy.hpp"
+#include "eval/serving.hpp"
+#include "eval/similarity.hpp"
+#include "eval/speed.hpp"
+#include "model/config.hpp"
+#include "sim/trace_export.hpp"
+
+namespace {
+
+using namespace daop;
+
+int usage() {
+  std::printf(
+      "usage: daop_cli <command> [--flags]\n"
+      "commands: speed | compare | serve | accuracy | observe | timeline |\n"
+      "          dump | replay\n"
+      "common flags:\n"
+      "  --engine   ondemand|deepspeed|mixtral-offloading|pregated|edgemoe|\n"
+      "             moe-infinity|fiddler|daop           (default daop)\n"
+      "  --model    mixtral|phi                         (default mixtral)\n"
+      "  --platform a6000|a100|4090|laptop              (default a6000)\n"
+      "  --dataset  c4|math|gsm8k|triviaqa|alpaca|bbh|truthfulqa\n"
+      "  --ecr      expert cache ratio                  (default 0.469)\n"
+      "  --in/--out prompt / generation lengths         (default 256/256)\n"
+      "  --seqs     sequences to average over           (default 4)\n"
+      "  --seed     RNG seed                            (default 7)\n"
+      "DAOP knobs: --no-alloc --no-precalc --no-degrade --swap-threshold X\n"
+      "            --quant-bits N --realloc-every N\n");
+  return 2;
+}
+
+model::ModelConfig pick_model(const std::string& name) {
+  if (name == "phi") return model::phi35_moe();
+  if (name == "tiny") return model::tiny_mixtral();
+  DAOP_CHECK_MSG(name == "mixtral", "unknown --model '" << name << "'");
+  return model::mixtral_8x7b();
+}
+
+sim::PlatformSpec pick_platform(const std::string& name) {
+  if (name == "a100") return sim::a100_xeon_platform();
+  if (name == "4090") return sim::rtx4090_desktop_platform();
+  if (name == "laptop") return sim::laptop_platform();
+  DAOP_CHECK_MSG(name == "a6000", "unknown --platform '" << name << "'");
+  return sim::a6000_i9_platform();
+}
+
+data::WorkloadSpec pick_dataset(const std::string& name) {
+  for (const auto& w : data::all_eval_workloads()) {
+    std::string lower = w.name;
+    for (auto& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name || lower.rfind(name, 0) == 0) return w;
+  }
+  if (name == "math") return data::math_ds();
+  if (name == "sharegpt") return data::sharegpt_calibration();
+  DAOP_CHECK_MSG(false, "unknown --dataset '" << name << "'");
+  return data::c4();
+}
+
+eval::EngineKind pick_engine(const std::string& name) {
+  if (name == "ondemand") return eval::EngineKind::MoEOnDemand;
+  if (name == "deepspeed") return eval::EngineKind::DeepSpeedMII;
+  if (name == "mixtral-offloading") return eval::EngineKind::MixtralOffloading;
+  if (name == "pregated") return eval::EngineKind::PreGatedMoE;
+  if (name == "edgemoe") return eval::EngineKind::EdgeMoE;
+  if (name == "moe-infinity") return eval::EngineKind::MoEInfinity;
+  if (name == "fiddler") return eval::EngineKind::Fiddler;
+  DAOP_CHECK_MSG(name == "daop", "unknown --engine '" << name << "'");
+  return eval::EngineKind::Daop;
+}
+
+core::DaopConfig daop_config_from(const FlagParser& flags) {
+  core::DaopConfig dc;
+  dc.enable_seq_allocation = !flags.get_bool("no-alloc");
+  dc.enable_precalc = !flags.get_bool("no-precalc");
+  dc.enable_degradation = !flags.get_bool("no-degrade");
+  dc.swap_in_out = flags.get_double("swap-threshold", dc.swap_in_out);
+  dc.cpu_quant_bits = flags.get_int("quant-bits", 0);
+  dc.decode_realloc_interval = flags.get_int("realloc-every", 0);
+  if (flags.get_bool("mispredict-fallback")) {
+    dc.mispredict_policy = core::MispredictPolicy::GracefulFallback;
+  }
+  return dc;
+}
+
+int cmd_speed(const FlagParser& flags) {
+  eval::SpeedEvalOptions opt;
+  opt.n_seqs = flags.get_int("seqs", 4);
+  opt.prompt_len = flags.get_int("in", 256);
+  opt.gen_len = flags.get_int("out", 256);
+  opt.ecr = flags.get_double("ecr", 0.469);
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  opt.daop_config = daop_config_from(flags);
+  const auto kind = pick_engine(flags.get("engine", "daop"));
+  const auto r = eval::run_speed_eval(
+      kind, pick_model(flags.get("model", "mixtral")),
+      pick_platform(flags.get("platform", "a6000")),
+      pick_dataset(flags.get("dataset", "c4")), opt);
+
+  TextTable t({"metric", "value"});
+  t.add_row({"engine", r.engine});
+  t.add_row({"tokens/s (end-to-end)", fmt_f(r.tokens_per_s, 3)});
+  t.add_row({"tokens/s (decode only)", fmt_f(r.decode_tokens_per_s, 3)});
+  t.add_row({"tokens/kJ", fmt_f(r.tokens_per_kj, 3)});
+  t.add_row({"avg power (W)", fmt_f(r.energy.avg_power_w, 1)});
+  t.add_row({"expert migrations", std::to_string(r.counters.expert_migrations)});
+  t.add_row({"GPU / CPU expert execs",
+             std::to_string(r.counters.gpu_expert_execs) + " / " +
+                 std::to_string(r.counters.cpu_expert_execs)});
+  t.add_row({"cache hit rate",
+             fmt_pct(static_cast<double>(r.counters.cache_hits) /
+                     std::max(1LL, r.counters.cache_hits +
+                                       r.counters.cache_misses))});
+  t.add_row({"prefill swaps / decode swaps",
+             std::to_string(r.counters.prefill_swaps) + " / " +
+                 std::to_string(r.counters.decode_swaps)});
+  t.add_row({"degradations / mispredicts",
+             std::to_string(r.counters.degradations) + " / " +
+                 std::to_string(r.counters.mispredictions)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_serve(const FlagParser& flags) {
+  eval::ServingOptions opt;
+  opt.arrival_rate_rps = flags.get_double("rate", 0.02);
+  opt.n_requests = flags.get_int("requests", 24);
+  opt.ecr = flags.get_double("ecr", 0.469);
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
+  opt.daop_config = daop_config_from(flags);
+  const auto r = eval::run_serving_eval(
+      pick_engine(flags.get("engine", "daop")),
+      pick_model(flags.get("model", "mixtral")),
+      pick_platform(flags.get("platform", "a6000")),
+      pick_dataset(flags.get("dataset", "sharegpt")), opt);
+
+  TextTable t({"metric", "mean", "95% CI of mean"});
+  auto row = [&](const char* name, const Summary& s) {
+    t.add_row({name, fmt_f(s.mean, 2) + " s",
+               fmt_f(s.mean - s.ci95, 2) + " .. " + fmt_f(s.mean + s.ci95, 2)});
+  };
+  std::printf("engine: %s   requests: %d   rate: %s rps\n", r.engine.c_str(),
+              r.requests, fmt_f(opt.arrival_rate_rps, 3).c_str());
+  row("time to first token", r.ttft_s);
+  row("queue wait", r.queue_wait_s);
+  row("request latency", r.latency_s);
+  std::printf("%s", t.render().c_str());
+  std::printf("throughput: %s tokens/s   server busy: %s\n",
+              fmt_f(r.throughput_tps, 2).c_str(),
+              fmt_pct(r.busy_fraction).c_str());
+  return 0;
+}
+
+int cmd_accuracy(const FlagParser& flags) {
+  const model::FunctionalModel fm(
+      model::tiny_mixtral(),
+      static_cast<std::uint64_t>(flags.get_int("model-seed", 1)));
+  eval::AccuracyEvalOptions opt;
+  opt.n_episodes = flags.get_int("episodes", 16);
+  opt.prompt_len = flags.get_int("in", 24);
+  opt.gen_len = flags.get_int("out", 32);
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const double ecr = flags.get_double("ecr", 0.375);
+  const auto m = eval::evaluate_daop_accuracy(
+      fm, pick_dataset(flags.get("dataset", "c4")), daop_config_from(flags),
+      ecr, opt);
+
+  TextTable t({"metric", "value"});
+  t.add_row({"episodes", std::to_string(m.episodes)});
+  t.add_row({"token agreement (teacher-forced)",
+             fmt_pct(m.token_agreement, 2)});
+  t.add_row({"exact match (free-running)", fmt_pct(m.exact_match, 2)});
+  t.add_row({"ROUGE-1 / ROUGE-2",
+             fmt_f(m.rouge1 * 100, 2) + " / " + fmt_f(m.rouge2 * 100, 2)});
+  t.add_row({"exact / stale / degraded execs",
+             std::to_string(m.stats.exact_execs) + " / " +
+                 std::to_string(m.stats.stale_input_execs) + " / " +
+                 std::to_string(m.stats.degradations)});
+  t.add_row({"prefill swaps", std::to_string(m.stats.prefill_swaps)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_observe(const FlagParser& flags) {
+  const auto spec = pick_dataset(flags.get("dataset", "c4"));
+  const auto cfg = pick_model(flags.get("model", "mixtral"));
+  const int n_seqs = flags.get_int("seqs", 64);
+  const data::TraceGenerator gen(spec, cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                 static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  TextTable t({"statistic", "value"});
+  t.add_row({"prefill/decode similarity (Table II)",
+             fmt_pct(eval::avg_prefill_decode_similarity(gen, n_seqs), 2)});
+  t.add_row({"gate-ahead prediction accuracy (Fig. 5)",
+             fmt_pct(eval::avg_prediction_accuracy(gen, n_seqs), 2)});
+  t.add_row({"decode window similarity (§VI-B)",
+             fmt_pct(eval::avg_decode_window_similarity(gen, n_seqs, 15), 2)});
+  std::printf("workload: %s, %d sequences on %s\n%s", spec.name.c_str(),
+              n_seqs, cfg.name.c_str(), t.render().c_str());
+  return 0;
+}
+
+int cmd_timeline(const FlagParser& flags) {
+  const auto cfg = pick_model(flags.get("model", "mixtral"));
+  const auto platform = pick_platform(flags.get("platform", "a6000"));
+  const sim::CostModel cm(platform);
+  const model::OpCosts costs(cfg, cm);
+  const auto spec = pick_dataset(flags.get("dataset", "c4"));
+  const data::TraceGenerator gen(spec, cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                 static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const auto trace = gen.generate(0, flags.get_int("in", 32),
+                                  flags.get_int("out", 2));
+
+  const data::TraceGenerator calib_gen(data::sharegpt_calibration(),
+                                       cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                       0xCA11Bu);
+  const auto calib = cache::calibrate_activation_counts(calib_gen, 16);
+  const auto placement = cache::init_placement_calibrated(
+      cfg.n_layers, cfg.n_experts, flags.get_double("ecr", 0.469), calib);
+
+  auto engine = eval::make_engine(pick_engine(flags.get("engine", "daop")),
+                                  costs, daop_config_from(flags));
+  sim::Timeline tl;
+  tl.set_record_intervals(true);
+  const auto r = engine->run(trace, placement, &tl);
+  std::printf("%s: %s tokens/s\n", r.engine.c_str(),
+              fmt_f(r.tokens_per_s, 2).c_str());
+  std::printf("%s", sim::render_gantt(tl, r.prefill_s,
+                                      std::min(r.total_s, r.prefill_s +
+                                                              0.25 * r.decode_s),
+                                      100)
+                        .c_str());
+  const std::string json = flags.get("out-json", "");
+  if (!json.empty()) {
+    if (sim::write_chrome_trace(tl, json)) {
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_dump(const FlagParser& flags) {
+  const auto cfg = pick_model(flags.get("model", "mixtral"));
+  const auto spec = pick_dataset(flags.get("dataset", "c4"));
+  const data::TraceGenerator gen(spec, cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                 static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const auto trace = gen.generate(flags.get_int("seq", 0),
+                                  flags.get_int("in", 64),
+                                  flags.get_int("out", 64));
+  const std::string path = flags.get("path", "");
+  DAOP_CHECK_MSG(!path.empty(), "dump requires --path");
+  data::save_trace_file(trace, path);
+  std::printf("wrote %s (%d layers x [%d prefill + %d decode] tokens)\n",
+              path.c_str(), trace.n_layers(), trace.prompt_len, trace.gen_len);
+  return 0;
+}
+
+int cmd_compare(const FlagParser& flags) {
+  eval::SpeedEvalOptions opt;
+  opt.n_seqs = flags.get_int("seqs", 4);
+  opt.prompt_len = flags.get_int("in", 256);
+  opt.gen_len = flags.get_int("out", 256);
+  opt.ecr = flags.get_double("ecr", 0.469);
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  opt.daop_config = daop_config_from(flags);
+  const auto cfg = pick_model(flags.get("model", "mixtral"));
+  const auto platform = pick_platform(flags.get("platform", "a6000"));
+  const auto workload = pick_dataset(flags.get("dataset", "c4"));
+  const bool extended = flags.get_bool("extended");
+
+  TextTable t({"engine", "tokens/s", "tokens/kJ", "hit rate"});
+  for (auto kind : extended ? eval::extended_baseline_engines()
+                            : eval::paper_baseline_engines()) {
+    const auto r = eval::run_speed_eval(kind, cfg, platform, workload, opt);
+    t.add_row({r.engine, fmt_f(r.tokens_per_s, 2), fmt_f(r.tokens_per_kj, 2),
+               fmt_pct(static_cast<double>(r.counters.cache_hits) /
+                       std::max(1LL, r.counters.cache_hits +
+                                         r.counters.cache_misses))});
+  }
+  std::printf("%s on %s, %s traffic, ECR %s, in/out %d/%d\n",
+              cfg.name.c_str(), platform.name.c_str(), workload.name.c_str(),
+              fmt_pct(opt.ecr).c_str(), opt.prompt_len, opt.gen_len);
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_replay(const FlagParser& flags) {
+  const std::string path = flags.get("path", "");
+  DAOP_CHECK_MSG(!path.empty(), "replay requires --path");
+  const data::SequenceTrace trace = data::load_trace_file(path);
+
+  // The replayed trace fixes the model's routing topology; only per-op
+  // costs come from the chosen model config, which must match.
+  model::ModelConfig cfg = pick_model(flags.get("model", "mixtral"));
+  DAOP_CHECK_MSG(cfg.n_layers == trace.n_layers() &&
+                     cfg.n_experts == trace.n_experts &&
+                     cfg.top_k == trace.top_k,
+                 "trace topology (" << trace.n_layers() << " layers, "
+                                    << trace.n_experts
+                                    << " experts) does not match --model");
+  const sim::CostModel cm(pick_platform(flags.get("platform", "a6000")));
+  const model::OpCosts costs(cfg, cm);
+
+  const data::TraceGenerator calib_gen(data::sharegpt_calibration(),
+                                       cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                       0xCA11Bu);
+  const auto calib = cache::calibrate_activation_counts(calib_gen, 16);
+  const auto placement = cache::init_placement_calibrated(
+      cfg.n_layers, cfg.n_experts, flags.get_double("ecr", 0.469), calib);
+
+  auto engine = eval::make_engine(pick_engine(flags.get("engine", "daop")),
+                                  costs, daop_config_from(flags));
+  const auto r = engine->run(trace, placement);
+  std::printf("%s on %s: %s tokens/s end-to-end, %s tokens/kJ\n",
+              r.engine.c_str(), path.c_str(), fmt_f(r.tokens_per_s, 3).c_str(),
+              fmt_f(r.tokens_per_kj, 3).c_str());
+  std::printf("prefill %s s, decode %s s, hits %lld, misses %lld\n",
+              fmt_f(r.prefill_s, 3).c_str(), fmt_f(r.decode_s, 3).c_str(),
+              r.counters.cache_hits, r.counters.cache_misses);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const FlagParser flags(argc, argv);
+    const std::string& cmd = flags.command();
+    int rc = 0;
+    if (cmd == "speed") {
+      rc = cmd_speed(flags);
+    } else if (cmd == "serve") {
+      rc = cmd_serve(flags);
+    } else if (cmd == "accuracy") {
+      rc = cmd_accuracy(flags);
+    } else if (cmd == "observe") {
+      rc = cmd_observe(flags);
+    } else if (cmd == "timeline") {
+      rc = cmd_timeline(flags);
+    } else if (cmd == "dump") {
+      rc = cmd_dump(flags);
+    } else if (cmd == "replay") {
+      rc = cmd_replay(flags);
+    } else if (cmd == "compare") {
+      rc = cmd_compare(flags);
+    } else {
+      return usage();
+    }
+    for (const auto& name : flags.unused()) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+      rc = 2;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

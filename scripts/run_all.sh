@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Builds everything, runs the full test suite and every paper-reproduction
+# bench, and leaves test_output.txt / bench_output.txt in the repo root.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

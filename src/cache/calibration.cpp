@@ -1,0 +1,27 @@
+#include "cache/calibration.hpp"
+
+#include "common/check.hpp"
+
+namespace daop::cache {
+
+std::vector<std::vector<double>> calibrate_activation_counts(
+    const data::TraceGenerator& gen, int n_sequences) {
+  DAOP_CHECK_GT(n_sequences, 0);
+  std::vector<std::vector<double>> total;
+  for (int s = 0; s < n_sequences; ++s) {
+    const data::SequenceTrace tr = gen.generate(s);
+    const auto counts = tr.activation_counts(data::Phase::Decode);
+    if (total.empty()) {
+      total.assign(counts.size(),
+                   std::vector<double>(counts[0].size(), 0.0));
+    }
+    for (std::size_t l = 0; l < counts.size(); ++l) {
+      for (std::size_t e = 0; e < counts[l].size(); ++e) {
+        total[l][e] += counts[l][e];
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace daop::cache

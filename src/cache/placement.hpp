@@ -1,0 +1,82 @@
+// Expert placement state: which device holds each (layer, expert).
+//
+// The Expert Cache Ratio (ECR) — the paper's central resource knob — is the
+// fraction of all expert slots resident on the GPU. Placement enforces the
+// per-layer GPU capacity invariant; policies (calibrated init, Algorithm 1
+// swaps, LRU eviction) live with their owners and mutate state through this
+// class so the invariant can never be silently violated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace daop::cache {
+
+enum class Device : std::uint8_t { Cpu = 0, Gpu = 1 };
+
+class Placement {
+ public:
+  Placement(int n_layers, int n_experts);
+
+  int n_layers() const { return n_layers_; }
+  int n_experts() const { return n_experts_; }
+
+  Device device(int layer, int expert) const;
+  bool on_gpu(int layer, int expert) const {
+    return device(layer, expert) == Device::Gpu;
+  }
+
+  /// GPU slots allowed for `layer`. Moving an expert to the GPU beyond
+  /// capacity is a checked error.
+  int capacity(int layer) const;
+  void set_capacity(int layer, int cap);
+
+  /// Experts currently on the GPU in `layer`.
+  int gpu_count(int layer) const;
+  int total_gpu_count() const;
+
+  /// Places `expert` on the GPU (must have free capacity; no-op if already
+  /// there — returns false in that case).
+  bool move_to_gpu(int layer, int expert);
+  /// Evicts `expert` to the CPU (no-op if already there; returns false).
+  bool move_to_cpu(int layer, int expert);
+  /// Atomic swap: `expert_out` leaves the GPU, `expert_in` enters.
+  void swap(int layer, int expert_in, int expert_out);
+
+  std::vector<int> gpu_experts(int layer) const;
+  std::vector<int> cpu_experts(int layer) const;
+
+  /// Fraction of all experts resident on GPU.
+  double ecr() const;
+
+ private:
+  int index(int layer, int expert) const;
+
+  int n_layers_;
+  int n_experts_;
+  std::vector<Device> device_;
+  std::vector<int> capacity_;
+  std::vector<int> gpu_count_;
+};
+
+/// Number of GPU expert slots implied by an ECR.
+int total_slots_for_ecr(int n_layers, int n_experts, double ecr);
+
+/// Paper §IV-A memory initialization: standardize cache size across layers
+/// (total_slots / n_layers each), fill every layer with its top experts by
+/// calibrated activation counts, then hand the remainder (< n_layers slots)
+/// to the globally most-activated uncached experts.
+/// `calib_counts[layer][expert]` comes from decoding the calibration set.
+Placement init_placement_calibrated(
+    int n_layers, int n_experts, double ecr,
+    const std::vector<std::vector<double>>& calib_counts);
+
+/// Alternative initialization (ablation of §IV-A's per-layer
+/// standardization): hand ALL slots to the globally most-activated
+/// (layer, expert) pairs with no per-layer floor. Layers with flat
+/// calibration profiles can end up with zero GPU experts.
+Placement init_placement_global_greedy(
+    int n_layers, int n_experts, double ecr,
+    const std::vector<std::vector<double>>& calib_counts);
+
+}  // namespace daop::cache

@@ -1,0 +1,67 @@
+// Lightweight runtime-check macros used across the DAOP codebase.
+//
+// DAOP_CHECK is always on (also in Release builds): these guards protect
+// library invariants that, when violated, would otherwise surface as silent
+// numerical corruption in experiment output. All failures throw
+// daop::CheckError so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace daop {
+
+/// Thrown when a DAOP_CHECK / DAOP_CHECK_* condition fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DAOP check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace daop
+
+#define DAOP_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::daop::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
+    }                                                                \
+  } while (false)
+
+#define DAOP_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream daop_os_;                                   \
+      daop_os_ << msg;                                               \
+      ::daop::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                   daop_os_.str());                  \
+    }                                                                \
+  } while (false)
+
+// Binary comparison checks that include both operand values in the message.
+#define DAOP_CHECK_OP_(op, a, b)                                          \
+  do {                                                                    \
+    if (!((a)op(b))) {                                                    \
+      std::ostringstream daop_os_;                                        \
+      daop_os_ << "lhs=" << (a) << " rhs=" << (b);                        \
+      ::daop::detail::check_failed(#a " " #op " " #b, __FILE__, __LINE__, \
+                                   daop_os_.str());                       \
+    }                                                                     \
+  } while (false)
+
+#define DAOP_CHECK_EQ(a, b) DAOP_CHECK_OP_(==, a, b)
+#define DAOP_CHECK_NE(a, b) DAOP_CHECK_OP_(!=, a, b)
+#define DAOP_CHECK_LT(a, b) DAOP_CHECK_OP_(<, a, b)
+#define DAOP_CHECK_LE(a, b) DAOP_CHECK_OP_(<=, a, b)
+#define DAOP_CHECK_GT(a, b) DAOP_CHECK_OP_(>, a, b)
+#define DAOP_CHECK_GE(a, b) DAOP_CHECK_OP_(>=, a, b)

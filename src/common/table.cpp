@@ -1,0 +1,74 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace daop {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DAOP_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  DAOP_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + pad(row[c], widths[c]) + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string render_bar_chart(const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             const std::string& unit, int width) {
+  DAOP_CHECK_EQ(labels.size(), values.size());
+  DAOP_CHECK_GT(width, 0);
+  double vmax = 0.0;
+  std::size_t lmax = 0;
+  for (double v : values) vmax = std::max(vmax, v);
+  for (const auto& l : labels) lmax = std::max(lmax, l.size());
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int n = static_cast<int>(values[i] / vmax * width + 0.5);
+    out += pad(labels[i], lmax, false) + " | " + std::string(n, '#') + " " +
+           fmt_f(values[i], 2);
+    if (!unit.empty()) out += " " + unit;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace daop

@@ -1,0 +1,34 @@
+// Plain-text table rendering used by the benchmark harness to print
+// paper-style tables and figure series next to the paper's reference values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace daop {
+
+/// Column-aligned ASCII table. Cells are strings; callers format numbers via
+/// strings.hpp helpers so each table controls its own precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table with a border and column separators.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Renders a horizontal ASCII bar chart (used for "figure" benches).
+/// Values must be non-negative; bars are scaled to `width` characters.
+std::string render_bar_chart(const std::vector<std::string>& labels,
+                             const std::vector<double>& values,
+                             const std::string& unit, int width = 48);
+
+}  // namespace daop

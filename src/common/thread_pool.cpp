@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace daop {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // With one worker requested we run everything inline in parallel_for and
+  // never spawn a thread at all.
+  if (threads == 1) return;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const std::int64_t chunks =
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(workers_.size()) * 4);
+  const std::int64_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<std::int64_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t begin = c * chunk_size;
+      const std::int64_t end = std::min(n, begin + chunk_size);
+      tasks_.emplace([&, begin, end] {
+        try {
+          for (std::int64_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> dlock(done_mu);
+  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace daop

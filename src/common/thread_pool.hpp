@@ -1,0 +1,49 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used by the tensor library to parallelize GEMM row blocks and by the
+// functional model for per-expert execution. The pool degrades gracefully to
+// inline execution when constructed with a single worker (the common case on
+// small CI machines), so results never depend on thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace daop {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit dispatch overhead.
+  /// Exceptions thrown by fn are rethrown (first one wins) on the caller.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace daop

@@ -1,0 +1,57 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace daop::core {
+
+std::vector<SwapDecision> sequence_specific_swaps(
+    std::span<const double> token_counts, const cache::Placement& placement,
+    int layer, double swap_in_out) {
+  const int E = placement.n_experts();
+  DAOP_CHECK_EQ(static_cast<int>(token_counts.size()), E);
+  DAOP_CHECK_GE(swap_in_out, 1.0);
+
+  // Line 5: SwapNum = 0.5 * number of experts.
+  const int swap_num = E / 2;
+
+  // Lines 6-8: most active CPU experts, least active GPU experts.
+  std::vector<int> cpu = placement.cpu_experts(layer);
+  std::vector<int> gpu = placement.gpu_experts(layer);
+  auto by_count_desc = [&](int a, int b) {
+    return token_counts[static_cast<std::size_t>(a)] >
+           token_counts[static_cast<std::size_t>(b)];
+  };
+  auto by_count_asc = [&](int a, int b) {
+    return token_counts[static_cast<std::size_t>(a)] <
+           token_counts[static_cast<std::size_t>(b)];
+  };
+  std::stable_sort(cpu.begin(), cpu.end(), by_count_desc);
+  std::stable_sort(gpu.begin(), gpu.end(), by_count_asc);
+
+  const int pairs = std::min<int>(
+      {swap_num, static_cast<int>(cpu.size()), static_cast<int>(gpu.size())});
+
+  // Lines 9-13: zip hot with cold; swap when HotProb >= SwapInOut * ColdProb.
+  std::vector<SwapDecision> swaps;
+  for (int i = 0; i < pairs; ++i) {
+    const int hot = cpu[static_cast<std::size_t>(i)];
+    const int cold = gpu[static_cast<std::size_t>(i)];
+    const double hot_count = token_counts[static_cast<std::size_t>(hot)];
+    const double cold_count = token_counts[static_cast<std::size_t>(cold)];
+    if (hot_count >= swap_in_out * cold_count && hot_count > 0.0) {
+      swaps.push_back(SwapDecision{hot, cold});
+    }
+  }
+  return swaps;
+}
+
+void apply_swaps(cache::Placement& placement, int layer,
+                 const std::vector<SwapDecision>& swaps) {
+  for (const SwapDecision& s : swaps) {
+    placement.swap(layer, s.expert_in, s.expert_out);
+  }
+}
+
+}  // namespace daop::core

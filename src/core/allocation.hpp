@@ -1,0 +1,33 @@
+// Algorithm 1: sequence-specific expert allocation (paper §IV-B).
+//
+// After the gate of each block resolves during prefill, the most active
+// CPU-resident experts are paired with the least active GPU-resident
+// experts; a pair is swapped when the CPU expert's token count exceeds the
+// GPU expert's by the SwapInOut threshold. Implemented as a pure function so
+// both execution planes and the unit tests share one copy of the logic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cache/placement.hpp"
+
+namespace daop::core {
+
+struct SwapDecision {
+  int expert_in = -1;   ///< hot expert moving CPU -> GPU
+  int expert_out = -1;  ///< cold expert moving GPU -> CPU
+};
+
+/// Computes the swaps Algorithm 1 performs for one layer.
+/// `token_counts[e]` = tokens routed to expert e in this layer during
+/// prefill (the expert's "activity level"). Does not mutate the placement.
+std::vector<SwapDecision> sequence_specific_swaps(
+    std::span<const double> token_counts, const cache::Placement& placement,
+    int layer, double swap_in_out);
+
+/// Applies the returned decisions to the placement.
+void apply_swaps(cache::Placement& placement, int layer,
+                 const std::vector<SwapDecision>& swaps);
+
+}  // namespace daop::core

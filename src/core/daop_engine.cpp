@@ -1,0 +1,336 @@
+#include "core/daop_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/allocation.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
+
+namespace daop::core {
+namespace {
+
+/// Pre-calculation plan produced at layer i for layer i+1.
+struct NextLayerPlan {
+  bool active = false;
+  /// Result-arrival time (on GPU) per pre-calculated CPU expert; < 0 when
+  /// the expert was not pre-calculated.
+  std::vector<double> precalc_arrival;
+  /// Graceful-degradation substitute per dropped CPU expert; -1 when none.
+  std::vector<int> substitute;
+
+  explicit NextLayerPlan(int n_experts)
+      : precalc_arrival(static_cast<std::size_t>(n_experts), -1.0),
+        substitute(static_cast<std::size_t>(n_experts), -1) {}
+};
+
+/// Best GPU-resident expert by `scores`, excluding `exclude`; -1 if none.
+int best_gpu_expert(const cache::Placement& placement, int layer,
+                    std::span<const float> scores,
+                    const std::vector<int>& exclude) {
+  int best = -1;
+  float best_score = 0.0F;
+  for (int e = 0; e < placement.n_experts(); ++e) {
+    if (!placement.on_gpu(layer, e)) continue;
+    if (std::find(exclude.begin(), exclude.end(), e) != exclude.end()) continue;
+    const float s = scores[static_cast<std::size_t>(e)];
+    if (best < 0 || s > best_score) {
+      best = e;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DaopEngine::DaopEngine(const model::OpCosts& costs, DaopConfig config)
+    : Engine(costs), config_(config) {
+  DAOP_CHECK_GE(config_.swap_in_out, 1.0);
+  DAOP_CHECK_GE(config_.min_predict_layer, 1);
+}
+
+std::string DaopEngine::name() const {
+  if (config_.enable_seq_allocation && config_.enable_precalc &&
+      config_.enable_degradation) {
+    return "DAOP";
+  }
+  std::string n = "DAOP[";
+  n += config_.enable_seq_allocation ? "alloc," : "-alloc,";
+  n += config_.enable_precalc ? "precalc," : "-precalc,";
+  n += config_.enable_degradation ? "degrade]" : "-degrade]";
+  return n;
+}
+
+engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
+                                   const cache::Placement& initial,
+                                   sim::Timeline* external_tl) {
+  sim::Timeline local_tl;
+  sim::Timeline& tl = external_tl ? *external_tl : local_tl;
+
+  const model::ModelConfig& cfg = costs_.config();
+  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
+  DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
+  const int L = cfg.n_layers;
+  const int E = cfg.n_experts;
+
+  cache::Placement placement = initial;
+  engines::EngineCounters counters;
+
+  // Decode-phase CPU expert cost; quantized when the EdgeMoE-style
+  // extension is enabled (the CPU path is memory-bound).
+  const double cpu_expert_cost =
+      config_.cpu_quant_bits > 0
+          ? costs_.expert_cpu_scaled(
+                QuantSpec{config_.cpu_quant_bits, config_.cpu_quant_group}
+                    .bytes_per_weight() /
+                cfg.bytes_per_param)
+          : costs_.expert_cpu();
+
+  // CPU-resident expert execution with exact (current) activations.
+  auto cpu_expert_sync = [&](double start, int n_tokens, double exec_cost) {
+    const double out = tl.schedule(sim::Res::PcieD2H, start,
+                                   costs_.activations_d2h(n_tokens),
+                                   "acts to CPU");
+    const double exec =
+        tl.schedule(sim::Res::CpuPool, out, exec_cost, "CPU expert");
+    ++counters.cpu_expert_execs;
+    return tl.schedule(sim::Res::PcieH2D, exec,
+                       costs_.activations_h2d(n_tokens), "acts to GPU");
+  };
+
+  // ---- Prefill: in-place hybrid execution + Algorithm 1 swaps ----
+  double ready = 0.0;
+  double last_swap_end = 0.0;
+  {
+    const int np = trace.prompt_len;
+    const auto counts = trace.activation_counts(data::Phase::Prefill);
+    for (int l = 0; l < L; ++l) {
+      const double nonmoe_end = tl.schedule(
+          sim::Res::GpuStream, ready, costs_.nonmoe_gpu_prefill(np),
+          "prefill non-MoE");
+
+      // Execute this layer where experts currently live; swaps adjust the
+      // cache for the decode phase and ride the PCIe link concurrently.
+      std::vector<bool> exec_on_gpu(static_cast<std::size_t>(E));
+      for (int e = 0; e < E; ++e) exec_on_gpu[static_cast<std::size_t>(e)] = placement.on_gpu(l, e);
+
+      if (config_.enable_seq_allocation) {
+        const auto swaps = sequence_specific_swaps(
+            counts[static_cast<std::size_t>(l)], placement, l,
+            config_.swap_in_out);
+        apply_swaps(placement, l, swaps);
+        for (std::size_t s = 0; s < swaps.size(); ++s) {
+          last_swap_end =
+              std::max(last_swap_end,
+                       tl.schedule(sim::Res::PcieH2D, nonmoe_end,
+                                   costs_.expert_migration(), "swap-in expert"));
+          ++counters.expert_migrations;
+          ++counters.prefill_swaps;
+        }
+      }
+
+      double layer_end = nonmoe_end;
+      for (int e = 0; e < E; ++e) {
+        const int tok = static_cast<int>(
+            counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
+        if (tok == 0) continue;
+        if (exec_on_gpu[static_cast<std::size_t>(e)]) {
+          ++counters.cache_hits;
+          ++counters.gpu_expert_execs;
+          layer_end = std::max(
+              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                     costs_.expert_gpu_prefill(tok),
+                                     "prefill expert"));
+        } else {
+          ++counters.cache_misses;
+          layer_end = std::max(
+              layer_end,
+              cpu_expert_sync(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
+        }
+      }
+      ready = layer_end;
+    }
+  }
+  const double prefill_end = ready;
+  // The decode configuration requires all swapped-in weights to be resident.
+  ready = std::max(ready, last_swap_end);
+
+  // ---- Decode: predictive pre-calculation + graceful degradation ----
+  // Decode re-allocation extension state (inactive unless configured):
+  // trailing-window activation counts and per-expert weight-arrival gates
+  // for experts swapped in mid-decode.
+  std::vector<double> swap_ready(static_cast<std::size_t>(L) * E, 0.0);
+  std::vector<std::vector<double>> window(
+      static_cast<std::size_t>(L),
+      std::vector<double>(static_cast<std::size_t>(E), 0.0));
+  auto sidx = [E](int l, int e) {
+    return static_cast<std::size_t>(l) * static_cast<std::size_t>(E) +
+           static_cast<std::size_t>(e);
+  };
+
+  for (int t = 0; t < trace.gen_len; ++t) {
+    const int ctx = trace.prompt_len + t;
+    NextLayerPlan plan(E);  // produced at layer l-1 for layer l
+    for (int l = 0; l < L; ++l) {
+      const double nonmoe_end = tl.schedule(
+          sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
+
+      const data::TokenRouting& tok = trace.at(data::Phase::Decode, l, t);
+      std::vector<int> selected = topk_indices(tok.scores, cfg.top_k);
+      // Adaptive expert skipping (extension): confident tokens keep only
+      // their top-1 expert.
+      if (config_.skip_top1_margin > 0.0 && selected.size() >= 2) {
+        std::vector<float> w(selected.size());
+        softmax_subset(tok.scores, selected, w);
+        if (w[0] >= config_.skip_top1_margin) {
+          counters.skipped_experts +=
+              static_cast<long long>(selected.size()) - 1;
+          selected.resize(1);
+        }
+      }
+
+      double layer_end = nonmoe_end;
+      std::vector<int> exclude = selected;  // fallbacks must be fresh experts
+      for (int e : selected) {
+        window[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] += 1.0;
+        if (placement.on_gpu(l, e)) {
+          ++counters.cache_hits;
+          ++counters.gpu_expert_execs;
+          // Experts swapped in mid-decode are usable once their weights
+          // arrive (no-op when decode re-allocation is off).
+          const double eready = std::max(nonmoe_end, swap_ready[sidx(l, e)]);
+          layer_end = std::max(
+              layer_end, tl.schedule(sim::Res::GpuStream, eready,
+                                     costs_.expert_gpu(), "GPU expert"));
+          continue;
+        }
+        ++counters.cache_misses;
+        const auto ei = static_cast<std::size_t>(e);
+        if (plan.active && plan.precalc_arrival[ei] >= 0.0) {
+          // Pre-calculated on CPU from the previous layer's hidden states;
+          // just wait for the result (usually already arrived).
+          layer_end = std::max(layer_end, plan.precalc_arrival[ei]);
+        } else if (plan.active && plan.substitute[ei] >= 0) {
+          // Graceful degradation planned at prediction time: the GPU
+          // substitute executes with exact current inputs.
+          ++counters.gpu_expert_execs;
+          exclude.push_back(plan.substitute[ei]);
+          layer_end = std::max(
+              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                     costs_.expert_gpu(), "substitute expert"));
+        } else if (plan.active) {
+          // Misprediction: a selected CPU expert was not pre-calculated.
+          ++counters.mispredictions;
+          int fb = -1;
+          if (config_.mispredict_policy == MispredictPolicy::GracefulFallback) {
+            fb = best_gpu_expert(placement, l, tok.scores, exclude);
+          }
+          if (fb >= 0) {
+            ++counters.degradations;
+            ++counters.gpu_expert_execs;
+            exclude.push_back(fb);
+            layer_end = std::max(
+                layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                       costs_.expert_gpu(), "fallback expert"));
+          } else {
+            layer_end = std::max(
+                layer_end, cpu_expert_sync(nonmoe_end, 1, cpu_expert_cost));
+          }
+        } else {
+          // Early layers (or precalc disabled): in-place hybrid execution.
+          layer_end = std::max(
+              layer_end, cpu_expert_sync(nonmoe_end, 1, cpu_expert_cost));
+        }
+      }
+
+      // ---- Plan pre-calculation for layer l+1 using this layer's hidden
+      // states (available at nonmoe_end). ----
+      plan = NextLayerPlan(E);
+      const int nl = l + 1;
+      if (config_.enable_precalc && nl < L &&
+          nl >= config_.min_predict_layer) {
+        const data::TokenRouting& ntok = trace.at(data::Phase::Decode, nl, t);
+        if (!ntok.pred_scores.empty()) {
+          plan.active = true;
+          ++counters.predictions;
+          std::vector<int> predicted = topk_indices(ntok.pred_scores, cfg.top_k);
+          // Under adaptive skipping, confident predictions only need their
+          // top-1 expert pre-calculated.
+          if (config_.skip_top1_margin > 0.0 && predicted.size() >= 2) {
+            std::vector<float> w(predicted.size());
+            softmax_subset(ntok.pred_scores, predicted, w);
+            if (w[0] >= config_.skip_top1_margin) predicted.resize(1);
+          }
+
+          std::vector<int> pred_cpu;
+          for (int e : predicted) {
+            if (!placement.on_gpu(nl, e)) pred_cpu.push_back(e);
+          }
+
+          // Graceful degradation: if every predicted expert sits on the CPU,
+          // replace the lowest-scored one with the best GPU-resident expert.
+          if (config_.enable_degradation &&
+              static_cast<int>(pred_cpu.size()) == cfg.top_k &&
+              cfg.top_k >= 2) {
+            int drop = pred_cpu.back();  // topk_indices is score-descending
+            const int sub = best_gpu_expert(placement, nl, ntok.pred_scores,
+                                            predicted);
+            if (sub >= 0) {
+              plan.substitute[static_cast<std::size_t>(drop)] = sub;
+              pred_cpu.pop_back();
+              ++counters.degradations;
+            }
+          }
+
+          // Pre-calculate the remaining predicted CPU experts from this
+          // layer's non-MoE hidden states.
+          for (int e : pred_cpu) {
+            const double out =
+                tl.schedule(sim::Res::PcieD2H, nonmoe_end,
+                            costs_.activations_d2h(1), "precalc acts");
+            const double exec = tl.schedule(sim::Res::CpuPool, out,
+                                            cpu_expert_cost,
+                                            "precalc CPU expert");
+            ++counters.cpu_expert_execs;
+            plan.precalc_arrival[static_cast<std::size_t>(e)] =
+                tl.schedule(sim::Res::PcieH2D, exec,
+                            costs_.activations_h2d(1), "precalc result");
+          }
+        }
+      }
+
+      ready = layer_end;
+    }
+
+    // Decode re-allocation (extension): every N tokens, re-run Algorithm 1
+    // over the trailing window so the cache follows within-sequence drift.
+    if (config_.decode_realloc_interval > 0 &&
+        (t + 1) % config_.decode_realloc_interval == 0) {
+      for (int l = 0; l < L; ++l) {
+        const auto swaps = sequence_specific_swaps(
+            window[static_cast<std::size_t>(l)], placement, l,
+            config_.swap_in_out);
+        apply_swaps(placement, l, swaps);
+        for (const SwapDecision& s : swaps) {
+          swap_ready[sidx(l, s.expert_in)] =
+              tl.schedule(sim::Res::PcieH2D, ready, costs_.expert_migration(),
+                          "decode swap-in");
+          ++counters.expert_migrations;
+          ++counters.decode_swaps;
+        }
+        std::fill(window[static_cast<std::size_t>(l)].begin(),
+                  window[static_cast<std::size_t>(l)].end(), 0.0);
+      }
+    }
+  }
+
+  return finalize(name(), trace, tl, prefill_end, ready, counters);
+}
+
+std::unique_ptr<engines::Engine> make_daop(const model::OpCosts& costs,
+                                           DaopConfig config) {
+  return std::make_unique<DaopEngine>(costs, config);
+}
+
+}  // namespace daop::core

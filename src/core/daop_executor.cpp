@@ -1,0 +1,280 @@
+#include "core/daop_executor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/allocation.hpp"
+#include "tensor/ops.hpp"
+
+namespace daop::core {
+namespace {
+
+int best_gpu_expert(const cache::Placement& placement, int layer,
+                    std::span<const float> scores,
+                    const std::vector<int>& exclude) {
+  int best = -1;
+  float best_score = 0.0F;
+  for (int e = 0; e < placement.n_experts(); ++e) {
+    if (!placement.on_gpu(layer, e)) continue;
+    if (std::find(exclude.begin(), exclude.end(), e) != exclude.end()) continue;
+    const float s = scores[static_cast<std::size_t>(e)];
+    if (best < 0 || s > best_score) {
+      best = e;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+/// Pre-calculation plan carried from layer l to layer l+1.
+struct Plan {
+  bool active = false;
+  /// Pre-calculated outputs (stale input) per expert; empty vector = none.
+  std::vector<std::vector<float>> precalc;
+  std::vector<int> substitute;
+
+  explicit Plan(int n_experts)
+      : precalc(static_cast<std::size_t>(n_experts)),
+        substitute(static_cast<std::size_t>(n_experts), -1) {}
+};
+
+}  // namespace
+
+DaopFunctionalExecutor::DaopFunctionalExecutor(
+    const model::FunctionalModel& model, DaopConfig config)
+    : model_(model), config_(config) {
+  DAOP_CHECK_GE(config_.min_predict_layer, 1);
+  if (config_.cpu_quant_bits > 0) {
+    quantized_ = std::make_unique<model::QuantizedExpertSet>(
+        model_, QuantSpec{config_.cpu_quant_bits, config_.cpu_quant_group});
+  }
+}
+
+void DaopFunctionalExecutor::run_expert(int layer, int expert, bool on_cpu,
+                                        std::span<const float> h,
+                                        std::span<float> out,
+                                        FunctionalRunStats& stats) const {
+  if (on_cpu && quantized_) {
+    quantized_->forward(layer, expert, h, out);
+    ++stats.quantized_execs;
+  } else {
+    model_.expert_forward(layer, expert, h, out);
+  }
+}
+
+std::vector<int> DaopFunctionalExecutor::generate(
+    std::span<const int> prompt, int n_gen, const cache::Placement& initial,
+    const model::GateBias& bias, FunctionalRunStats* stats,
+    std::span<const int> teacher) const {
+  DAOP_CHECK(!prompt.empty());
+  DAOP_CHECK_GE(n_gen, 0);
+  DAOP_CHECK(teacher.empty() ||
+             static_cast<int>(teacher.size()) >= n_gen);
+  const model::ModelConfig& cfg = model_.config();
+  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
+  DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
+  const int L = cfg.n_layers;
+  const int E = cfg.n_experts;
+  const auto D = static_cast<std::size_t>(cfg.d_model);
+
+  cache::Placement placement = initial;
+  FunctionalRunStats local_stats;
+  FunctionalRunStats& st = stats ? *stats : local_stats;
+
+  const int total = static_cast<int>(prompt.size()) + n_gen;
+  model::KvCache kv(cfg, total);
+
+  std::vector<float> x(D);
+  std::vector<float> vocab_logits(static_cast<std::size_t>(cfg.vocab_size));
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n_gen));
+
+  // ---- Prefill: exact numerics; collect per-layer expert token counts ----
+  std::vector<std::vector<double>> counts(
+      static_cast<std::size_t>(L),
+      std::vector<double>(static_cast<std::size_t>(E), 0.0));
+  int next_token = -1;
+  for (int pos = 0; pos < static_cast<int>(prompt.size()); ++pos) {
+    model_.embed(prompt[static_cast<std::size_t>(pos)], x);
+    for (int l = 0; l < L; ++l) {
+      const model::RouteDecision d = model_.official_block(l, x, kv, pos, bias);
+      for (int e : d.experts) {
+        counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] += 1.0;
+      }
+    }
+    kv.advance();
+  }
+  model_.lm_logits(x, vocab_logits);
+  next_token = argmax(vocab_logits);  // first output token (prefill-exact)
+
+  // Algorithm 1: adjust placement for the decode phase.
+  if (config_.enable_seq_allocation) {
+    for (int l = 0; l < L; ++l) {
+      const auto swaps = sequence_specific_swaps(
+          counts[static_cast<std::size_t>(l)], placement, l,
+          config_.swap_in_out);
+      apply_swaps(placement, l, swaps);
+      st.prefill_swaps += static_cast<long long>(swaps.size());
+    }
+  }
+
+  // ---- Decode under DAOP approximations ----
+  std::vector<float> h(D);
+  std::vector<float> expert_out(D);
+  std::vector<float> gate_logits(static_cast<std::size_t>(E));
+  std::vector<float> pred_logits(static_cast<std::size_t>(E));
+
+  // Decode re-allocation extension: trailing-window activation counts.
+  std::vector<std::vector<double>> window(
+      static_cast<std::size_t>(L),
+      std::vector<double>(static_cast<std::size_t>(E), 0.0));
+
+  for (int g = 0; g < n_gen; ++g) {
+    if (static_cast<int>(out.size()) < n_gen) out.push_back(next_token);
+    if (static_cast<int>(out.size()) == n_gen && g == n_gen - 1) {
+      // Last token recorded; still run the step only if its output is
+      // needed — it is not, so stop here.
+      break;
+    }
+    const int pos = static_cast<int>(prompt.size()) + g;
+    const int consumed =
+        teacher.empty() ? next_token : teacher[static_cast<std::size_t>(g)];
+    model_.embed(consumed, x);
+
+    Plan plan(E);
+    for (int l = 0; l < L; ++l) {
+      model_.attention_block(l, x, kv, pos);
+      model_.ffn_input(l, x, h);
+      model_.gate(l, h, gate_logits);
+      if (bias) bias(l, pos, gate_logits);
+      model::RouteDecision sel = model_.route(gate_logits);
+      // Adaptive expert skipping (extension): confident tokens keep only
+      // their top-1 expert.
+      if (config_.skip_top1_margin > 0.0 && sel.experts.size() >= 2 &&
+          sel.weights[0] >= config_.skip_top1_margin) {
+        st.skipped_experts += static_cast<long long>(sel.experts.size()) - 1;
+        sel.experts.resize(1);
+        sel.weights.assign(1, 1.0F);
+      }
+
+      // Decide the executed expert set.
+      struct Exec {
+        int expert;                      ///< id used for gate weighting
+        const std::vector<float>* precomputed = nullptr;
+        bool on_cpu = false;             ///< executes on the CPU (may be
+                                         ///< quantized under the extension)
+      };
+      std::vector<Exec> execs;
+      std::vector<int> used = sel.experts;
+      for (int e : sel.experts) {
+        window[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] += 1.0;
+        ++st.decode_expert_uses;
+        const auto ei = static_cast<std::size_t>(e);
+        if (placement.on_gpu(l, e) || !plan.active) {
+          // GPU-resident, or an early/in-place layer: true expert, true
+          // input. In-place CPU execution is exact in fp, quantized only
+          // under the cpu_quant_bits extension.
+          ++st.exact_execs;
+          execs.push_back({e, nullptr, !placement.on_gpu(l, e)});
+        } else if (!plan.precalc[ei].empty()) {
+          ++st.stale_input_execs;
+          execs.push_back({e, &plan.precalc[ei], true});
+        } else if (plan.substitute[ei] >= 0) {
+          ++st.degradations;
+          used.push_back(plan.substitute[ei]);
+          execs.push_back({plan.substitute[ei], nullptr, false});
+        } else {
+          // Misprediction on a CPU-resident expert.
+          int fb = -1;
+          if (config_.mispredict_policy == MispredictPolicy::GracefulFallback) {
+            fb = best_gpu_expert(placement, l, gate_logits, used);
+          }
+          if (fb >= 0) {
+            ++st.mispredict_fallbacks;
+            used.push_back(fb);
+            execs.push_back({fb, nullptr, false});
+          } else {
+            ++st.mispredict_recomputes;
+            execs.push_back({e, nullptr, true});
+          }
+        }
+      }
+
+      // Renormalize gate weights over the experts actually executed.
+      std::vector<int> exec_ids;
+      exec_ids.reserve(execs.size());
+      for (const Exec& ex : execs) exec_ids.push_back(ex.expert);
+      std::vector<float> weights(execs.size());
+      softmax_subset(gate_logits, exec_ids, weights);
+
+      for (std::size_t i = 0; i < execs.size(); ++i) {
+        if (execs[i].precomputed) {
+          axpy_inplace(x, weights[i], *execs[i].precomputed);
+        } else {
+          run_expert(l, execs[i].expert, execs[i].on_cpu, h, expert_out, st);
+          axpy_inplace(x, weights[i], expert_out);
+        }
+      }
+
+      // Plan pre-calculation for layer l+1 from this layer's hidden state.
+      plan = Plan(E);
+      const int nl = l + 1;
+      if (config_.enable_precalc && nl < L &&
+          nl >= config_.min_predict_layer) {
+        plan.active = true;
+        model_.gate(nl, h, pred_logits);
+        if (bias) bias(nl, pos, pred_logits);
+        model::RouteDecision pred = model_.route(pred_logits);
+        // Under adaptive skipping, confident predictions only need their
+        // top-1 expert pre-calculated.
+        if (config_.skip_top1_margin > 0.0 && pred.experts.size() >= 2 &&
+            pred.weights[0] >= config_.skip_top1_margin) {
+          pred.experts.resize(1);
+        }
+
+        std::vector<int> pred_cpu;
+        for (int e : pred.experts) {
+          if (!placement.on_gpu(nl, e)) pred_cpu.push_back(e);
+        }
+        if (config_.enable_degradation &&
+            static_cast<int>(pred_cpu.size()) == cfg.top_k && cfg.top_k >= 2) {
+          const int drop = pred_cpu.back();
+          const int sub =
+              best_gpu_expert(placement, nl, pred_logits, pred.experts);
+          if (sub >= 0) {
+            plan.substitute[static_cast<std::size_t>(drop)] = sub;
+            pred_cpu.pop_back();
+          }
+        }
+        for (int e : pred_cpu) {
+          auto& dst = plan.precalc[static_cast<std::size_t>(e)];
+          dst.assign(D, 0.0F);
+          // Stale input: this layer's non-MoE hidden state stands in for
+          // the next layer's (residual-stream approximation, §IV-C).
+          run_expert(nl, e, /*on_cpu=*/true, h, dst, st);
+        }
+      }
+    }
+    kv.advance();
+    model_.lm_logits(x, vocab_logits);
+    next_token = argmax(vocab_logits);
+
+    // Decode re-allocation (extension): let the cache follow drift.
+    if (config_.decode_realloc_interval > 0 &&
+        (g + 1) % config_.decode_realloc_interval == 0) {
+      for (int l = 0; l < L; ++l) {
+        const auto swaps = sequence_specific_swaps(
+            window[static_cast<std::size_t>(l)], placement, l,
+            config_.swap_in_out);
+        apply_swaps(placement, l, swaps);
+        st.decode_swaps += static_cast<long long>(swaps.size());
+        std::fill(window[static_cast<std::size_t>(l)].begin(),
+                  window[static_cast<std::size_t>(l)].end(), 0.0);
+      }
+    }
+  }
+  if (static_cast<int>(out.size()) < n_gen) out.push_back(next_token);
+  return out;
+}
+
+}  // namespace daop::core

@@ -1,0 +1,103 @@
+#include "data/gate_bias.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace daop::data {
+
+model::GateBias make_gate_bias(const WorkloadSpec& spec, int n_layers,
+                               int n_experts, std::uint64_t seed,
+                               int seq_index, int prompt_len,
+                               int max_positions) {
+  DAOP_CHECK_GT(n_layers, 0);
+  DAOP_CHECK_GT(n_experts, 0);
+  DAOP_CHECK_GT(prompt_len, 0);
+  DAOP_CHECK_GE(max_positions, prompt_len);
+
+  Rng rng = Rng(seed).fork(static_cast<std::uint64_t>(seq_index));
+  const auto E = static_cast<std::size_t>(n_experts);
+  const double skew = spec.seq_skew_sigma;
+  const double rho = spec.layer_rho;
+  const double shift = spec.phase_shift_sigma;
+
+  // Same generative model as TraceGenerator (minus per-token noise, which
+  // the functional model supplies through its real gate on real hidden
+  // states). Precompute the full [layer][pos][expert] field.
+  std::vector<std::vector<double>> pref(static_cast<std::size_t>(n_layers),
+                                        std::vector<double>(E));
+  for (int l = 0; l < n_layers; ++l) {
+    auto& p = pref[static_cast<std::size_t>(l)];
+    if (l == 0) {
+      for (auto& v : p) v = skew * rng.normal();
+    } else {
+      const auto& prev = pref[static_cast<std::size_t>(l - 1)];
+      const double fresh = std::sqrt(1.0 - rho * rho);
+      for (std::size_t e = 0; e < E; ++e) {
+        p[e] = rho * prev[e] + fresh * skew * rng.normal();
+      }
+    }
+  }
+  std::vector<std::vector<double>> dpref(static_cast<std::size_t>(n_layers),
+                                         std::vector<double>(E));
+  const double keep = std::sqrt(std::max(0.0, 1.0 - shift * shift));
+  for (int l = 0; l < n_layers; ++l) {
+    for (std::size_t e = 0; e < E; ++e) {
+      dpref[static_cast<std::size_t>(l)][e] =
+          keep * pref[static_cast<std::size_t>(l)][e] +
+          shift * skew * rng.normal();
+    }
+  }
+
+  auto table = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(n_layers) * static_cast<std::size_t>(max_positions) * E);
+  auto at = [n_experts, max_positions](int l, int pos) {
+    return (static_cast<std::size_t>(l) * static_cast<std::size_t>(max_positions) +
+            static_cast<std::size_t>(pos)) *
+           static_cast<std::size_t>(n_experts);
+  };
+
+  std::vector<std::vector<double>> drift(static_cast<std::size_t>(n_layers),
+                                         std::vector<double>(E, 0.0));
+  for (int pos = 0; pos < max_positions; ++pos) {
+    const bool is_prefill = pos < prompt_len;
+    for (int l = 0; l < n_layers; ++l) {
+      float* dst = table->data() + at(l, pos);
+      if (is_prefill) {
+        for (std::size_t e = 0; e < E; ++e) {
+          dst[e] = static_cast<float>(pref[static_cast<std::size_t>(l)][e]);
+        }
+      } else {
+        auto& d = drift[static_cast<std::size_t>(l)];
+        for (std::size_t e = 0; e < E; ++e) {
+          d[e] = spec.drift_rho * d[e] + spec.drift_sigma * skew * rng.normal();
+          dst[e] = static_cast<float>(dpref[static_cast<std::size_t>(l)][e] + d[e]);
+        }
+      }
+    }
+  }
+
+  return [table, at, n_layers, n_experts, max_positions](
+             int layer, int pos, std::span<float> logits) {
+    DAOP_CHECK(layer >= 0 && layer < n_layers);
+    DAOP_CHECK(pos >= 0 && pos < max_positions);
+    DAOP_CHECK_EQ(static_cast<int>(logits.size()), n_experts);
+    const float* src = table->data() + at(layer, pos);
+    for (int e = 0; e < n_experts; ++e) logits[static_cast<std::size_t>(e)] += src[e];
+  };
+}
+
+std::vector<int> make_prompt(int vocab_size, int len, std::uint64_t seed,
+                             int seq_index) {
+  DAOP_CHECK_GT(vocab_size, 0);
+  DAOP_CHECK_GT(len, 0);
+  Rng rng = Rng(seed ^ 0xABCDEF1234567ULL).fork(static_cast<std::uint64_t>(seq_index));
+  std::vector<int> out(static_cast<std::size_t>(len));
+  for (auto& t : out) t = rng.uniform_int(0, vocab_size - 1);
+  return out;
+}
+
+}  // namespace daop::data

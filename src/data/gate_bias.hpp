@@ -1,0 +1,30 @@
+// Functional-plane dataset conditioner.
+//
+// Builds a model::GateBias that adds a WorkloadSpec-shaped bias field to the
+// functional model's gate logits. The bias is a pure function of
+// (layer, position) — precomputed, not call-order dependent — so the DAOP
+// executor can evaluate gates out of order (e.g. the gate-ahead prediction)
+// and still see exactly the same conditioning as the official executor.
+#pragma once
+
+#include <cstdint>
+
+#include "data/workload.hpp"
+#include "model/functional_model.hpp"
+
+namespace daop::data {
+
+/// Creates the conditioner for one sequence. `prompt_len` splits the
+/// position axis into prefill (stable preference) and decode (shifted
+/// preference + random-walk drift); `max_positions` bounds the precomputed
+/// table (prompt_len + generation length).
+model::GateBias make_gate_bias(const WorkloadSpec& spec, int n_layers,
+                               int n_experts, std::uint64_t seed,
+                               int seq_index, int prompt_len,
+                               int max_positions);
+
+/// Synthetic prompt token ids, deterministic in (seed, seq_index).
+std::vector<int> make_prompt(int vocab_size, int len, std::uint64_t seed,
+                             int seq_index);
+
+}  // namespace daop::data

@@ -1,0 +1,147 @@
+#include "data/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace daop::data {
+namespace {
+
+void write_scores(std::ostream& os, const std::vector<float>& scores) {
+  for (float s : scores) os << ' ' << s;
+}
+
+std::vector<float> read_scores(std::istringstream& line, int n,
+                               const char* what) {
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    DAOP_CHECK_MSG(static_cast<bool>(line >> out[static_cast<std::size_t>(i)]),
+                   "truncated " << what << " vector");
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_trace(const SequenceTrace& trace, std::ostream& os) {
+  DAOP_CHECK_GT(trace.n_layers(), 0);
+  // Enough digits for bit-exact float round trips.
+  os << std::setprecision(std::numeric_limits<float>::max_digits10);
+  os << "daop-trace v1\n";
+  os << "header " << trace.n_layers() << ' ' << trace.n_experts << ' '
+     << trace.top_k << ' ' << trace.prompt_len << ' ' << trace.gen_len
+     << '\n';
+  for (int l = 0; l < trace.n_layers(); ++l) {
+    for (int t = 0; t < trace.prompt_len; ++t) {
+      const TokenRouting& tr = trace.at(Phase::Prefill, l, t);
+      os << "P " << l << ' ' << t;
+      write_scores(os, tr.scores);
+      os << '\n';
+    }
+  }
+  for (int l = 0; l < trace.n_layers(); ++l) {
+    for (int t = 0; t < trace.gen_len; ++t) {
+      const TokenRouting& tr = trace.at(Phase::Decode, l, t);
+      os << "D " << l << ' ' << t;
+      write_scores(os, tr.scores);
+      if (!tr.pred_scores.empty()) {
+        os << " |";
+        write_scores(os, tr.pred_scores);
+      }
+      os << '\n';
+    }
+  }
+}
+
+SequenceTrace load_trace(std::istream& is) {
+  std::string line;
+  DAOP_CHECK_MSG(static_cast<bool>(std::getline(is, line)) &&
+                     line == "daop-trace v1",
+                 "missing 'daop-trace v1' magic line");
+
+  SequenceTrace trace;
+  int n_layers = 0;
+  bool have_header = false;
+  long long prefill_cells = 0;
+  long long decode_cells = 0;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "header") {
+      DAOP_CHECK_MSG(!have_header, "duplicate header");
+      DAOP_CHECK_MSG(
+          static_cast<bool>(ls >> n_layers >> trace.n_experts >>
+                            trace.top_k >> trace.prompt_len >> trace.gen_len),
+          "malformed header");
+      DAOP_CHECK_GT(n_layers, 0);
+      DAOP_CHECK_GT(trace.n_experts, 0);
+      DAOP_CHECK(trace.top_k > 0 && trace.top_k <= trace.n_experts);
+      DAOP_CHECK_GT(trace.prompt_len, 0);
+      DAOP_CHECK_GE(trace.gen_len, 0);
+      trace.prefill.resize(static_cast<std::size_t>(n_layers));
+      trace.decode.resize(static_cast<std::size_t>(n_layers));
+      for (int l = 0; l < n_layers; ++l) {
+        trace.prefill[static_cast<std::size_t>(l)].tokens.resize(
+            static_cast<std::size_t>(trace.prompt_len));
+        trace.decode[static_cast<std::size_t>(l)].tokens.resize(
+            static_cast<std::size_t>(trace.gen_len));
+      }
+      have_header = true;
+      continue;
+    }
+    DAOP_CHECK_MSG(have_header, "data line before header");
+    DAOP_CHECK_MSG(kind == "P" || kind == "D",
+                   "unknown record kind '" << kind << "'");
+    int l = -1;
+    int t = -1;
+    DAOP_CHECK_MSG(static_cast<bool>(ls >> l >> t), "malformed record indices");
+    DAOP_CHECK_MSG(l >= 0 && l < n_layers, "layer out of range: " << l);
+    auto& layers = kind == "P" ? trace.prefill : trace.decode;
+    const int max_t = kind == "P" ? trace.prompt_len : trace.gen_len;
+    DAOP_CHECK_MSG(t >= 0 && t < max_t, "token out of range: " << t);
+    TokenRouting& cell =
+        layers[static_cast<std::size_t>(l)].tokens[static_cast<std::size_t>(t)];
+    DAOP_CHECK_MSG(cell.scores.empty(),
+                   "duplicate cell " << kind << " " << l << " " << t);
+    cell.scores = read_scores(ls, trace.n_experts, "scores");
+    if (kind == "P") {
+      ++prefill_cells;
+    } else {
+      ++decode_cells;
+      std::string sep;
+      if (ls >> sep) {
+        DAOP_CHECK_MSG(sep == "|", "expected '|' before predictions");
+        cell.pred_scores = read_scores(ls, trace.n_experts, "pred");
+      }
+    }
+  }
+  DAOP_CHECK_MSG(have_header, "empty trace (no header)");
+  DAOP_CHECK_MSG(prefill_cells ==
+                     static_cast<long long>(n_layers) * trace.prompt_len,
+                 "missing prefill cells: " << prefill_cells);
+  DAOP_CHECK_MSG(decode_cells ==
+                     static_cast<long long>(n_layers) * trace.gen_len,
+                 "missing decode cells: " << decode_cells);
+  return trace;
+}
+
+void save_trace_file(const SequenceTrace& trace, const std::string& path) {
+  std::ofstream f(path);
+  DAOP_CHECK_MSG(static_cast<bool>(f), "cannot open for write: " << path);
+  save_trace(trace, f);
+  DAOP_CHECK_MSG(static_cast<bool>(f), "write failed: " << path);
+}
+
+SequenceTrace load_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  DAOP_CHECK_MSG(static_cast<bool>(f), "cannot open for read: " << path);
+  return load_trace(f);
+}
+
+}  // namespace daop::data

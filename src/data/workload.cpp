@@ -1,0 +1,85 @@
+#include "data/workload.hpp"
+
+namespace daop::data {
+
+WorkloadSpec c4() {
+  WorkloadSpec w;
+  w.name = "C4";
+  w.seq_skew_sigma = 0.60;
+  w.token_noise_sigma = 1.0;
+  w.phase_shift_sigma = 0.72;
+  w.drift_sigma = 0.015;
+  w.layer_rho = 0.6;
+  return w;
+}
+
+WorkloadSpec math_ds() {
+  WorkloadSpec w = c4();
+  w.name = "MATH";
+  w.seq_skew_sigma = 0.65;
+  w.phase_shift_sigma = 0.70;
+  w.drift_sigma = 0.020;
+  return w;
+}
+
+WorkloadSpec gsm8k() {
+  WorkloadSpec w = c4();
+  w.name = "GSM8K";
+  // Chain-of-thought math: expert usage drifts within a sequence as the
+  // solution moves from reading the problem to arithmetic to formatting.
+  w.name = "GSM8K";
+  w.seq_skew_sigma = 0.62;
+  w.phase_shift_sigma = 0.50;
+  w.drift_sigma = 0.34;
+  w.drift_rho = 0.96;
+  return w;
+}
+
+WorkloadSpec triviaqa() {
+  WorkloadSpec w = c4();
+  w.name = "TriviaQA";
+  w.seq_skew_sigma = 0.68;
+  w.phase_shift_sigma = 0.50;
+  w.drift_sigma = 0.008;
+  return w;
+}
+
+WorkloadSpec alpaca() {
+  WorkloadSpec w = c4();
+  w.name = "Alpaca";
+  w.seq_skew_sigma = 0.62;
+  w.phase_shift_sigma = 0.52;
+  w.drift_sigma = 0.015;
+  return w;
+}
+
+WorkloadSpec bbh() {
+  WorkloadSpec w = c4();
+  w.name = "BBH";
+  w.seq_skew_sigma = 0.65;
+  w.drift_sigma = 0.020;
+  return w;
+}
+
+WorkloadSpec truthfulqa() {
+  WorkloadSpec w = c4();
+  w.name = "TruthfulQA";
+  w.seq_skew_sigma = 0.62;
+  w.drift_sigma = 0.015;
+  return w;
+}
+
+WorkloadSpec sharegpt_calibration() {
+  WorkloadSpec w = c4();
+  w.name = "ShareGPT (calibration)";
+  w.seq_skew_sigma = 0.58;
+  w.drift_sigma = 0.015;
+  return w;
+}
+
+std::vector<WorkloadSpec> all_eval_workloads() {
+  return {c4(),    math_ds(),    gsm8k(), triviaqa(),
+          alpaca(), bbh(), truthfulqa()};
+}
+
+}  // namespace daop::data

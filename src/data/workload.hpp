@@ -1,0 +1,61 @@
+// Workload specifications: statistical models of dataset routing behaviour.
+//
+// The paper's observations ①-③ are statements about routing-trace
+// statistics of real datasets (C4, MATH, GSM8K, TriviaQA, ...). We cannot
+// ship those datasets or the 46B models that route them, so each dataset is
+// characterized by the handful of statistics the paper's design actually
+// depends on, and traces are synthesized to match:
+//
+//  - seq_skew_sigma:     per-sequence expert-preference strength. Produces
+//                        observation ①: near-uniform activation across a
+//                        dataset, strongly skewed within one sequence.
+//  - token_noise_sigma:  per-token routing variability around the
+//                        sequence preference.
+//  - phase_shift_sigma:  how much decode preferences deviate from prefill
+//                        preferences (controls Table II's ~90% similarity).
+//  - drift_sigma/drift_rho: mean-reverting (Ornstein-Uhlenbeck) drift of
+//                        preferences across decode steps; models regime
+//                        changes within a sequence (read problem -> compute
+//                        -> format answer). GSM8K's diverse in-sequence
+//                        activations (paper §VI-B) map to a high sigma.
+//  - layer_rho:          correlation of preferences across adjacent layers.
+//  - pred_noise_early/late: gate-ahead prediction fidelity below/at-or-above
+//                        layer 4 (controls Fig. 5's curve, avg ≈ 84%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace daop::data {
+
+struct WorkloadSpec {
+  std::string name;
+
+  double seq_skew_sigma = 1.2;
+  double token_noise_sigma = 1.0;
+  double phase_shift_sigma = 0.35;
+  double drift_sigma = 0.0;
+  double drift_rho = 0.90;  ///< per-token persistence of the drift state
+  double layer_rho = 0.6;
+  double pred_noise_early = 1.0;
+  double pred_noise_late = 0.30;
+
+  int prompt_len = 256;
+  int gen_len = 256;
+};
+
+// ---- Dataset presets used across the paper's evaluation ----
+
+WorkloadSpec c4();          ///< web corpus; balanced marginals (Fig. 4)
+WorkloadSpec math_ds();     ///< MATH; slightly skewed
+WorkloadSpec gsm8k();       ///< math word problems; high in-sequence drift
+WorkloadSpec triviaqa();    ///< world knowledge; stable activations
+WorkloadSpec alpaca();      ///< instruction following (Fig. 5 datasets)
+WorkloadSpec bbh();         ///< BBH aggregate
+WorkloadSpec truthfulqa();  ///< generation task scored with ROUGE
+WorkloadSpec sharegpt_calibration();  ///< calibration set for §IV-A init
+
+/// All evaluation presets (excludes the calibration set).
+std::vector<WorkloadSpec> all_eval_workloads();
+
+}  // namespace daop::data

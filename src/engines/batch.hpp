@@ -1,0 +1,55 @@
+// Batched decoding — extension beyond the paper.
+//
+// The paper pins batch size to 1 ("simulate real-time inference", §V-A(c)).
+// Serving deployments batch: B sequences advance one decode step together,
+// sharing every weight read. Batching changes the economics of both hybrid
+// engines in opposite directions:
+//  - expert reads amortize over the batch's tokens, helping the GPU far
+//    more than the bandwidth-bound CPU (CPU time grows ~linearly with
+//    assigned tokens, §IV-B's own observation);
+//  - the expert cache must serve the UNION of the batch's sequences, so
+//    DAOP's per-sequence allocation advantage dilutes as B grows.
+// run_*_batch quantify both effects on the simulated platform.
+#pragma once
+
+#include <span>
+
+#include "cache/placement.hpp"
+#include "core/daop_config.hpp"
+#include "data/routing_trace.hpp"
+#include "engines/engine.hpp"
+#include "model/op_costs.hpp"
+
+namespace daop::engines {
+
+struct BatchResult {
+  std::string engine;
+  int batch = 0;
+  int tokens_generated = 0;   ///< summed over the batch
+  double prefill_s = 0.0;
+  double total_s = 0.0;
+  /// Aggregate throughput: all generated tokens / wall time.
+  double tokens_per_s = 0.0;
+  /// Per-sequence rate (what one user experiences).
+  double per_seq_tokens_per_s = 0.0;
+  sim::EnergyBreakdown energy;
+  double tokens_per_kj = 0.0;
+  EngineCounters counters;
+};
+
+/// Batched Fiddler: per layer, resident experts execute on the GPU with
+/// their batch token counts; missing experts on the CPU. All traces must
+/// share prompt_len/gen_len/topology.
+BatchResult run_fiddler_batch(const model::OpCosts& costs,
+                              std::span<const data::SequenceTrace> traces,
+                              const cache::Placement& initial);
+
+/// Batched DAOP: Algorithm 1 runs on the batch's summed prefill counts
+/// (one cache serves everyone); gate-ahead pre-calculation and graceful
+/// degradation apply per sequence, with CPU work aggregated per expert.
+BatchResult run_daop_batch(const model::OpCosts& costs,
+                           const core::DaopConfig& config,
+                           std::span<const data::SequenceTrace> traces,
+                           const cache::Placement& initial);
+
+}  // namespace daop::engines

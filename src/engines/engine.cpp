@@ -1,0 +1,75 @@
+#include "engines/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace daop::engines {
+
+RunResult Engine::finalize(const std::string& name,
+                           const data::SequenceTrace& trace,
+                           const sim::Timeline& tl, double prefill_end,
+                           double decode_end,
+                           const EngineCounters& counters) const {
+  DAOP_CHECK_GE(decode_end, prefill_end);
+  RunResult r;
+  r.engine = name;
+  r.prompt_tokens = trace.prompt_len;
+  r.generated_tokens = trace.gen_len;
+  r.prefill_s = prefill_end;
+  r.decode_s = decode_end - prefill_end;
+  r.total_s = decode_end;
+  if (r.total_s > 0.0) r.tokens_per_s = trace.gen_len / r.total_s;
+  if (r.decode_s > 0.0) r.decode_tokens_per_s = trace.gen_len / r.decode_s;
+  // Speculative work (prefetches, pre-calculations) may still be draining
+  // when the last token is emitted; it burned energy regardless.
+  r.energy = sim::compute_energy(costs_.cost_model().platform(), tl,
+                                 std::max(decode_end, tl.span()));
+  if (r.energy.total_j > 0.0) {
+    r.tokens_per_kj = trace.gen_len / (r.energy.total_j / 1000.0);
+  }
+  r.counters = counters;
+  return r;
+}
+
+RunResult aggregate_results(const std::string& name,
+                            const std::vector<RunResult>& results) {
+  DAOP_CHECK(!results.empty());
+  RunResult agg;
+  agg.engine = name;
+  double energy_j = 0.0;
+  for (const RunResult& r : results) {
+    agg.prompt_tokens += r.prompt_tokens;
+    agg.generated_tokens += r.generated_tokens;
+    agg.prefill_s += r.prefill_s;
+    agg.decode_s += r.decode_s;
+    agg.total_s += r.total_s;
+    energy_j += r.energy.total_j;
+    agg.counters.expert_migrations += r.counters.expert_migrations;
+    agg.counters.gpu_expert_execs += r.counters.gpu_expert_execs;
+    agg.counters.cpu_expert_execs += r.counters.cpu_expert_execs;
+    agg.counters.cache_hits += r.counters.cache_hits;
+    agg.counters.cache_misses += r.counters.cache_misses;
+    agg.counters.prefetch_hits += r.counters.prefetch_hits;
+    agg.counters.predictions += r.counters.predictions;
+    agg.counters.mispredictions += r.counters.mispredictions;
+    agg.counters.degradations += r.counters.degradations;
+    agg.counters.prefill_swaps += r.counters.prefill_swaps;
+    agg.counters.decode_swaps += r.counters.decode_swaps;
+    agg.counters.skipped_experts += r.counters.skipped_experts;
+  }
+  agg.energy.total_j = energy_j;
+  if (agg.total_s > 0.0) {
+    agg.tokens_per_s = agg.generated_tokens / agg.total_s;
+    agg.energy.avg_power_w = energy_j / agg.total_s;
+  }
+  if (agg.decode_s > 0.0) {
+    agg.decode_tokens_per_s = agg.generated_tokens / agg.decode_s;
+  }
+  if (energy_j > 0.0) {
+    agg.tokens_per_kj = agg.generated_tokens / (energy_j / 1000.0);
+  }
+  return agg;
+}
+
+}  // namespace daop::engines

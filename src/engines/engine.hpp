@@ -1,0 +1,90 @@
+// Inference-engine interface for the performance-simulation plane.
+//
+// An Engine schedules one sequence (prefill + autoregressive decode) onto a
+// sim::Timeline using the per-op costs of a model/platform pair, maintaining
+// its own expert-placement policy. Engines never invent costs: all timing
+// flows through model::OpCosts so every engine prices identical work
+// identically, and differences in tokens/s are purely scheduling policy —
+// exactly the quantity the paper compares.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/placement.hpp"
+#include "data/routing_trace.hpp"
+#include "model/op_costs.hpp"
+#include "sim/energy.hpp"
+#include "sim/timeline.hpp"
+
+namespace daop::engines {
+
+struct EngineCounters {
+  long long expert_migrations = 0;   ///< CPU->GPU weight transfers
+  long long gpu_expert_execs = 0;
+  long long cpu_expert_execs = 0;
+  long long cache_hits = 0;          ///< selected expert already on GPU
+  long long cache_misses = 0;
+  long long prefetch_hits = 0;       ///< prefetched expert actually used
+  long long predictions = 0;         ///< gate-ahead predictions issued
+  long long mispredictions = 0;      ///< predicted set missed a used expert
+  long long degradations = 0;        ///< graceful-degradation substitutions
+  long long prefill_swaps = 0;       ///< Algorithm 1 swaps
+  long long decode_swaps = 0;        ///< decode-phase re-allocation swaps
+                                     ///< (DAOP extension, off by default)
+  long long skipped_experts = 0;     ///< experts skipped by the adaptive
+                                     ///< top-1 margin (extension)
+};
+
+struct RunResult {
+  std::string engine;
+  int prompt_tokens = 0;
+  int generated_tokens = 0;
+  double prefill_s = 0.0;
+  double decode_s = 0.0;
+  double total_s = 0.0;
+  /// The paper's end-to-end metric: generated tokens / total wall time.
+  double tokens_per_s = 0.0;
+  /// Decode-only rate (excludes prefill).
+  double decode_tokens_per_s = 0.0;
+  sim::EnergyBreakdown energy;
+  /// The paper's Table IV metric.
+  double tokens_per_kj = 0.0;
+  EngineCounters counters;
+};
+
+class Engine {
+ public:
+  explicit Engine(const model::OpCosts& costs) : costs_(costs) {}
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Simulates one sequence starting from `initial` expert placement
+  /// (typically the §IV-A calibrated placement). When `tl` is non-null the
+  /// engine records into it (with interval recording as configured by the
+  /// caller, e.g. for gantt rendering); otherwise a private timeline is
+  /// used.
+  virtual RunResult run(const data::SequenceTrace& trace,
+                        const cache::Placement& initial,
+                        sim::Timeline* tl = nullptr) = 0;
+
+ protected:
+  /// Fills the derived timing/energy fields of a result.
+  RunResult finalize(const std::string& name, const data::SequenceTrace& trace,
+                     const sim::Timeline& tl, double prefill_end,
+                     double decode_end, const EngineCounters& counters) const;
+
+  const model::OpCosts& costs_;
+};
+
+/// Averages results over multiple sequences (rates are recomputed from the
+/// summed times/tokens, not averaged, matching how the paper aggregates).
+RunResult aggregate_results(const std::string& name,
+                            const std::vector<RunResult>& results);
+
+}  // namespace daop::engines

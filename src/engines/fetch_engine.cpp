@@ -1,0 +1,317 @@
+#include "engines/fetch_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace daop::engines {
+namespace {
+
+/// Per-run mutable state shared by prefill and decode scheduling.
+struct FetchState {
+  cache::Placement placement;
+  /// Monotonic use counter per (layer, expert) for LRU eviction.
+  std::vector<long long> last_use;
+  long long use_clock = 0;
+  /// Completion time of an in-flight (or done) transfer per (layer, expert);
+  /// negative when none.
+  std::vector<double> fetch_ready;
+
+  explicit FetchState(const cache::Placement& initial)
+      : placement(initial),
+        last_use(static_cast<std::size_t>(initial.n_layers()) *
+                     initial.n_experts(),
+                 0),
+        fetch_ready(static_cast<std::size_t>(initial.n_layers()) *
+                        initial.n_experts(),
+                    -1.0) {}
+
+  std::size_t idx(int l, int e) const {
+    return static_cast<std::size_t>(l) *
+               static_cast<std::size_t>(placement.n_experts()) +
+           static_cast<std::size_t>(e);
+  }
+
+  void touch(int l, int e) { last_use[idx(l, e)] = ++use_clock; }
+
+  /// LRU victim among residents of `layer` that are not in `protect`.
+  int victim(int layer, const std::unordered_set<int>& protect) const {
+    int best = -1;
+    long long best_use = 0;
+    for (int e = 0; e < placement.n_experts(); ++e) {
+      if (!placement.on_gpu(layer, e) || protect.count(e) != 0) continue;
+      const long long u = last_use[idx(layer, e)];
+      if (best < 0 || u < best_use) {
+        best = e;
+        best_use = u;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+FetchBasedEngine::FetchBasedEngine(const model::OpCosts& costs,
+                                   FetchPolicy policy)
+    : Engine(costs), policy_(std::move(policy)) {
+  DAOP_CHECK_GT(policy_.weight_bytes_factor, 0.0);
+}
+
+RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
+                                const cache::Placement& initial,
+                                sim::Timeline* external_tl) {
+  sim::Timeline local_tl;
+  sim::Timeline& tl = external_tl ? *external_tl : local_tl;
+
+  const model::ModelConfig& cfg = costs_.config();
+  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
+  DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
+  const int L = cfg.n_layers;
+  const double mig_time =
+      costs_.cost_model().h2d_time(cfg.expert_bytes() *
+                                   policy_.weight_bytes_factor);
+
+  FetchState st(initial);
+  if (policy_.ignore_initial_cache) {
+    for (int l = 0; l < L; ++l) {
+      for (int e = 0; e < cfg.n_experts; ++e) st.placement.move_to_cpu(l, e);
+    }
+  }
+  EngineCounters counters;
+
+  // Ensures room for `expert` on the GPU, evicting an LRU resident if
+  // needed, and marks it resident. Returns false if it could not be cached
+  // (zero capacity) — the expert is then streamed without residency.
+  auto make_resident = [&](int l, int e,
+                           const std::unordered_set<int>& protect) -> bool {
+    if (st.placement.capacity(l) == 0) return false;
+    if (st.placement.gpu_count(l) >= st.placement.capacity(l)) {
+      const int v = st.victim(l, protect);
+      if (v < 0) return false;
+      st.placement.move_to_cpu(l, v);
+      st.fetch_ready[st.idx(l, v)] = -1.0;
+    }
+    st.placement.move_to_gpu(l, e);
+    return true;
+  };
+
+  // Fetches `e`'s weights, honoring the overlap policy. `issue` is the
+  // earliest time routing knowledge allows the fetch; `serial_after` is the
+  // previous dependent op for synchronous mode.
+  auto fetch = [&](int l, int e, double issue, double serial_after) -> double {
+    const double ready = policy_.overlap_fetch
+                             ? issue
+                             : std::max(issue, serial_after);
+    const double done =
+        tl.schedule(sim::Res::PcieH2D, ready, mig_time, "fetch expert");
+    st.fetch_ready[st.idx(l, e)] = done;
+    ++counters.expert_migrations;
+    return done;
+  };
+
+  // ---- Prefill ----
+  double ready = 0.0;
+  const auto prefill_counts = trace.activation_counts(data::Phase::Prefill);
+  {
+    const int np = trace.prompt_len;
+    const auto& counts = prefill_counts;
+    for (int l = 0; l < L; ++l) {
+      const double nonmoe_end = tl.schedule(
+          sim::Res::GpuStream, ready, costs_.nonmoe_gpu_prefill(np),
+          "prefill non-MoE");
+      // Activated experts, most-loaded first so heavy work starts earliest.
+      std::vector<int> active;
+      for (int e = 0; e < cfg.n_experts; ++e) {
+        if (counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] >
+            0.0) {
+          active.push_back(e);
+        }
+      }
+      std::stable_sort(active.begin(), active.end(), [&](int a, int b) {
+        return counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(a)] >
+               counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(b)];
+      });
+      std::unordered_set<int> protect(active.begin(), active.end());
+
+      double layer_end = nonmoe_end;
+      double prev_exec_end = nonmoe_end;
+      for (int e : active) {
+        const int tok = static_cast<int>(
+            counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
+        double exec_ready = nonmoe_end;
+        if (!st.placement.on_gpu(l, e)) {
+          ++counters.cache_misses;
+          const double done = fetch(l, e, nonmoe_end, prev_exec_end);
+          exec_ready = done;
+          if (!policy_.reuse_cache || !make_resident(l, e, protect)) {
+            st.fetch_ready[st.idx(l, e)] = -1.0;
+          }
+        } else {
+          ++counters.cache_hits;
+        }
+        const double exec_end =
+            tl.schedule(sim::Res::GpuStream, exec_ready,
+                        costs_.expert_gpu_prefill(tok), "prefill expert");
+        ++counters.gpu_expert_execs;
+        st.touch(l, e);
+        prev_exec_end = exec_end;
+        layer_end = std::max(layer_end, exec_end);
+      }
+      ready = layer_end;
+    }
+  }
+  const double prefill_end = ready;
+
+  // ---- Decode ----
+  // Sequence-pattern prefetches (MoE-Infinity) are issued once per
+  // (layer, expert): the pattern is static for the sequence, so re-issuing
+  // it every token would only thrash the cache.
+  std::vector<bool> pattern_prefetched(
+      static_cast<std::size_t>(L) * cfg.n_experts, false);
+  for (int t = 0; t < trace.gen_len; ++t) {
+    const int ctx = trace.prompt_len + t;
+    for (int l = 0; l < L; ++l) {
+      const double nonmoe_end = tl.schedule(
+          sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
+      const std::vector<int> selected = trace.selected(data::Phase::Decode, l, t);
+      std::unordered_set<int> protect(selected.begin(), selected.end());
+
+      // Issue next-layer prefetches as soon as this layer's gate resolves.
+      if (policy_.prefetch_next_layer && l + 1 < L) {
+        std::vector<int> guess;
+        if (policy_.prefetch_uses_sequence_pattern) {
+          // MoE-Infinity: prefetch the next layer's sequence-level dominant
+          // experts (prefill activation pattern).
+          std::vector<float> scores(
+              prefill_counts[static_cast<std::size_t>(l + 1)].begin(),
+              prefill_counts[static_cast<std::size_t>(l + 1)].end());
+          guess = topk_indices(scores, cfg.top_k);
+        } else if (policy_.prefetch_uses_prediction) {
+          guess = trace.predicted(l + 1, t);
+          if (!guess.empty()) ++counters.predictions;
+        } else {
+          guess = selected;  // assume expert reuse across layers
+        }
+        for (int e : guess) {
+          const std::size_t i = st.idx(l + 1, e);
+          if (st.placement.on_gpu(l + 1, e) || st.fetch_ready[i] >= 0.0) {
+            continue;
+          }
+          if (policy_.prefetch_uses_sequence_pattern) {
+            if (pattern_prefetched[i]) continue;
+            pattern_prefetched[i] = true;
+          }
+          fetch(l + 1, e, nonmoe_end, nonmoe_end);
+          if (policy_.reuse_cache) {
+            make_resident(l + 1, e, std::unordered_set<int>(guess.begin(),
+                                                            guess.end()));
+          }
+        }
+      }
+
+      double layer_end = nonmoe_end;
+      double prev_exec_end = nonmoe_end;
+      for (int e : selected) {
+        double exec_ready = nonmoe_end;
+        const std::size_t i = st.idx(l, e);
+        if (st.placement.on_gpu(l, e)) {
+          ++counters.cache_hits;
+          // May still be in-flight from a prefetch.
+          if (st.fetch_ready[i] > exec_ready) {
+            exec_ready = st.fetch_ready[i];
+            ++counters.prefetch_hits;
+          }
+        } else {
+          ++counters.cache_misses;
+          if (st.fetch_ready[i] >= 0.0) {
+            // An earlier prefetch is in flight (or landed without a free
+            // slot); consume it instead of re-streaming the weights.
+            exec_ready = std::max(nonmoe_end, st.fetch_ready[i]);
+            ++counters.prefetch_hits;
+          } else {
+            exec_ready = fetch(l, e, nonmoe_end, prev_exec_end);
+          }
+          // Streamed weights are discarded after use unless a cache slot
+          // absorbs them.
+          if (!policy_.reuse_cache || !make_resident(l, e, protect)) {
+            st.fetch_ready[i] = -1.0;
+          }
+        }
+        const double exec_end = tl.schedule(
+            sim::Res::GpuStream, exec_ready, costs_.expert_gpu(), "expert");
+        ++counters.gpu_expert_execs;
+        st.touch(l, e);
+        prev_exec_end = exec_end;
+        layer_end = std::max(layer_end, exec_end);
+      }
+      ready = layer_end;
+    }
+  }
+
+  return finalize(policy_.name, trace, tl, prefill_end, ready, counters);
+}
+
+std::unique_ptr<Engine> make_moe_ondemand(const model::OpCosts& costs) {
+  FetchPolicy p;
+  p.name = "MoE-OnDemand";
+  p.reuse_cache = true;
+  p.overlap_fetch = true;
+  return std::make_unique<FetchBasedEngine>(costs, p);
+}
+
+std::unique_ptr<Engine> make_deepspeed_mii(const model::OpCosts& costs) {
+  FetchPolicy p;
+  p.name = "DeepSpeed-MII";
+  p.reuse_cache = false;
+  p.overlap_fetch = false;
+  p.ignore_initial_cache = true;
+  return std::make_unique<FetchBasedEngine>(costs, p);
+}
+
+std::unique_ptr<Engine> make_mixtral_offloading(const model::OpCosts& costs) {
+  FetchPolicy p;
+  p.name = "Mixtral-Offloading";
+  p.reuse_cache = true;
+  p.overlap_fetch = true;
+  p.prefetch_next_layer = true;
+  p.prefetch_uses_prediction = false;
+  p.weight_bytes_factor = 0.5;  // mixed quantization
+  return std::make_unique<FetchBasedEngine>(costs, p);
+}
+
+std::unique_ptr<Engine> make_pregated_moe(const model::OpCosts& costs) {
+  FetchPolicy p;
+  p.name = "Pre-gated MoE";
+  p.reuse_cache = true;
+  p.overlap_fetch = true;
+  p.prefetch_next_layer = true;
+  p.prefetch_uses_prediction = true;
+  return std::make_unique<FetchBasedEngine>(costs, p);
+}
+
+std::unique_ptr<Engine> make_edgemoe(const model::OpCosts& costs) {
+  FetchPolicy p;
+  p.name = "EdgeMoE";
+  p.reuse_cache = true;
+  p.overlap_fetch = true;
+  p.prefetch_next_layer = true;
+  p.prefetch_uses_prediction = true;
+  // Expert-wise bit-width adaptation: ~4-bit experts plus per-group scales.
+  p.weight_bytes_factor = 0.3;
+  return std::make_unique<FetchBasedEngine>(costs, p);
+}
+
+std::unique_ptr<Engine> make_moe_infinity(const model::OpCosts& costs) {
+  FetchPolicy p;
+  p.name = "MoE-Infinity";
+  p.reuse_cache = true;
+  p.overlap_fetch = true;
+  p.prefetch_next_layer = true;
+  p.prefetch_uses_sequence_pattern = true;
+  return std::make_unique<FetchBasedEngine>(costs, p);
+}
+
+}  // namespace daop::engines

@@ -1,0 +1,97 @@
+#include "engines/fiddler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace daop::engines {
+
+RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
+                             const cache::Placement& initial,
+                             sim::Timeline* external_tl) {
+  sim::Timeline local_tl;
+  sim::Timeline& tl = external_tl ? *external_tl : local_tl;
+
+  const model::ModelConfig& cfg = costs_.config();
+  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
+  const int L = cfg.n_layers;
+  EngineCounters counters;
+
+  // Runs one CPU-resident expert: ship activations out, execute, ship the
+  // result back. Returns the time the result is available on the GPU.
+  auto cpu_expert = [&](double start, int n_tokens, double exec_cost) {
+    const double out = tl.schedule(sim::Res::PcieD2H, start,
+                                   costs_.activations_d2h(n_tokens),
+                                   "acts to CPU");
+    const double exec =
+        tl.schedule(sim::Res::CpuPool, out, exec_cost, "CPU expert");
+    ++counters.cpu_expert_execs;
+    return tl.schedule(sim::Res::PcieH2D, exec,
+                       costs_.activations_h2d(n_tokens), "acts to GPU");
+  };
+
+  // ---- Prefill: experts execute wherever they live ----
+  double ready = 0.0;
+  {
+    const int np = trace.prompt_len;
+    const auto counts = trace.activation_counts(data::Phase::Prefill);
+    for (int l = 0; l < L; ++l) {
+      const double nonmoe_end = tl.schedule(
+          sim::Res::GpuStream, ready, costs_.nonmoe_gpu_prefill(np),
+          "prefill non-MoE");
+      double layer_end = nonmoe_end;
+      for (int e = 0; e < cfg.n_experts; ++e) {
+        const int tok = static_cast<int>(
+            counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
+        if (tok == 0) continue;
+        if (initial.on_gpu(l, e)) {
+          ++counters.cache_hits;
+          ++counters.gpu_expert_execs;
+          layer_end = std::max(
+              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                     costs_.expert_gpu_prefill(tok),
+                                     "prefill expert"));
+        } else {
+          ++counters.cache_misses;
+          layer_end = std::max(
+              layer_end,
+              cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
+        }
+      }
+      ready = layer_end;
+    }
+  }
+  const double prefill_end = ready;
+
+  // ---- Decode: per-layer synchronous hybrid execution ----
+  for (int t = 0; t < trace.gen_len; ++t) {
+    const int ctx = trace.prompt_len + t;
+    for (int l = 0; l < L; ++l) {
+      const double nonmoe_end = tl.schedule(
+          sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
+      double layer_end = nonmoe_end;
+      for (int e : trace.selected(data::Phase::Decode, l, t)) {
+        if (initial.on_gpu(l, e)) {
+          ++counters.cache_hits;
+          ++counters.gpu_expert_execs;
+          layer_end = std::max(
+              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                     costs_.expert_gpu(), "GPU expert"));
+        } else {
+          ++counters.cache_misses;
+          layer_end =
+              std::max(layer_end, cpu_expert(nonmoe_end, 1, costs_.expert_cpu()));
+        }
+      }
+      ready = layer_end;
+    }
+  }
+
+  return finalize(name(), trace, tl, prefill_end, ready, counters);
+}
+
+std::unique_ptr<Engine> make_fiddler(const model::OpCosts& costs) {
+  return std::make_unique<FiddlerEngine>(costs);
+}
+
+}  // namespace daop::engines

@@ -1,0 +1,87 @@
+#include "eval/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/calibration.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/trace_generator.hpp"
+#include "model/op_costs.hpp"
+
+namespace daop::eval {
+
+ServingResult run_serving_eval(EngineKind kind,
+                               const model::ModelConfig& model_cfg,
+                               const sim::PlatformSpec& platform,
+                               const data::WorkloadSpec& workload,
+                               const ServingOptions& options) {
+  DAOP_CHECK_GT(options.arrival_rate_rps, 0.0);
+  DAOP_CHECK_GT(options.n_requests, 0);
+  DAOP_CHECK_LE(options.min_prompt, options.max_prompt);
+  DAOP_CHECK_LE(options.min_gen, options.max_gen);
+
+  const sim::CostModel cm(platform);
+  const model::OpCosts costs(model_cfg, cm);
+
+  const data::TraceGenerator calib_gen(
+      data::sharegpt_calibration(), model_cfg.n_layers, model_cfg.n_experts,
+      model_cfg.top_k, options.seed ^ 0xCA11Bu);
+  const auto calib_counts =
+      cache::calibrate_activation_counts(calib_gen, options.calibration_seqs);
+  const cache::Placement initial = cache::init_placement_calibrated(
+      model_cfg.n_layers, model_cfg.n_experts, options.ecr, calib_counts);
+
+  const data::TraceGenerator gen(workload, model_cfg.n_layers,
+                                 model_cfg.n_experts, model_cfg.top_k,
+                                 options.seed);
+  auto engine = make_engine(kind, costs, options.daop_config);
+
+  Rng rng(options.seed ^ 0x5e7511e5ULL);
+  double arrival = 0.0;
+  double server_free = 0.0;
+  double busy = 0.0;
+  long long tokens = 0;
+
+  std::vector<double> ttft;
+  std::vector<double> latency;
+  std::vector<double> wait;
+  double makespan = 0.0;
+
+  for (int i = 0; i < options.n_requests; ++i) {
+    // Poisson arrivals: exponential inter-arrival gaps.
+    arrival += -std::log(std::max(rng.uniform(), 1e-12)) /
+               options.arrival_rate_rps;
+    const int prompt = rng.uniform_int(options.min_prompt, options.max_prompt);
+    const int gen_len = rng.uniform_int(options.min_gen, options.max_gen);
+
+    const data::SequenceTrace trace = gen.generate(i, prompt, gen_len);
+    const engines::RunResult r = engine->run(trace, initial);
+
+    const double start = std::max(arrival, server_free);
+    const double end = start + r.total_s;
+    server_free = end;
+    busy += r.total_s;
+    tokens += r.generated_tokens;
+    makespan = end;
+
+    wait.push_back(start - arrival);
+    ttft.push_back(start - arrival + r.prefill_s);
+    latency.push_back(end - arrival);
+  }
+
+  ServingResult out;
+  out.engine = engine->name();
+  out.requests = options.n_requests;
+  out.ttft_s = summarize(ttft);
+  out.latency_s = summarize(latency);
+  out.queue_wait_s = summarize(wait);
+  out.makespan_s = makespan;
+  if (makespan > 0.0) {
+    out.throughput_tps = static_cast<double>(tokens) / makespan;
+    out.busy_fraction = std::min(1.0, busy / makespan);
+  }
+  return out;
+}
+
+}  // namespace daop::eval

@@ -1,0 +1,52 @@
+// Interactive-serving simulation: a single-device FCFS queue of chat
+// requests with Poisson arrivals, served by one inference engine.
+//
+// The paper evaluates single-stream throughput (batch size 1, §V-A(c));
+// this harness extends the evaluation to the deployment question a chatbot
+// operator actually has: at a given request rate, what time-to-first-token
+// and end-to-end latency does each engine deliver, and where does it
+// saturate?
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "eval/speed.hpp"
+
+namespace daop::eval {
+
+struct ServingOptions {
+  /// Mean request arrival rate (requests/second, Poisson process).
+  double arrival_rate_rps = 0.02;
+  int n_requests = 24;
+  int min_prompt = 64;
+  int max_prompt = 320;
+  int min_gen = 48;
+  int max_gen = 256;
+  double ecr = 0.469;
+  int calibration_seqs = 32;
+  std::uint64_t seed = 99;
+  core::DaopConfig daop_config;
+};
+
+struct ServingResult {
+  std::string engine;
+  int requests = 0;
+  Summary ttft_s;          ///< arrival -> first output token
+  Summary latency_s;       ///< arrival -> request complete
+  Summary queue_wait_s;    ///< arrival -> service start
+  double throughput_tps = 0.0;  ///< generated tokens / makespan
+  double makespan_s = 0.0;
+  /// Fraction of the makespan the server spent serving (1.0 ≈ saturated).
+  double busy_fraction = 0.0;
+};
+
+/// Simulates `options.n_requests` requests through a FCFS queue served by
+/// `kind`. Deterministic in the options' seed.
+ServingResult run_serving_eval(EngineKind kind,
+                               const model::ModelConfig& model_cfg,
+                               const sim::PlatformSpec& platform,
+                               const data::WorkloadSpec& workload,
+                               const ServingOptions& options);
+
+}  // namespace daop::eval

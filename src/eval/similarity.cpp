@@ -1,0 +1,130 @@
+#include "eval/similarity.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace daop::eval {
+
+double matrix_similarity(const std::vector<std::vector<double>>& p,
+                         const std::vector<std::vector<double>>& d) {
+  DAOP_CHECK_EQ(p.size(), d.size());
+  DAOP_CHECK(!p.empty());
+  double total = 0.0;
+  for (std::size_t l = 0; l < p.size(); ++l) {
+    DAOP_CHECK_EQ(p[l].size(), d[l].size());
+    total += cosine_similarity(std::span<const double>(p[l]),
+                               std::span<const double>(d[l]));
+  }
+  return total / static_cast<double>(p.size());
+}
+
+double prefill_decode_similarity(const data::SequenceTrace& trace) {
+  return matrix_similarity(trace.activation_counts(data::Phase::Prefill),
+                           trace.activation_counts(data::Phase::Decode));
+}
+
+double avg_prefill_decode_similarity(const data::TraceGenerator& gen,
+                                     int n_seqs) {
+  DAOP_CHECK_GT(n_seqs, 0);
+  double total = 0.0;
+  for (int s = 0; s < n_seqs; ++s) {
+    total += prefill_decode_similarity(gen.generate(s));
+  }
+  return total / n_seqs;
+}
+
+std::vector<std::vector<double>> marginal_activation(
+    const data::TraceGenerator& gen, int n_seqs) {
+  DAOP_CHECK_GT(n_seqs, 0);
+  std::vector<std::vector<double>> total;
+  for (int s = 0; s < n_seqs; ++s) {
+    const auto counts = gen.generate(s).activation_counts(data::Phase::Decode);
+    if (total.empty()) {
+      total.assign(counts.size(), std::vector<double>(counts[0].size(), 0.0));
+    }
+    for (std::size_t l = 0; l < counts.size(); ++l) {
+      for (std::size_t e = 0; e < counts[l].size(); ++e) {
+        total[l][e] += counts[l][e];
+      }
+    }
+  }
+  for (auto& row : total) {
+    double sum = 0.0;
+    for (double v : row) sum += v;
+    if (sum > 0.0) {
+      for (auto& v : row) v /= sum;
+    }
+  }
+  return total;
+}
+
+std::vector<double> prediction_accuracy_by_layer(
+    const data::TraceGenerator& gen, int n_seqs) {
+  DAOP_CHECK_GT(n_seqs, 0);
+  std::vector<double> correct;
+  std::vector<double> total;
+  for (int s = 0; s < n_seqs; ++s) {
+    const data::SequenceTrace tr = gen.generate(s);
+    if (correct.empty()) {
+      correct.assign(static_cast<std::size_t>(tr.n_layers()), 0.0);
+      total.assign(static_cast<std::size_t>(tr.n_layers()), 0.0);
+    }
+    for (int l = 1; l < tr.n_layers(); ++l) {
+      for (int t = 0; t < tr.gen_len; ++t) {
+        const std::vector<int> pred = tr.predicted(l, t);
+        if (pred.empty()) continue;
+        const std::vector<int> truth = tr.selected(data::Phase::Decode, l, t);
+        for (int e : truth) {
+          total[static_cast<std::size_t>(l)] += 1.0;
+          if (std::find(pred.begin(), pred.end(), e) != pred.end()) {
+            correct[static_cast<std::size_t>(l)] += 1.0;
+          }
+        }
+      }
+    }
+  }
+  std::vector<double> acc(correct.size(), 0.0);
+  for (std::size_t l = 0; l < correct.size(); ++l) {
+    if (total[l] > 0.0) acc[l] = correct[l] / total[l];
+  }
+  return acc;
+}
+
+double avg_prediction_accuracy(const data::TraceGenerator& gen, int n_seqs) {
+  const auto acc = prediction_accuracy_by_layer(gen, n_seqs);
+  DAOP_CHECK_GT(acc.size(), 1U);
+  double total = 0.0;
+  for (std::size_t l = 1; l < acc.size(); ++l) total += acc[l];
+  return total / static_cast<double>(acc.size() - 1);
+}
+
+double decode_window_similarity(const data::SequenceTrace& trace,
+                                int window) {
+  DAOP_CHECK_GT(window, 0);
+  const int n_windows = trace.gen_len / window;
+  if (n_windows < 2) return 1.0;
+  double total = 0.0;
+  int pairs = 0;
+  auto prev = trace.decode_window_counts(0, window);
+  for (int w = 1; w < n_windows; ++w) {
+    auto cur = trace.decode_window_counts(w * window, (w + 1) * window);
+    total += matrix_similarity(prev, cur);
+    ++pairs;
+    prev = std::move(cur);
+  }
+  return total / pairs;
+}
+
+double avg_decode_window_similarity(const data::TraceGenerator& gen,
+                                    int n_seqs, int window) {
+  DAOP_CHECK_GT(n_seqs, 0);
+  double total = 0.0;
+  for (int s = 0; s < n_seqs; ++s) {
+    total += decode_window_similarity(gen.generate(s), window);
+  }
+  return total / n_seqs;
+}
+
+}  // namespace daop::eval

@@ -1,0 +1,50 @@
+// Routing-statistics metrics from the paper's observation section:
+//   Eq. 1   activation-matrix similarity (Table II)
+//   Fig. 4  layer-wise marginal activation pattern
+//   Fig. 5  one-layer-ahead prediction accuracy by layer
+//   §VI-B   decode-phase windowed activation drift
+#pragma once
+
+#include <vector>
+
+#include "data/routing_trace.hpp"
+#include "data/trace_generator.hpp"
+
+namespace daop::eval {
+
+/// Eq. 1: mean over layers of the cosine similarity between corresponding
+/// rows of two L x E activation matrices.
+double matrix_similarity(const std::vector<std::vector<double>>& p,
+                         const std::vector<std::vector<double>>& d);
+
+/// Similarity between one sequence's prefill and decode activation matrices.
+double prefill_decode_similarity(const data::SequenceTrace& trace);
+
+/// Average of prefill_decode_similarity over `n_seqs` sequences (Table II).
+double avg_prefill_decode_similarity(const data::TraceGenerator& gen,
+                                     int n_seqs);
+
+/// Dataset-level activation probabilities, out[layer][expert] normalized to
+/// sum to 1 per layer (Fig. 4's heatmap values), decode phase.
+std::vector<std::vector<double>> marginal_activation(
+    const data::TraceGenerator& gen, int n_seqs);
+
+/// Fig. 5: per-layer fraction of correctly predicted experts (size of the
+/// intersection of predicted and true top-k sets over k), averaged over
+/// decode tokens of `n_seqs` sequences. Entry 0 (layer 0, unpredictable) is
+/// reported as 0.
+std::vector<double> prediction_accuracy_by_layer(
+    const data::TraceGenerator& gen, int n_seqs);
+
+/// Mean of prediction_accuracy_by_layer over layers >= 1.
+double avg_prediction_accuracy(const data::TraceGenerator& gen, int n_seqs);
+
+/// §VI-B: average Eq.-1 similarity between activation matrices of
+/// consecutive decode windows of `window` tokens.
+double decode_window_similarity(const data::SequenceTrace& trace, int window);
+
+/// Average of decode_window_similarity over sequences.
+double avg_decode_window_similarity(const data::TraceGenerator& gen,
+                                    int n_seqs, int window);
+
+}  // namespace daop::eval

@@ -1,0 +1,108 @@
+#include "eval/speed.hpp"
+
+#include "cache/calibration.hpp"
+#include "common/check.hpp"
+#include "core/daop_engine.hpp"
+#include "data/trace_generator.hpp"
+#include "engines/fetch_engine.hpp"
+#include "engines/fiddler.hpp"
+#include "model/op_costs.hpp"
+
+namespace daop::eval {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::MoEOnDemand:       return "MoE-OnDemand";
+    case EngineKind::DeepSpeedMII:      return "DeepSpeed-MII";
+    case EngineKind::MixtralOffloading: return "Mixtral-Offloading";
+    case EngineKind::PreGatedMoE:       return "Pre-gated MoE";
+    case EngineKind::Fiddler:           return "Fiddler";
+    case EngineKind::Daop:              return "DAOP (ours)";
+    case EngineKind::EdgeMoE:           return "EdgeMoE";
+    case EngineKind::MoEInfinity:       return "MoE-Infinity";
+  }
+  return "?";
+}
+
+std::vector<EngineKind> paper_baseline_engines() {
+  return {EngineKind::MoEOnDemand, EngineKind::DeepSpeedMII,
+          EngineKind::MixtralOffloading, EngineKind::Fiddler,
+          EngineKind::Daop};
+}
+
+std::vector<EngineKind> extended_baseline_engines() {
+  return {EngineKind::MoEOnDemand,  EngineKind::DeepSpeedMII,
+          EngineKind::MixtralOffloading, EngineKind::PreGatedMoE,
+          EngineKind::EdgeMoE,      EngineKind::MoEInfinity,
+          EngineKind::Fiddler,      EngineKind::Daop};
+}
+
+std::unique_ptr<engines::Engine> make_engine(
+    EngineKind kind, const model::OpCosts& costs,
+    const core::DaopConfig& daop_config) {
+  switch (kind) {
+    case EngineKind::MoEOnDemand:
+      return engines::make_moe_ondemand(costs);
+    case EngineKind::DeepSpeedMII:
+      return engines::make_deepspeed_mii(costs);
+    case EngineKind::MixtralOffloading:
+      return engines::make_mixtral_offloading(costs);
+    case EngineKind::PreGatedMoE:
+      return engines::make_pregated_moe(costs);
+    case EngineKind::Fiddler:
+      return engines::make_fiddler(costs);
+    case EngineKind::Daop:
+      return core::make_daop(costs, daop_config);
+    case EngineKind::EdgeMoE:
+      return engines::make_edgemoe(costs);
+    case EngineKind::MoEInfinity:
+      return engines::make_moe_infinity(costs);
+  }
+  DAOP_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;
+}
+
+engines::RunResult run_speed_eval(EngineKind kind,
+                                  const model::ModelConfig& model_cfg,
+                                  const sim::PlatformSpec& platform,
+                                  const data::WorkloadSpec& workload,
+                                  const SpeedEvalOptions& options) {
+  const auto results =
+      run_speed_eval_per_sequence(kind, model_cfg, platform, workload, options);
+  return engines::aggregate_results(results[0].engine, results);
+}
+
+std::vector<engines::RunResult> run_speed_eval_per_sequence(
+    EngineKind kind, const model::ModelConfig& model_cfg,
+    const sim::PlatformSpec& platform, const data::WorkloadSpec& workload,
+    const SpeedEvalOptions& options) {
+  DAOP_CHECK_GT(options.n_seqs, 0);
+  const sim::CostModel cm(platform);
+  const model::OpCosts costs(model_cfg, cm);
+
+  // §IV-A calibration on the ShareGPT-like distribution.
+  const data::TraceGenerator calib_gen(data::sharegpt_calibration(),
+                                       model_cfg.n_layers, model_cfg.n_experts,
+                                       model_cfg.top_k,
+                                       options.seed ^ 0xCA11Bu);
+  const auto calib_counts = cache::calibrate_activation_counts(
+      calib_gen, options.calibration_seqs);
+  const cache::Placement initial = cache::init_placement_calibrated(
+      model_cfg.n_layers, model_cfg.n_experts, options.ecr, calib_counts);
+
+  const data::TraceGenerator gen(workload, model_cfg.n_layers,
+                                 model_cfg.n_experts, model_cfg.top_k,
+                                 options.seed);
+
+  auto engine = make_engine(kind, costs, options.daop_config);
+  std::vector<engines::RunResult> results;
+  results.reserve(static_cast<std::size_t>(options.n_seqs));
+  for (int s = 0; s < options.n_seqs; ++s) {
+    const data::SequenceTrace trace =
+        gen.generate(s, options.prompt_len, options.gen_len);
+    results.push_back(engine->run(trace, initial));
+  }
+  return results;
+}
+
+}  // namespace daop::eval

@@ -1,0 +1,66 @@
+// Speed/energy evaluation harness for the performance plane.
+//
+// Wires together model config + platform + workload + ECR, builds the
+// §IV-A calibrated initial placement from the calibration workload, runs an
+// engine over a batch of sequences and aggregates (Figs. 9/10, Table IV).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/daop_config.hpp"
+#include "data/workload.hpp"
+#include "engines/engine.hpp"
+#include "sim/device.hpp"
+
+namespace daop::eval {
+
+enum class EngineKind {
+  MoEOnDemand,
+  DeepSpeedMII,
+  MixtralOffloading,
+  PreGatedMoE,
+  Fiddler,
+  Daop,
+  EdgeMoE,       ///< related work (§II-B), beyond the paper's Fig. 9 set
+  MoEInfinity,   ///< related work (§II-B), beyond the paper's Fig. 9 set
+};
+
+const char* engine_kind_name(EngineKind kind);
+
+/// All engines the paper's Fig. 9 / Table IV compare.
+std::vector<EngineKind> paper_baseline_engines();
+
+/// Fig. 9 set plus the §II-B related-work engines (Pre-gated MoE, EdgeMoE,
+/// MoE-Infinity) — used by the extended comparison bench.
+std::vector<EngineKind> extended_baseline_engines();
+
+std::unique_ptr<engines::Engine> make_engine(
+    EngineKind kind, const model::OpCosts& costs,
+    const core::DaopConfig& daop_config = {});
+
+struct SpeedEvalOptions {
+  int n_seqs = 6;
+  int prompt_len = 256;
+  int gen_len = 256;
+  double ecr = 0.469;  ///< paper's full-GPU-memory ECR for Mixtral
+  int calibration_seqs = 32;
+  std::uint64_t seed = 7;
+  core::DaopConfig daop_config;
+};
+
+/// Runs `kind` over `n_seqs` sequences of `workload` and aggregates.
+engines::RunResult run_speed_eval(EngineKind kind,
+                                  const model::ModelConfig& model_cfg,
+                                  const sim::PlatformSpec& platform,
+                                  const data::WorkloadSpec& workload,
+                                  const SpeedEvalOptions& options);
+
+/// Same run, but returning every per-sequence result (for dispersion /
+/// error-bar reporting in the bench harness).
+std::vector<engines::RunResult> run_speed_eval_per_sequence(
+    EngineKind kind, const model::ModelConfig& model_cfg,
+    const sim::PlatformSpec& platform, const data::WorkloadSpec& workload,
+    const SpeedEvalOptions& options);
+
+}  // namespace daop::eval

@@ -1,0 +1,64 @@
+#include "model/config.hpp"
+
+namespace daop::model {
+
+ModelConfig mixtral_8x7b() {
+  ModelConfig c;
+  c.name = "Mixtral 8x7B";
+  c.n_layers = 32;
+  c.d_model = 4096;
+  c.n_heads = 32;
+  c.n_kv_heads = 8;
+  c.head_dim = 128;
+  c.d_ff = 14336;
+  c.n_experts = 8;
+  c.top_k = 2;
+  c.vocab_size = 32000;
+  c.rope_theta = 1e6F;
+  c.bytes_per_param = 2.0;  // fp16
+  return c;
+}
+
+ModelConfig phi35_moe() {
+  ModelConfig c;
+  c.name = "Phi-3.5 MoE";
+  c.n_layers = 32;
+  c.d_model = 4096;
+  c.n_heads = 32;
+  c.n_kv_heads = 8;
+  c.head_dim = 128;
+  c.d_ff = 6400;
+  c.n_experts = 16;
+  c.top_k = 2;
+  c.vocab_size = 32064;
+  c.rope_theta = 1e4F;
+  c.bytes_per_param = 2.0;
+  return c;
+}
+
+ModelConfig tiny_mixtral() {
+  ModelConfig c;
+  c.name = "tiny-mixtral (functional)";
+  c.n_layers = 8;
+  c.d_model = 64;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.head_dim = 16;
+  c.d_ff = 128;
+  c.n_experts = 8;
+  c.top_k = 2;
+  c.vocab_size = 256;
+  c.rope_theta = 1e4F;
+  c.bytes_per_param = 4.0;  // functional plane runs fp32
+  return c;
+}
+
+ModelConfig tiny_phi() {
+  ModelConfig c = tiny_mixtral();
+  c.name = "tiny-phi (functional)";
+  c.n_experts = 16;
+  c.d_ff = 64;
+  return c;
+}
+
+}  // namespace daop::model

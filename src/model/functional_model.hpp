@@ -1,0 +1,104 @@
+// Functional (real-numerics) decoder-only MoE model.
+//
+// Architecture matches Mixtral/Phi-3.5-MoE: RMSNorm -> GQA attention with
+// RoPE -> residual -> RMSNorm -> top-k softmax-gated SwiGLU experts ->
+// residual; final RMSNorm + LM head. The class exposes per-sub-block
+// primitives rather than a monolithic forward so that executors (official
+// baseline in this header; DAOP's approximate executor in src/core) can
+// compose them differently while sharing identical numerics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/kv_cache.hpp"
+#include "model/weights.hpp"
+
+namespace daop::model {
+
+/// Optional per-(layer, pos) additive bias on gate logits. The workload
+/// conditioner in src/data uses this to imprint dataset-specific routing
+/// statistics on the functional model; it is applied identically to the
+/// official and DAOP executors, so it acts as part of the input, not as an
+/// approximation.
+using GateBias =
+    std::function<void(int layer, int pos, std::span<float> logits)>;
+
+/// Routing decision for one token at one layer.
+struct RouteDecision {
+  std::vector<int> experts;    ///< top_k expert ids, descending score
+  std::vector<float> weights;  ///< renormalized softmax weights, same order
+};
+
+/// Observer invoked at every gate evaluation (used to collect activation
+/// patterns for observations ①/②, Table II, and Algorithm 1 counting).
+using RouteObserver = std::function<void(
+    int layer, int pos, bool is_prefill, std::span<const float> logits,
+    const RouteDecision& decision)>;
+
+class FunctionalModel {
+ public:
+  FunctionalModel(ModelConfig cfg, std::uint64_t seed);
+
+  const ModelConfig& config() const { return cfg_; }
+  const ModelWeights& weights() const { return weights_; }
+
+  /// x = embedding[token]
+  void embed(int token, std::span<float> x) const;
+
+  /// x <- x + Attention(RMSNorm(x)); appends this position's k/v to `kv`.
+  /// `pos` must equal kv.size() for the layer being extended.
+  void attention_block(int layer, std::span<float> x, KvCache& kv,
+                       int pos) const;
+
+  /// h = RMSNorm_ffn(x): the hidden state fed to the gate and the experts —
+  /// and, in DAOP, the state used to predict the next layer's experts.
+  void ffn_input(int layer, std::span<const float> x,
+                 std::span<float> h) const;
+
+  /// logits = gate_layer(h); logits must have n_experts elements.
+  void gate(int layer, std::span<const float> h,
+            std::span<float> logits) const;
+
+  /// Selects top_k experts from logits and renormalizes their scores.
+  RouteDecision route(std::span<const float> logits) const;
+
+  /// out = SwiGLU expert (w2(silu(w1 h) * (w3 h))); out has d_model elems.
+  void expert_forward(int layer, int expert, std::span<const float> h,
+                      std::span<float> out) const;
+
+  /// logits over the vocabulary from the final residual state.
+  void lm_logits(std::span<const float> x, std::span<float> logits) const;
+
+  /// Runs one full official block (attention + exact MoE) in place,
+  /// returning the route taken. Convenience for the baseline executor.
+  /// When `gate_logits_out` is non-null it receives the (biased) gate
+  /// logits that produced the decision.
+  RouteDecision official_block(int layer, std::span<float> x, KvCache& kv,
+                               int pos, const GateBias& bias,
+                               std::vector<float>* gate_logits_out = nullptr) const;
+
+ private:
+  ModelConfig cfg_;
+  ModelWeights weights_;
+};
+
+/// Exact greedy decoder: the paper's "Official" rows in Tables V/VI.
+class OfficialDecoder {
+ public:
+  explicit OfficialDecoder(const FunctionalModel& model);
+
+  /// Prefill `prompt` then greedily decode `n_gen` tokens. `bias` (optional)
+  /// conditions the router; `observer` (optional) sees every routing event.
+  std::vector<int> generate(std::span<const int> prompt, int n_gen,
+                            const GateBias& bias = nullptr,
+                            const RouteObserver& observer = nullptr) const;
+
+ private:
+  const FunctionalModel& model_;
+};
+
+}  // namespace daop::model

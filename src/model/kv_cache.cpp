@@ -1,0 +1,56 @@
+#include "model/kv_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace daop::model {
+
+KvCache::KvCache(const ModelConfig& cfg, int max_seq)
+    : kv_dim_(cfg.n_kv_heads * cfg.head_dim),
+      max_seq_(max_seq),
+      n_layers_(cfg.n_layers) {
+  DAOP_CHECK_GT(max_seq, 0);
+  k_.reserve(static_cast<std::size_t>(n_layers_));
+  v_.reserve(static_cast<std::size_t>(n_layers_));
+  for (int l = 0; l < n_layers_; ++l) {
+    k_.emplace_back(max_seq_, kv_dim_);
+    v_.emplace_back(max_seq_, kv_dim_);
+  }
+}
+
+std::span<float> KvCache::k_slot(int layer, int pos) {
+  DAOP_CHECK(layer >= 0 && layer < n_layers_);
+  DAOP_CHECK(pos >= 0 && pos < max_seq_);
+  DAOP_CHECK_LE(pos, size_);  // may only write the frontier or rewrite past
+  return k_[static_cast<std::size_t>(layer)].row(pos);
+}
+
+std::span<float> KvCache::v_slot(int layer, int pos) {
+  DAOP_CHECK(layer >= 0 && layer < n_layers_);
+  DAOP_CHECK(pos >= 0 && pos < max_seq_);
+  DAOP_CHECK_LE(pos, size_);
+  return v_[static_cast<std::size_t>(layer)].row(pos);
+}
+
+std::span<const float> KvCache::k_at(int layer, int pos) const {
+  DAOP_CHECK(layer >= 0 && layer < n_layers_);
+  DAOP_CHECK(pos >= 0 && pos <= size_ && pos < max_seq_);
+  return k_[static_cast<std::size_t>(layer)].row(pos);
+}
+
+std::span<const float> KvCache::v_at(int layer, int pos) const {
+  DAOP_CHECK(layer >= 0 && layer < n_layers_);
+  DAOP_CHECK(pos >= 0 && pos <= size_ && pos < max_seq_);
+  return v_[static_cast<std::size_t>(layer)].row(pos);
+}
+
+void KvCache::advance() {
+  DAOP_CHECK_LT(size_, max_seq_);
+  ++size_;
+}
+
+void KvCache::truncate(int n) {
+  DAOP_CHECK(n >= 0 && n <= size_);
+  size_ = n;
+}
+
+}  // namespace daop::model

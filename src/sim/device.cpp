@@ -1,0 +1,140 @@
+#include "sim/device.hpp"
+
+namespace daop::sim {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kGB = 1e9;
+
+}  // namespace
+
+PlatformSpec a6000_i9_platform() {
+  PlatformSpec p;
+  p.name = "A6000 + i9-10980XE (paper evaluation platform)";
+
+  p.gpu.name = "NVIDIA RTX A6000";
+  p.gpu.flops_peak = 155e12;  // fp16 tensor-core peak
+  p.gpu.flops_efficiency = 0.45;
+  p.gpu.mem_bw_bytes_per_s = 768.0 * kGB;
+  p.gpu.mem_bw_efficiency = 0.78;
+  p.gpu.kernel_overhead_s = 22e-6;
+  p.gpu.mem_capacity_bytes = 48.0 * kGiB;
+  p.gpu.active_power_w = 300.0;
+  p.gpu.idle_power_w = 25.0;
+
+  p.cpu.name = "Intel i9-10980XE (18C @ 3.0GHz)";
+  p.cpu.flops_peak = 1.7e12;  // AVX-512 fp32, all cores
+  p.cpu.flops_efficiency = 0.45;
+  p.cpu.mem_bw_bytes_per_s = 94.0 * kGB;  // 4ch DDR4-2933
+  p.cpu.mem_bw_efficiency = 0.45;
+  p.cpu.kernel_overhead_s = 8e-6;
+  p.cpu.mem_capacity_bytes = 130.0 * kGiB;
+  p.cpu.active_power_w = 165.0;
+  p.cpu.idle_power_w = 35.0;
+
+  // PCIe 4.0 x16: 64 GB/s nominal. Effective expert-migration bandwidth is
+  // far lower in the offloading frameworks the paper measures (pageable host
+  // tensors, per-expert cudaMemcpy of three separate weight matrices);
+  // calibrated against Table I (352 MiB fp16 expert in ~40 ms => ~8.8 GB/s).
+  p.pcie_h2d = {"PCIe4.0 x16 H2D", 64.0 * kGB, 0.138, 15e-6};
+  p.pcie_d2h = {"PCIe4.0 x16 D2H", 64.0 * kGB, 0.138, 15e-6};
+
+  p.base_power_w = 60.0;
+  return p;
+}
+
+PlatformSpec a100_xeon_platform() {
+  PlatformSpec p;
+  p.name = "A100 + Xeon Gold 6326 (Table I platform)";
+
+  p.gpu.name = "NVIDIA A100 80GB";
+  p.gpu.flops_peak = 312e12;  // fp16 tensor-core peak
+  p.gpu.flops_efficiency = 0.5;
+  p.gpu.mem_bw_bytes_per_s = 1555.0 * kGB;
+  p.gpu.mem_bw_efficiency = 0.8;
+  p.gpu.kernel_overhead_s = 22e-6;
+  p.gpu.mem_capacity_bytes = 80.0 * kGiB;
+  p.gpu.active_power_w = 400.0;
+  p.gpu.idle_power_w = 50.0;
+
+  p.cpu.name = "Intel Xeon Gold 6326 (16C @ 2.9GHz)";
+  p.cpu.flops_peak = 2.4e12;
+  p.cpu.flops_efficiency = 0.45;
+  p.cpu.mem_bw_bytes_per_s = 205.0 * kGB;  // 8ch DDR4-3200
+  p.cpu.mem_bw_efficiency = 0.49;
+  p.cpu.kernel_overhead_s = 8e-6;
+  p.cpu.mem_capacity_bytes = 256.0 * kGiB;
+  p.cpu.active_power_w = 185.0;
+  p.cpu.idle_power_w = 45.0;
+
+  p.pcie_h2d = {"PCIe4.0 x16 H2D", 64.0 * kGB, 0.138, 15e-6};
+  p.pcie_d2h = {"PCIe4.0 x16 D2H", 64.0 * kGB, 0.138, 15e-6};
+
+  p.base_power_w = 70.0;
+  return p;
+}
+
+PlatformSpec rtx4090_desktop_platform() {
+  PlatformSpec p;
+  p.name = "RTX 4090 desktop";
+
+  p.gpu.name = "NVIDIA RTX 4090";
+  p.gpu.flops_peak = 330e12;
+  p.gpu.flops_efficiency = 0.45;
+  p.gpu.mem_bw_bytes_per_s = 1008.0 * kGB;
+  p.gpu.mem_bw_efficiency = 0.78;
+  p.gpu.kernel_overhead_s = 20e-6;
+  p.gpu.mem_capacity_bytes = 24.0 * kGiB;
+  p.gpu.active_power_w = 420.0;
+  p.gpu.idle_power_w = 20.0;
+
+  p.cpu.name = "Ryzen 7950X (16C)";
+  p.cpu.flops_peak = 2.2e12;
+  p.cpu.flops_efficiency = 0.45;
+  p.cpu.mem_bw_bytes_per_s = 83.0 * kGB;  // 2ch DDR5-5200
+  p.cpu.mem_bw_efficiency = 0.55;
+  p.cpu.kernel_overhead_s = 8e-6;
+  p.cpu.mem_capacity_bytes = 128.0 * kGiB;
+  p.cpu.active_power_w = 170.0;
+  p.cpu.idle_power_w = 30.0;
+
+  p.pcie_h2d = {"PCIe4.0 x16 H2D", 64.0 * kGB, 0.14, 15e-6};
+  p.pcie_d2h = {"PCIe4.0 x16 D2H", 64.0 * kGB, 0.14, 15e-6};
+
+  p.base_power_w = 60.0;
+  return p;
+}
+
+PlatformSpec laptop_platform() {
+  PlatformSpec p;
+  p.name = "Laptop dGPU (RTX 4070 mobile class)";
+
+  p.gpu.name = "RTX 4070 Laptop";
+  p.gpu.flops_peak = 70e12;
+  p.gpu.flops_efficiency = 0.4;
+  p.gpu.mem_bw_bytes_per_s = 256.0 * kGB;
+  p.gpu.mem_bw_efficiency = 0.75;
+  p.gpu.kernel_overhead_s = 25e-6;
+  p.gpu.mem_capacity_bytes = 8.0 * kGiB;
+  p.gpu.active_power_w = 115.0;
+  p.gpu.idle_power_w = 10.0;
+
+  p.cpu.name = "Mobile 8C CPU";
+  p.cpu.flops_peak = 0.9e12;
+  p.cpu.flops_efficiency = 0.4;
+  p.cpu.mem_bw_bytes_per_s = 68.0 * kGB;
+  p.cpu.mem_bw_efficiency = 0.5;
+  p.cpu.kernel_overhead_s = 10e-6;
+  p.cpu.mem_capacity_bytes = 64.0 * kGiB;
+  p.cpu.active_power_w = 55.0;
+  p.cpu.idle_power_w = 8.0;
+
+  // PCIe 4.0 x8 in most laptop dGPU wirings.
+  p.pcie_h2d = {"PCIe4.0 x8 H2D", 32.0 * kGB, 0.13, 18e-6};
+  p.pcie_d2h = {"PCIe4.0 x8 D2H", 32.0 * kGB, 0.13, 18e-6};
+
+  p.base_power_w = 25.0;
+  return p;
+}
+
+}  // namespace daop::sim

@@ -1,0 +1,78 @@
+// Hardware descriptions for the performance-simulation plane.
+//
+// The paper evaluates DAOP on a physical A6000 + i9-10980XE platform (and
+// measures Table I on A100 + Xeon Gold 6326). We have no GPU in this
+// environment, so the speed/energy experiments run against these calibrated
+// specs through sim::CostModel and sim::Timeline. Efficiencies are calibrated
+// so that Mixtral-8x7B per-op times match the paper's own Table I
+// measurements (see bench_table1_op_times and tests/sim/cost_model_test).
+#pragma once
+
+#include <string>
+
+namespace daop::sim {
+
+/// A compute device (GPU or CPU) with roofline parameters and power draw.
+struct DeviceSpec {
+  std::string name;
+
+  // Compute roofline.
+  double flops_peak = 0.0;       ///< peak FLOP/s for the relevant dtype
+  double flops_efficiency = 1.0; ///< sustained fraction of peak
+
+  // Memory roofline.
+  double mem_bw_bytes_per_s = 0.0;  ///< peak DRAM/HBM bandwidth
+  double mem_bw_efficiency = 1.0;   ///< sustained fraction of peak
+
+  double kernel_overhead_s = 0.0;   ///< per-kernel launch/dispatch cost
+
+  double mem_capacity_bytes = 0.0;
+
+  // Power model (device contribution to platform power).
+  double active_power_w = 0.0;
+  double idle_power_w = 0.0;
+
+  /// Effective sustained compute throughput.
+  double flops() const { return flops_peak * flops_efficiency; }
+  /// Effective sustained memory bandwidth.
+  double mem_bw() const { return mem_bw_bytes_per_s * mem_bw_efficiency; }
+};
+
+/// A host<->device interconnect (one direction).
+struct LinkSpec {
+  std::string name;
+  double bw_bytes_per_s = 0.0;  ///< nominal bandwidth
+  double efficiency = 1.0;      ///< sustained fraction (expert tensors are
+                                ///< large but non-contiguous + pageable host
+                                ///< memory; measured efficiency is low)
+  double latency_s = 0.0;       ///< per-transfer setup latency
+
+  double bw() const { return bw_bytes_per_s * efficiency; }
+};
+
+/// A complete evaluation platform.
+struct PlatformSpec {
+  std::string name;
+  DeviceSpec gpu;
+  DeviceSpec cpu;
+  LinkSpec pcie_h2d;  ///< host (CPU) -> device (GPU)
+  LinkSpec pcie_d2h;  ///< device (GPU) -> host (CPU)
+  double base_power_w = 0.0;  ///< rest-of-platform power (board, DRAM, fans)
+};
+
+/// Paper evaluation platform: NVIDIA A6000 (48 GB, 768 GB/s) +
+/// Intel i9-10980XE (18 cores @3.0 GHz, 130 GB host memory), PCIe 4.0 x16.
+PlatformSpec a6000_i9_platform();
+
+/// Table I measurement platform: NVIDIA A100 + Intel Xeon Gold 6326.
+PlatformSpec a100_xeon_platform();
+
+/// A consumer desktop (RTX-4090-class) used by the capacity-planner example
+/// to illustrate the §VI-A applicability assumptions.
+PlatformSpec rtx4090_desktop_platform();
+
+/// A laptop-class dGPU platform (narrow PCIe, small VRAM) for the same
+/// example: CPU-GPU transfer latency >> CPU expert execution.
+PlatformSpec laptop_platform();
+
+}  // namespace daop::sim

@@ -1,0 +1,25 @@
+// Platform energy model: integrates device active/idle power over a
+// simulated timeline (reproduces the paper's wall-power measurement for
+// Table IV energy efficiency).
+#pragma once
+
+#include "sim/device.hpp"
+#include "sim/timeline.hpp"
+
+namespace daop::sim {
+
+struct EnergyBreakdown {
+  double gpu_j = 0.0;
+  double cpu_j = 0.0;
+  double pcie_j = 0.0;   ///< transfer energy (attributed at link power)
+  double base_j = 0.0;   ///< rest-of-platform
+  double total_j = 0.0;
+  double avg_power_w = 0.0;
+};
+
+/// Computes platform energy for a run that occupied `tl` over wall time
+/// `duration_s` (>= tl.span(); callers may extend for idle tails).
+EnergyBreakdown compute_energy(const PlatformSpec& platform,
+                               const Timeline& tl, double duration_s);
+
+}  // namespace daop::sim

@@ -1,0 +1,98 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace daop::sim {
+
+const char* res_name(Res r) {
+  switch (r) {
+    case Res::GpuStream: return "GPU";
+    case Res::CpuPool:   return "CPU";
+    case Res::PcieH2D:   return "PCIe H2D";
+    case Res::PcieD2H:   return "PCIe D2H";
+  }
+  return "?";
+}
+
+Timeline::Timeline() { reset(); }
+
+double Timeline::schedule(Res r, double ready, double duration,
+                          std::string tag) {
+  DAOP_CHECK_GE(ready, 0.0);
+  DAOP_CHECK_GE(duration, 0.0);
+  const int i = static_cast<int>(r);
+  const double start = std::max(ready, busy_until_[i]);
+  const double end = start + duration;
+  busy_until_[i] = end;
+  busy_time_[i] += duration;
+  if (record_ && duration > 0.0) {
+    intervals_.push_back(Interval{r, start, end, std::move(tag)});
+  }
+  return end;
+}
+
+double Timeline::busy_until(Res r) const {
+  return busy_until_[static_cast<int>(r)];
+}
+
+double Timeline::busy_time(Res r) const {
+  return busy_time_[static_cast<int>(r)];
+}
+
+double Timeline::span() const {
+  double s = 0.0;
+  for (double t : busy_until_) s = std::max(s, t);
+  return s;
+}
+
+void Timeline::block_until(Res r, double t) {
+  const int i = static_cast<int>(r);
+  busy_until_[i] = std::max(busy_until_[i], t);
+}
+
+void Timeline::reset() {
+  busy_until_.fill(0.0);
+  busy_time_.fill(0.0);
+  intervals_.clear();
+}
+
+std::string render_gantt(const Timeline& tl, double t0, double t1, int width) {
+  DAOP_CHECK_LT(t0, t1);
+  DAOP_CHECK_GT(width, 0);
+  const double scale = width / (t1 - t0);
+
+  std::string out;
+  out += "time: " + fmt_f(t0 * 1e3, 2) + " ms .. " + fmt_f(t1 * 1e3, 2) +
+         " ms  ('#' = busy)\n";
+  for (int ri = 0; ri < kNumRes; ++ri) {
+    const Res r = static_cast<Res>(ri);
+    std::string lane(static_cast<std::size_t>(width), '.');
+    for (const auto& iv : tl.intervals()) {
+      if (iv.res != r || iv.end <= t0 || iv.start >= t1) continue;
+      const int a = std::clamp(
+          static_cast<int>((std::max(iv.start, t0) - t0) * scale), 0, width - 1);
+      const int b = std::clamp(
+          static_cast<int>((std::min(iv.end, t1) - t0) * scale), a + 1, width);
+      for (int x = a; x < b; ++x) lane[static_cast<std::size_t>(x)] = '#';
+    }
+    out += pad(res_name(r), 9) + "|" + lane + "|\n";
+  }
+
+  // Event legend: list intervals that intersect the window, in start order.
+  std::vector<Interval> evs;
+  for (const auto& iv : tl.intervals()) {
+    if (iv.end > t0 && iv.start < t1 && !iv.tag.empty()) evs.push_back(iv);
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  for (const auto& iv : evs) {
+    out += "  [" + fmt_f(iv.start * 1e3, 2) + " - " + fmt_f(iv.end * 1e3, 2) +
+           " ms] " + res_name(iv.res) + ": " + iv.tag + "\n";
+  }
+  return out;
+}
+
+}  // namespace daop::sim

@@ -1,0 +1,81 @@
+// Event-timeline scheduler for the performance-simulation plane.
+//
+// The paper's speedups are op-overlap phenomena at millisecond scale (GPU
+// compute vs CPU expert execution vs PCIe transfers), so the simulator is an
+// event timeline, not a cycle-accurate model. Each hardware resource
+// serializes the work scheduled on it; cross-resource parallelism falls out
+// of scheduling ops with explicit ready times (dependencies).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace daop::sim {
+
+/// Hardware resources that serialize work.
+enum class Res : int {
+  GpuStream = 0,  ///< GPU compute stream
+  CpuPool,        ///< CPU worker pool (experts share memory bandwidth, so
+                  ///< concurrent CPU experts serialize — conservative and
+                  ///< accurate for memory-bound decode GEMV)
+  PcieH2D,        ///< host-to-device DMA engine
+  PcieD2H,        ///< device-to-host DMA engine
+};
+
+inline constexpr int kNumRes = 4;
+
+const char* res_name(Res r);
+
+/// One scheduled occupancy interval on a resource.
+struct Interval {
+  Res res;
+  double start = 0.0;
+  double end = 0.0;
+  std::string tag;  ///< e.g. "L5 expert3 exec", used by the gantt renderer
+};
+
+class Timeline {
+ public:
+  Timeline();
+
+  /// Schedules work of `duration` seconds on resource `r` that may not begin
+  /// before `ready` (its dependencies' completion). Returns the finish time.
+  /// The op starts at max(ready, resource busy-until).
+  double schedule(Res r, double ready, double duration, std::string tag = {});
+
+  /// Earliest time new work could start on `r`.
+  double busy_until(Res r) const;
+
+  /// Total busy seconds accumulated on `r`.
+  double busy_time(Res r) const;
+
+  /// Latest finish time across all resources (0 when empty).
+  double span() const;
+
+  /// Advances a resource's availability to at least `t` without recording
+  /// busy time (used to model synchronization points).
+  void block_until(Res r, double t);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Enables interval recording (tags + gantt). Off by default: long decode
+  /// simulations only need aggregate busy times.
+  void set_record_intervals(bool on) { record_ = on; }
+
+  void reset();
+
+ private:
+  std::array<double, kNumRes> busy_until_{};
+  std::array<double, kNumRes> busy_time_{};
+  std::vector<Interval> intervals_;
+  bool record_ = false;
+};
+
+/// Renders the recorded intervals of a timeline as an ASCII gantt chart over
+/// [t0, t1], one lane per resource (the paper's Fig. 8 visualization).
+std::string render_gantt(const Timeline& tl, double t0, double t1,
+                         int width = 100);
+
+}  // namespace daop::sim

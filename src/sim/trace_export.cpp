@@ -1,0 +1,60 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace daop::sim {
+namespace {
+
+// Escapes the few characters that can appear in op tags.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Timeline& tl) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& iv : tl.intervals()) {
+    if (!first) out += ",\n";
+    first = false;
+    char buf[256];
+    // ts/dur in microseconds, one pid, one tid per resource.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  json_escape(iv.tag.empty() ? res_name(iv.res) : iv.tag).c_str(),
+                  static_cast<int>(iv.res), iv.start * 1e6,
+                  (iv.end - iv.start) * 1e6);
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{";
+  for (int r = 0; r < kNumRes; ++r) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"thread_name_%d\":\"%s\"",
+                  r ? "," : "", r, res_name(static_cast<Res>(r)));
+    out += buf;
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Timeline& tl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_trace_json(tl);
+  return static_cast<bool>(f);
+}
+
+}  // namespace daop::sim

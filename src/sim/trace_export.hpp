@@ -1,0 +1,20 @@
+// Chrome-tracing (chrome://tracing, Perfetto) export of a recorded
+// timeline: every scheduled interval becomes a complete ("X") event on its
+// resource's track. Lets users inspect engine schedules interactively
+// instead of through the ASCII gantt.
+#pragma once
+
+#include <string>
+
+#include "sim/timeline.hpp"
+
+namespace daop::sim {
+
+/// Serializes the recorded intervals as Chrome Trace Event JSON (the
+/// timeline must have been run with set_record_intervals(true)).
+std::string to_chrome_trace_json(const Timeline& tl);
+
+/// Writes the JSON to `path`; returns false on I/O failure.
+bool write_chrome_trace(const Timeline& tl, const std::string& path);
+
+}  // namespace daop::sim

@@ -1,0 +1,194 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace daop {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBothEnds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(0, 7);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(10);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaling) {
+  Rng rng(12);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += (v - 3.0) * (v - 3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.06);
+  EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.05);
+}
+
+TEST(Rng, GammaMeanEqualsAlpha) {
+  Rng rng(13);
+  for (double alpha : {0.3, 1.0, 2.5, 10.0}) {
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(alpha);
+    EXPECT_NEAR(sum / n, alpha, alpha * 0.08) << "alpha=" << alpha;
+  }
+}
+
+TEST(Rng, GammaRejectsNonPositiveAlpha) {
+  Rng rng(14);
+  EXPECT_THROW(rng.gamma(0.0), CheckError);
+  EXPECT_THROW(rng.gamma(-1.0), CheckError);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.dirichlet_symmetric(0.5, 8);
+    ASSERT_EQ(v.size(), 8U);
+    double sum = 0.0;
+    for (double x : v) {
+      ASSERT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletConcentrationControlsSkew) {
+  Rng rng(16);
+  auto max_mass = [&](double alpha) {
+    double total = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const auto v = rng.dirichlet_symmetric(alpha, 8);
+      total += *std::max_element(v.begin(), v.end());
+    }
+    return total / 200.0;
+  };
+  // Lower concentration => more skewed draws.
+  EXPECT_GT(max_mass(0.1), max_mass(10.0));
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(18);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), CheckError);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(negative), CheckError);
+}
+
+TEST(Rng, ForkIsConsumptionIndependent) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) b.next_u64();  // consume b only
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreDecorrelated) {
+  Rng root(42);
+  Rng f0 = root.fork(0);
+  Rng f1 = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f0.next_u64() == f1.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace daop

@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace daop {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, ColumnWidthFollowsWidestCell) {
+  TextTable t({"h"});
+  t.add_row({"very-long-cell"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| very-long-cell |"), std::string::npos);
+  EXPECT_NE(s.find("| h              |"), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.render();
+  // header rule + top + bottom + explicit = 4 separator lines
+  int rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(BarChart, ScalesToMax) {
+  const std::string s =
+      render_bar_chart({"x", "y"}, {1.0, 2.0}, "u", 10);
+  // y gets the full width, x half.
+  EXPECT_NE(s.find("y | ##########"), std::string::npos);
+  EXPECT_NE(s.find("x | #####"), std::string::npos);
+  EXPECT_NE(s.find("u"), std::string::npos);
+}
+
+TEST(BarChart, AllZeroValuesRenderEmptyBars) {
+  const std::string s = render_bar_chart({"x"}, {0.0}, "", 10);
+  EXPECT_EQ(s.find('#'), std::string::npos);
+}
+
+TEST(BarChart, RejectsMismatchedSizes) {
+  EXPECT_THROW(render_bar_chart({"x"}, {1.0, 2.0}, ""), CheckError);
+}
+
+}  // namespace
+}  // namespace daop

@@ -1,0 +1,154 @@
+#include "engines/fetch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testing/helpers.hpp"
+#include "common/check.hpp"
+#include "sim/device.hpp"
+
+namespace daop::engines {
+namespace {
+
+using testing::fixed_trace;
+using testing::prefix_placement;
+using testing::small_mixtral;
+
+class FetchEngineTest : public ::testing::Test {
+ protected:
+  FetchEngineTest()
+      : cfg_(small_mixtral()),
+        cm_(sim::a6000_i9_platform()),
+        costs_(cfg_, cm_) {}
+
+  model::ModelConfig cfg_;
+  sim::CostModel cm_;
+  model::OpCosts costs_;
+};
+
+TEST_F(FetchEngineTest, GpuCentricEnginesNeverUseCpu) {
+  const auto tr = fixed_trace(cfg_, 4, 4, {0, 1});
+  const auto placement = prefix_placement(cfg_, 4);
+  for (auto make : {make_moe_ondemand, make_deepspeed_mii,
+                    make_mixtral_offloading, make_pregated_moe}) {
+    auto engine = make(costs_);
+    const auto r = engine->run(tr, placement);
+    EXPECT_EQ(r.counters.cpu_expert_execs, 0) << engine->name();
+  }
+}
+
+TEST_F(FetchEngineTest, AllHitsWhenSelectedExpertsResident) {
+  const auto tr = fixed_trace(cfg_, 4, 6, {0, 1});
+  const auto placement = prefix_placement(cfg_, 4);
+  auto engine = make_moe_ondemand(costs_);
+  const auto r = engine->run(tr, placement);
+  EXPECT_EQ(r.counters.cache_misses, 0);
+  EXPECT_EQ(r.counters.expert_migrations, 0);
+  // prefill: L layers x 2 experts; decode: gen x L x 2.
+  EXPECT_EQ(r.counters.gpu_expert_execs,
+            cfg_.n_layers * 2 + 6 * cfg_.n_layers * 2);
+}
+
+TEST_F(FetchEngineTest, MissTriggersMigrationThenLruHit) {
+  // Experts {4,5} are NOT resident; capacity 4 allows them to be cached
+  // after the first decode step, so later steps hit.
+  const auto tr = fixed_trace(cfg_, 1, 5, {4, 5});
+  const auto placement = prefix_placement(cfg_, 4);
+  auto engine = make_moe_ondemand(costs_);
+  const auto r = engine->run(tr, placement);
+  // Misses only on the first use per layer (prefill) — afterwards LRU keeps
+  // them resident.
+  EXPECT_EQ(r.counters.cache_misses, 2 * cfg_.n_layers);
+  EXPECT_EQ(r.counters.expert_migrations, 2 * cfg_.n_layers);
+  EXPECT_GT(r.counters.cache_hits, 0);
+}
+
+TEST_F(FetchEngineTest, DeepSpeedNeverCaches) {
+  const auto tr = fixed_trace(cfg_, 1, 5, {0, 1});
+  const auto placement = prefix_placement(cfg_, 4);
+  auto engine = make_deepspeed_mii(costs_);
+  const auto r = engine->run(tr, placement);
+  // ignore_initial_cache + reuse_cache=false: EVERY expert use is a miss.
+  EXPECT_EQ(r.counters.cache_hits, 0);
+  EXPECT_EQ(r.counters.expert_migrations,
+            2 * cfg_.n_layers + 5 * 2 * cfg_.n_layers);
+}
+
+TEST_F(FetchEngineTest, MigrationDominatedDecodeIsSlow) {
+  // Decode alternates {4,5} / {6,7} with capacity 2: every step misses both
+  // experts in every layer, so decode is migration-bound.
+  const auto tr = testing::alternating_trace(cfg_, 1, 4, {4, 5}, {6, 7});
+  const auto placement = prefix_placement(cfg_, 2);
+  auto engine = make_moe_ondemand(costs_);
+  const auto r = engine->run(tr, placement);
+  const double per_layer_floor = costs_.expert_migration();
+  EXPECT_GT(r.decode_s, 4 * cfg_.n_layers * per_layer_floor * 0.5);
+}
+
+TEST_F(FetchEngineTest, QuantizedTransfersAreFaster) {
+  const auto tr = fixed_trace(cfg_, 4, 4, {4, 5});
+  const auto placement = prefix_placement(cfg_, 2);
+  auto ondemand = make_moe_ondemand(costs_);
+  auto quantized = make_mixtral_offloading(costs_);
+  const auto rd = ondemand->run(tr, placement);
+  const auto rq = quantized->run(tr, placement);
+  EXPECT_LT(rq.total_s, rd.total_s);
+}
+
+TEST_F(FetchEngineTest, PredictivePrefetchBeatsOnDemand) {
+  // Alternating expert pairs with perfect predictions: Pre-gated overlaps
+  // the next layer's fetch with the current layer's compute.
+  const auto tr = testing::alternating_trace(cfg_, 1, 6, {4, 5}, {6, 7});
+  const auto placement = prefix_placement(cfg_, 2);
+  auto ondemand = make_moe_ondemand(costs_);
+  auto pregated = make_pregated_moe(costs_);
+  const auto rd = ondemand->run(tr, placement);
+  const auto rp = pregated->run(tr, placement);
+  EXPECT_LE(rp.decode_s, rd.decode_s);
+  EXPECT_GT(rp.counters.prefetch_hits, 0);
+}
+
+TEST_F(FetchEngineTest, DeterministicAcrossRuns) {
+  const auto tr = fixed_trace(cfg_, 2, 3, {1, 5});
+  const auto placement = prefix_placement(cfg_, 3);
+  auto e1 = make_moe_ondemand(costs_);
+  auto e2 = make_moe_ondemand(costs_);
+  const auto r1 = e1->run(tr, placement);
+  const auto r2 = e2->run(tr, placement);
+  EXPECT_DOUBLE_EQ(r1.total_s, r2.total_s);
+  EXPECT_EQ(r1.counters.expert_migrations, r2.counters.expert_migrations);
+}
+
+TEST_F(FetchEngineTest, ResultAccountingConsistent) {
+  const auto tr = fixed_trace(cfg_, 3, 4, {2, 6});
+  const auto placement = prefix_placement(cfg_, 4);
+  auto engine = make_moe_ondemand(costs_);
+  const auto r = engine->run(tr, placement);
+  EXPECT_EQ(r.prompt_tokens, 3);
+  EXPECT_EQ(r.generated_tokens, 4);
+  EXPECT_NEAR(r.total_s, r.prefill_s + r.decode_s, 1e-12);
+  EXPECT_NEAR(r.tokens_per_s, 4.0 / r.total_s, 1e-9);
+  EXPECT_GT(r.energy.total_j, 0.0);
+  EXPECT_GT(r.tokens_per_kj, 0.0);
+  // hits + misses covers every expert use.
+  EXPECT_EQ(r.counters.cache_hits + r.counters.cache_misses,
+            cfg_.n_layers * 2 + 4 * cfg_.n_layers * 2);
+}
+
+TEST_F(FetchEngineTest, AggregateRejectsEmptyInput) {
+  EXPECT_THROW(aggregate_results("x", {}), CheckError);
+}
+
+TEST_F(FetchEngineTest, AggregateRecomputesRates) {
+  const auto tr = fixed_trace(cfg_, 2, 4, {0, 1});
+  const auto placement = prefix_placement(cfg_, 4);
+  auto engine = make_moe_ondemand(costs_);
+  const auto r1 = engine->run(tr, placement);
+  const auto agg = aggregate_results("agg", {r1, r1, r1});
+  EXPECT_EQ(agg.generated_tokens, 12);
+  EXPECT_NEAR(agg.total_s, 3.0 * r1.total_s, 1e-9);
+  EXPECT_NEAR(agg.tokens_per_s, r1.tokens_per_s, 1e-9);
+  EXPECT_NEAR(agg.tokens_per_kj, r1.tokens_per_kj, 1e-9);
+}
+
+}  // namespace
+}  // namespace daop::engines

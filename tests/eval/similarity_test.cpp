@@ -1,0 +1,113 @@
+#include "eval/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/trace_generator.hpp"
+
+namespace daop::eval {
+namespace {
+
+TEST(MatrixSimilarity, IdenticalMatricesGiveOne) {
+  const std::vector<std::vector<double>> m = {{1.0, 2.0, 3.0}, {4.0, 0.0, 1.0}};
+  EXPECT_NEAR(matrix_similarity(m, m), 1.0, 1e-12);
+}
+
+TEST(MatrixSimilarity, OrthogonalRowsGiveZero) {
+  const std::vector<std::vector<double>> p = {{1.0, 0.0}, {0.0, 1.0}};
+  const std::vector<std::vector<double>> d = {{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(matrix_similarity(p, d), 0.0, 1e-12);
+}
+
+TEST(MatrixSimilarity, AveragesAcrossLayers) {
+  // One identical row (cos 1), one orthogonal row (cos 0) -> 0.5.
+  const std::vector<std::vector<double>> p = {{1.0, 0.0}, {1.0, 0.0}};
+  const std::vector<std::vector<double>> d = {{1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_NEAR(matrix_similarity(p, d), 0.5, 1e-12);
+}
+
+TEST(MatrixSimilarity, ScaleInvariant) {
+  const std::vector<std::vector<double>> p = {{1.0, 2.0}};
+  const std::vector<std::vector<double>> d = {{10.0, 20.0}};
+  EXPECT_NEAR(matrix_similarity(p, d), 1.0, 1e-12);
+}
+
+TEST(MatrixSimilarity, RejectsShapeMismatch) {
+  const std::vector<std::vector<double>> p = {{1.0, 2.0}};
+  const std::vector<std::vector<double>> d = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW(matrix_similarity(p, d), CheckError);
+}
+
+TEST(PredictionAccuracy, PerfectPredictionsScoreOne) {
+  data::WorkloadSpec spec = data::c4();
+  spec.pred_noise_early = 0.0;
+  spec.pred_noise_late = 0.0;
+  const data::TraceGenerator gen(spec, 6, 8, 2, 3);
+  const auto acc = prediction_accuracy_by_layer(gen, 4);
+  ASSERT_EQ(acc.size(), 6U);
+  EXPECT_EQ(acc[0], 0.0);  // layer 0 has no predictions
+  for (std::size_t l = 1; l < acc.size(); ++l) EXPECT_DOUBLE_EQ(acc[l], 1.0);
+  EXPECT_DOUBLE_EQ(avg_prediction_accuracy(gen, 4), 1.0);
+}
+
+TEST(PredictionAccuracy, NoisePushesBelowPerfect) {
+  data::WorkloadSpec noisy = data::c4();
+  noisy.pred_noise_early = 5.0;
+  noisy.pred_noise_late = 5.0;
+  const data::TraceGenerator gen(noisy, 6, 8, 2, 3);
+  const double avg = avg_prediction_accuracy(gen, 8);
+  EXPECT_LT(avg, 0.7);
+  // Chance level for top-2 of 8 is 0.25; heavy noise approaches it.
+  EXPECT_GT(avg, 0.15);
+}
+
+TEST(WindowSimilarity, ShortSequencesDegenerateToOne) {
+  const data::TraceGenerator gen(data::c4(), 4, 8, 2, 3);
+  const auto tr = gen.generate(0, 4, 10);  // < 2 windows of 15
+  EXPECT_DOUBLE_EQ(decode_window_similarity(tr, 15), 1.0);
+}
+
+TEST(WindowSimilarity, DriftLowersWindowSimilarity) {
+  data::WorkloadSpec stable = data::c4();
+  stable.drift_sigma = 0.0;
+  data::WorkloadSpec drifty = data::c4();
+  drifty.drift_sigma = 0.5;
+  drifty.drift_rho = 0.95;
+  const data::TraceGenerator gs(stable, 8, 8, 2, 3);
+  const data::TraceGenerator gd(drifty, 8, 8, 2, 3);
+  EXPECT_GT(avg_decode_window_similarity(gs, 16, 15),
+            avg_decode_window_similarity(gd, 16, 15));
+}
+
+TEST(MarginalActivation, RowsAreNormalized) {
+  const data::TraceGenerator gen(data::c4(), 4, 8, 2, 3);
+  const auto marg = marginal_activation(gen, 8);
+  for (const auto& layer : marg) {
+    double sum = 0.0;
+    for (double v : layer) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PhaseSimilarity, PerfectWhenNoShiftNoDriftLowNoise) {
+  data::WorkloadSpec spec = data::c4();
+  spec.phase_shift_sigma = 0.0;
+  spec.drift_sigma = 0.0;
+  spec.token_noise_sigma = 0.05;
+  const data::TraceGenerator gen(spec, 6, 8, 2, 3);
+  EXPECT_GT(avg_prefill_decode_similarity(gen, 8), 0.99);
+}
+
+TEST(PhaseSimilarity, ShiftLowersSimilarity) {
+  data::WorkloadSpec lo = data::c4();
+  lo.phase_shift_sigma = 0.1;
+  data::WorkloadSpec hi = data::c4();
+  hi.phase_shift_sigma = 0.95;
+  const data::TraceGenerator gl(lo, 6, 8, 2, 3);
+  const data::TraceGenerator gh(hi, 6, 8, 2, 3);
+  EXPECT_GT(avg_prefill_decode_similarity(gl, 16),
+            avg_prefill_decode_similarity(gh, 16));
+}
+
+}  // namespace
+}  // namespace daop::eval

@@ -1,0 +1,130 @@
+#include "eval/speed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../testing/helpers.hpp"
+
+namespace daop::eval {
+namespace {
+
+SpeedEvalOptions fast_options() {
+  SpeedEvalOptions opt;
+  opt.n_seqs = 2;
+  opt.prompt_len = 16;
+  opt.gen_len = 16;
+  opt.ecr = 0.469;
+  opt.calibration_seqs = 4;
+  return opt;
+}
+
+TEST(SpeedEval, EngineNamesResolve) {
+  for (EngineKind k : {EngineKind::MoEOnDemand, EngineKind::DeepSpeedMII,
+                       EngineKind::MixtralOffloading, EngineKind::PreGatedMoE,
+                       EngineKind::Fiddler, EngineKind::Daop}) {
+    EXPECT_STRNE(engine_kind_name(k), "?");
+  }
+}
+
+TEST(SpeedEval, PaperBaselinesAreTheFigure9Set) {
+  const auto engines = paper_baseline_engines();
+  ASSERT_EQ(engines.size(), 5U);
+  EXPECT_EQ(engines.front(), EngineKind::MoEOnDemand);
+  EXPECT_EQ(engines.back(), EngineKind::Daop);
+}
+
+TEST(SpeedEval, MakeEngineProducesNamedEngines) {
+  const auto cfg = daop::testing::small_mixtral();
+  const sim::CostModel cm(sim::a6000_i9_platform());
+  const model::OpCosts costs(cfg, cm);
+  EXPECT_EQ(make_engine(EngineKind::Fiddler, costs)->name(), "Fiddler");
+  EXPECT_EQ(make_engine(EngineKind::Daop, costs)->name(), "DAOP");
+  EXPECT_EQ(make_engine(EngineKind::DeepSpeedMII, costs)->name(),
+            "DeepSpeed-MII");
+}
+
+TEST(SpeedEval, RunProducesPositiveRates) {
+  const auto cfg = daop::testing::small_mixtral();
+  const auto r = run_speed_eval(EngineKind::Daop, cfg,
+                                sim::a6000_i9_platform(), data::c4(),
+                                fast_options());
+  EXPECT_GT(r.tokens_per_s, 0.0);
+  EXPECT_GT(r.tokens_per_kj, 0.0);
+  EXPECT_EQ(r.generated_tokens, 2 * 16);
+  EXPECT_GT(r.total_s, 0.0);
+}
+
+TEST(SpeedEval, DeterministicAcrossCalls) {
+  const auto cfg = daop::testing::small_mixtral();
+  const auto a = run_speed_eval(EngineKind::Fiddler, cfg,
+                                sim::a6000_i9_platform(), data::c4(),
+                                fast_options());
+  const auto b = run_speed_eval(EngineKind::Fiddler, cfg,
+                                sim::a6000_i9_platform(), data::c4(),
+                                fast_options());
+  EXPECT_DOUBLE_EQ(a.tokens_per_s, b.tokens_per_s);
+  EXPECT_DOUBLE_EQ(a.energy.total_j, b.energy.total_j);
+}
+
+TEST(SpeedEval, SeedChangesWorkload) {
+  const auto cfg = daop::testing::small_mixtral();
+  auto opt = fast_options();
+  const auto a = run_speed_eval(EngineKind::Fiddler, cfg,
+                                sim::a6000_i9_platform(), data::c4(), opt);
+  opt.seed = 1234;
+  const auto b = run_speed_eval(EngineKind::Fiddler, cfg,
+                                sim::a6000_i9_platform(), data::c4(), opt);
+  EXPECT_NE(a.total_s, b.total_s);
+}
+
+TEST(SpeedEval, DaopConfigIsHonored) {
+  const auto cfg = daop::testing::small_mixtral(8);
+  auto opt = fast_options();
+  opt.daop_config.enable_seq_allocation = false;
+  const auto no_alloc = run_speed_eval(EngineKind::Daop, cfg,
+                                       sim::a6000_i9_platform(), data::c4(),
+                                       opt);
+  EXPECT_EQ(no_alloc.counters.prefill_swaps, 0);
+  opt.daop_config.enable_seq_allocation = true;
+  const auto with_alloc = run_speed_eval(EngineKind::Daop, cfg,
+                                         sim::a6000_i9_platform(), data::c4(),
+                                         opt);
+  EXPECT_GT(with_alloc.counters.prefill_swaps, 0);
+}
+
+TEST(SpeedEval, EngineNamesAreUnique) {
+  std::vector<std::string> names;
+  for (auto kind : extended_baseline_engines()) {
+    names.emplace_back(engine_kind_name(kind));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(SpeedEval, PerSequenceResultsAggregateToSummary) {
+  const auto cfg = daop::testing::small_mixtral();
+  const auto opt = fast_options();
+  const auto per_seq = run_speed_eval_per_sequence(
+      EngineKind::Daop, cfg, sim::a6000_i9_platform(), data::c4(), opt);
+  ASSERT_EQ(static_cast<int>(per_seq.size()), opt.n_seqs);
+  const auto agg = run_speed_eval(EngineKind::Daop, cfg,
+                                  sim::a6000_i9_platform(), data::c4(), opt);
+  double total_s = 0.0;
+  for (const auto& r : per_seq) total_s += r.total_s;
+  EXPECT_NEAR(agg.total_s, total_s, 1e-9);
+}
+
+TEST(SpeedEval, FasterPlatformIsFaster) {
+  const auto cfg = daop::testing::small_mixtral();
+  const auto a6000 = run_speed_eval(EngineKind::Daop, cfg,
+                                    sim::a6000_i9_platform(), data::c4(),
+                                    fast_options());
+  const auto a100 = run_speed_eval(EngineKind::Daop, cfg,
+                                   sim::a100_xeon_platform(), data::c4(),
+                                   fast_options());
+  EXPECT_GT(a100.tokens_per_s, a6000.tokens_per_s);
+}
+
+}  // namespace
+}  // namespace daop::eval

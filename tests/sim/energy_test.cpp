@@ -1,0 +1,76 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace daop::sim {
+namespace {
+
+PlatformSpec toy_platform() {
+  PlatformSpec p;
+  p.gpu.active_power_w = 100.0;
+  p.gpu.idle_power_w = 10.0;
+  p.gpu.flops_peak = 1.0;
+  p.gpu.mem_bw_bytes_per_s = 1.0;
+  p.cpu.active_power_w = 50.0;
+  p.cpu.idle_power_w = 5.0;
+  p.cpu.flops_peak = 1.0;
+  p.cpu.mem_bw_bytes_per_s = 1.0;
+  p.base_power_w = 20.0;
+  return p;
+}
+
+TEST(Energy, IdlePlatformDrawsIdlePower) {
+  Timeline tl;
+  const auto e = compute_energy(toy_platform(), tl, 10.0);
+  EXPECT_DOUBLE_EQ(e.gpu_j, 100.0);   // 10 W idle x 10 s
+  EXPECT_DOUBLE_EQ(e.cpu_j, 50.0);
+  EXPECT_DOUBLE_EQ(e.base_j, 200.0);
+  EXPECT_DOUBLE_EQ(e.total_j, 350.0);
+  EXPECT_DOUBLE_EQ(e.avg_power_w, 35.0);
+}
+
+TEST(Energy, BusyTimeBilledAtActivePower) {
+  Timeline tl;
+  tl.schedule(Res::GpuStream, 0.0, 4.0);
+  const auto e = compute_energy(toy_platform(), tl, 10.0);
+  // 4 s active + 6 s idle.
+  EXPECT_DOUBLE_EQ(e.gpu_j, 4.0 * 100.0 + 6.0 * 10.0);
+}
+
+TEST(Energy, PcieTransfersBillCpuStaging) {
+  // Host-side pageable DMA keeps the CPU busy (see energy.cpp), so a
+  // transfer-heavy run draws near-active CPU power.
+  Timeline tl;
+  tl.schedule(Res::PcieH2D, 0.0, 10.0);
+  const auto e = compute_energy(toy_platform(), tl, 10.0);
+  EXPECT_DOUBLE_EQ(e.cpu_j, 10.0 * 50.0);
+  EXPECT_DOUBLE_EQ(e.pcie_j, 150.0);  // 15 W x 10 s
+}
+
+TEST(Energy, EnergyScalesWithDuration) {
+  Timeline tl;
+  const auto e1 = compute_energy(toy_platform(), tl, 1.0);
+  const auto e2 = compute_energy(toy_platform(), tl, 2.0);
+  EXPECT_NEAR(e2.total_j, 2.0 * e1.total_j, 1e-9);
+}
+
+TEST(Energy, RejectsDurationShorterThanSpan) {
+  Timeline tl;
+  tl.schedule(Res::GpuStream, 0.0, 5.0);
+  EXPECT_THROW(compute_energy(toy_platform(), tl, 4.0), CheckError);
+}
+
+TEST(Energy, BusyEnergyExceedsIdleEnergy) {
+  Timeline busy;
+  busy.schedule(Res::GpuStream, 0.0, 10.0);
+  busy.schedule(Res::CpuPool, 0.0, 10.0);
+  Timeline idle;
+  const auto eb = compute_energy(toy_platform(), busy, 10.0);
+  const auto ei = compute_energy(toy_platform(), idle, 10.0);
+  EXPECT_GT(eb.total_j, ei.total_j);
+}
+
+}  // namespace
+}  // namespace daop::sim

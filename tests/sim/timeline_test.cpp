@@ -1,0 +1,132 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace daop::sim {
+namespace {
+
+TEST(Timeline, StartsEmpty) {
+  Timeline tl;
+  EXPECT_EQ(tl.span(), 0.0);
+  for (int r = 0; r < kNumRes; ++r) {
+    EXPECT_EQ(tl.busy_until(static_cast<Res>(r)), 0.0);
+    EXPECT_EQ(tl.busy_time(static_cast<Res>(r)), 0.0);
+  }
+}
+
+TEST(Timeline, SerializesWorkOnOneResource) {
+  Timeline tl;
+  const double e1 = tl.schedule(Res::GpuStream, 0.0, 1.0);
+  const double e2 = tl.schedule(Res::GpuStream, 0.0, 2.0);  // must queue
+  EXPECT_EQ(e1, 1.0);
+  EXPECT_EQ(e2, 3.0);
+  EXPECT_EQ(tl.busy_time(Res::GpuStream), 3.0);
+}
+
+TEST(Timeline, ParallelAcrossResources) {
+  Timeline tl;
+  const double g = tl.schedule(Res::GpuStream, 0.0, 1.0);
+  const double c = tl.schedule(Res::CpuPool, 0.0, 2.0);
+  EXPECT_EQ(g, 1.0);
+  EXPECT_EQ(c, 2.0);
+  EXPECT_EQ(tl.span(), 2.0);
+}
+
+TEST(Timeline, RespectsReadyTime) {
+  Timeline tl;
+  const double end = tl.schedule(Res::CpuPool, 5.0, 1.0);
+  EXPECT_EQ(end, 6.0);
+  // Busy time counts only the work, not the idle gap.
+  EXPECT_EQ(tl.busy_time(Res::CpuPool), 1.0);
+}
+
+TEST(Timeline, DependencyChainAcrossResources) {
+  Timeline tl;
+  const double t1 = tl.schedule(Res::GpuStream, 0.0, 1.0);   // compute
+  const double t2 = tl.schedule(Res::PcieD2H, t1, 0.5);      // ship out
+  const double t3 = tl.schedule(Res::CpuPool, t2, 2.0);      // CPU work
+  const double t4 = tl.schedule(Res::PcieH2D, t3, 0.5);      // ship back
+  EXPECT_EQ(t4, 4.0);
+  EXPECT_EQ(tl.span(), 4.0);
+}
+
+TEST(Timeline, ZeroDurationAdvancesNothing) {
+  Timeline tl;
+  const double end = tl.schedule(Res::GpuStream, 2.0, 0.0);
+  EXPECT_EQ(end, 2.0);
+  EXPECT_EQ(tl.busy_time(Res::GpuStream), 0.0);
+}
+
+TEST(Timeline, BlockUntilAdvancesAvailabilityWithoutBusy) {
+  Timeline tl;
+  tl.block_until(Res::GpuStream, 3.0);
+  EXPECT_EQ(tl.busy_until(Res::GpuStream), 3.0);
+  EXPECT_EQ(tl.busy_time(Res::GpuStream), 0.0);
+  const double end = tl.schedule(Res::GpuStream, 0.0, 1.0);
+  EXPECT_EQ(end, 4.0);
+}
+
+TEST(Timeline, RecordsIntervalsOnlyWhenEnabled) {
+  Timeline tl;
+  tl.schedule(Res::GpuStream, 0.0, 1.0, "hidden");
+  EXPECT_TRUE(tl.intervals().empty());
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 1.0, "visible");
+  ASSERT_EQ(tl.intervals().size(), 1U);
+  EXPECT_EQ(tl.intervals()[0].tag, "visible");
+  EXPECT_EQ(tl.intervals()[0].start, 1.0);
+  EXPECT_EQ(tl.intervals()[0].end, 2.0);
+}
+
+TEST(Timeline, ResetClearsEverything) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::CpuPool, 0.0, 5.0, "x");
+  tl.reset();
+  EXPECT_EQ(tl.span(), 0.0);
+  EXPECT_EQ(tl.busy_time(Res::CpuPool), 0.0);
+  EXPECT_TRUE(tl.intervals().empty());
+}
+
+TEST(Timeline, RejectsNegativeInputs) {
+  Timeline tl;
+  EXPECT_THROW(tl.schedule(Res::GpuStream, -1.0, 1.0), CheckError);
+  EXPECT_THROW(tl.schedule(Res::GpuStream, 0.0, -1.0), CheckError);
+}
+
+TEST(Timeline, IntervalsNeverOverlapPerResource) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  // Schedule with deliberately overlapping ready times.
+  for (int i = 0; i < 50; ++i) {
+    tl.schedule(Res::GpuStream, static_cast<double>(i % 3), 0.7);
+  }
+  double prev_end = 0.0;
+  for (const auto& iv : tl.intervals()) {
+    EXPECT_GE(iv.start, prev_end);
+    prev_end = iv.end;
+  }
+}
+
+TEST(Gantt, RendersLanesAndLegend) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 0.001, "op-a");
+  tl.schedule(Res::CpuPool, 0.0, 0.002, "op-b");
+  const std::string g = render_gantt(tl, 0.0, 0.002, 40);
+  EXPECT_NE(g.find("GPU"), std::string::npos);
+  EXPECT_NE(g.find("CPU"), std::string::npos);
+  EXPECT_NE(g.find("op-a"), std::string::npos);
+  EXPECT_NE(g.find("op-b"), std::string::npos);
+  EXPECT_NE(g.find('#'), std::string::npos);
+}
+
+TEST(Gantt, RejectsEmptyWindow) {
+  Timeline tl;
+  EXPECT_THROW(render_gantt(tl, 1.0, 1.0, 10), CheckError);
+}
+
+}  // namespace
+}  // namespace daop::sim

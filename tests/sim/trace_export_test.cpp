@@ -1,0 +1,76 @@
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace daop::sim {
+namespace {
+
+TEST(TraceExport, EmptyTimelineIsValidSkeleton) {
+  Timeline tl;
+  const std::string json = to_chrome_trace_json(tl);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("displayTimeUnit"), std::string::npos);
+}
+
+TEST(TraceExport, EmitsOneEventPerInterval) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 0.001, "non-MoE");
+  tl.schedule(Res::CpuPool, 0.0, 0.002, "CPU expert");
+  tl.schedule(Res::PcieH2D, 0.0, 0.003, "fetch");
+  const std::string json = to_chrome_trace_json(tl);
+  EXPECT_NE(json.find("\"name\":\"non-MoE\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"CPU expert\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fetch\""), std::string::npos);
+  // Microsecond timestamps: the CPU op lasts 2000 us.
+  EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos);
+  // Three complete events.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 8;
+  }
+  EXPECT_EQ(count, 3U);
+}
+
+TEST(TraceExport, EscapesTagCharacters) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 0.001, "op \"quoted\"\\slash");
+  const std::string json = to_chrome_trace_json(tl);
+  EXPECT_NE(json.find("op \\\"quoted\\\"\\\\slash"), std::string::npos);
+}
+
+TEST(TraceExport, UnnamedIntervalsUseResourceName) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::PcieD2H, 0.0, 0.001);
+  const std::string json = to_chrome_trace_json(tl);
+  EXPECT_NE(json.find("\"name\":\"PCIe D2H\""), std::string::npos);
+}
+
+TEST(TraceExport, WritesFile) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 0.001, "x");
+  const std::string path = ::testing::TempDir() + "daop_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(tl, path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_chrome_trace_json(tl));
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, FailsOnUnwritablePath) {
+  Timeline tl;
+  EXPECT_FALSE(write_chrome_trace(tl, "/nonexistent-dir-xyz/trace.json"));
+}
+
+}  // namespace
+}  // namespace daop::sim

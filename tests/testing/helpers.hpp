@@ -1,0 +1,103 @@
+// Shared test helpers: small model/platform setups and hand-built routing
+// traces with fully controlled expert selections and predictions.
+#pragma once
+
+#include <vector>
+
+#include "cache/placement.hpp"
+#include "data/routing_trace.hpp"
+#include "model/config.hpp"
+#include "model/op_costs.hpp"
+#include "sim/device.hpp"
+
+namespace daop::testing {
+
+/// Mixtral-shaped config shrunk to 4 layers for fast engine tests (per-op
+/// costs stay full-scale Mixtral).
+inline model::ModelConfig small_mixtral(int n_layers = 4) {
+  model::ModelConfig c = model::mixtral_8x7b();
+  c.n_layers = n_layers;
+  return c;
+}
+
+/// A trace where every token at every layer selects exactly `experts`
+/// (descending preference) and predictions point at `predicted`
+/// (empty => same as experts) for layers >= 1.
+inline data::SequenceTrace fixed_trace(const model::ModelConfig& cfg,
+                                       int prompt_len, int gen_len,
+                                       std::vector<int> experts,
+                                       std::vector<int> predicted = {}) {
+  if (predicted.empty()) predicted = experts;
+  data::SequenceTrace tr;
+  tr.n_experts = cfg.n_experts;
+  tr.top_k = cfg.top_k;
+  tr.prompt_len = prompt_len;
+  tr.gen_len = gen_len;
+  tr.prefill.resize(static_cast<std::size_t>(cfg.n_layers));
+  tr.decode.resize(static_cast<std::size_t>(cfg.n_layers));
+
+  auto scores_for = [&](const std::vector<int>& sel) {
+    std::vector<float> s(static_cast<std::size_t>(cfg.n_experts), 0.0F);
+    float v = 10.0F;
+    for (int e : sel) {
+      s[static_cast<std::size_t>(e)] = v;
+      v -= 1.0F;
+    }
+    return s;
+  };
+
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    auto& pf = tr.prefill[static_cast<std::size_t>(l)].tokens;
+    pf.resize(static_cast<std::size_t>(prompt_len));
+    for (auto& tok : pf) tok.scores = scores_for(experts);
+
+    auto& dc = tr.decode[static_cast<std::size_t>(l)].tokens;
+    dc.resize(static_cast<std::size_t>(gen_len));
+    for (auto& tok : dc) {
+      tok.scores = scores_for(experts);
+      if (l >= 1) tok.pred_scores = scores_for(predicted);
+    }
+  }
+  return tr;
+}
+
+/// Like fixed_trace, but decode tokens alternate between expert sets `a`
+/// (even steps) and `b` (odd steps); predictions are perfect. With a cache
+/// too small for both sets this forces sustained decode-phase churn.
+inline data::SequenceTrace alternating_trace(const model::ModelConfig& cfg,
+                                             int prompt_len, int gen_len,
+                                             const std::vector<int>& a,
+                                             const std::vector<int>& b) {
+  data::SequenceTrace tr = fixed_trace(cfg, prompt_len, gen_len, a);
+  auto scores_for = [&](const std::vector<int>& sel) {
+    std::vector<float> s(static_cast<std::size_t>(cfg.n_experts), 0.0F);
+    float v = 10.0F;
+    for (int e : sel) {
+      s[static_cast<std::size_t>(e)] = v;
+      v -= 1.0F;
+    }
+    return s;
+  };
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    auto& dc = tr.decode[static_cast<std::size_t>(l)].tokens;
+    for (int t = 0; t < gen_len; ++t) {
+      const auto& sel = (t % 2 == 0) ? a : b;
+      dc[static_cast<std::size_t>(t)].scores = scores_for(sel);
+      if (l >= 1) dc[static_cast<std::size_t>(t)].pred_scores = scores_for(sel);
+    }
+  }
+  return tr;
+}
+
+/// Placement with uniform capacity `cap` per layer holding experts 0..cap-1.
+inline cache::Placement prefix_placement(const model::ModelConfig& cfg,
+                                         int cap) {
+  cache::Placement p(cfg.n_layers, cfg.n_experts);
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    p.set_capacity(l, cap);
+    for (int e = 0; e < cap; ++e) p.move_to_gpu(l, e);
+  }
+  return p;
+}
+
+}  // namespace daop::testing
