@@ -1,0 +1,79 @@
+// Extension bench: throughput under injected hazards. The paper evaluates
+// on a calm device; real edge deployments see PCIe contention, CPU-pool
+// competition from co-located processes, and thermal throttling. This bench
+// sweeps hazard scenario x intensity for each engine and reports the
+// throughput retained relative to the calm run, plus the graceful-
+// degradation counters (migration retries / deadline aborts / stale
+// pre-calc discards) that show DAOP's robustness policies firing.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "eval/speed.hpp"
+#include "model/config.hpp"
+#include "sim/fault_model.hpp"
+
+int main() {
+  using namespace daop;
+
+  const model::ModelConfig cfg = model::mixtral_8x7b();
+  const sim::PlatformSpec platform = sim::a6000_i9_platform();
+  const data::WorkloadSpec workload = data::c4();
+
+  const std::vector<std::string> scenarios = {"pcie", "cpu", "thermal",
+                                              "expert-load", "all"};
+  const std::vector<double> intensities = {0.25, 0.5, 1.0};
+  const std::vector<eval::EngineKind> engines = {
+      eval::EngineKind::MixtralOffloading, eval::EngineKind::Fiddler,
+      eval::EngineKind::Daop};
+
+  // DAOP runs with its graceful-degradation policies armed so the bench
+  // shows them firing; the baselines have no equivalent knobs.
+  core::DaopConfig robust;
+  robust.migration_deadline_factor = 2.0;
+  robust.max_migration_retries = 2;
+  robust.stale_precalc_factor = 1.5;
+
+  std::printf(
+      "Throughput under injected hazards (extension) — %s on %s,\n"
+      "C4 traffic, ECR 46.9%%, 4 sequences/point. 'retained' is tokens/s\n"
+      "relative to the same engine on a calm device.\n\n",
+      cfg.name.c_str(), platform.name.c_str());
+
+  for (auto kind : engines) {
+    eval::SpeedEvalOptions opt;
+    opt.n_seqs = 4;
+    opt.prompt_len = 128;
+    opt.gen_len = 96;
+    if (kind == eval::EngineKind::Daop) opt.daop_config = robust;
+    const auto calm =
+        eval::run_speed_eval(kind, cfg, platform, workload, opt);
+
+    TextTable t({"hazard", "intensity", "tokens/s", "retained", "stall (s)",
+                 "retries", "aborts", "stale", "degraded"});
+    for (const auto& scenario : scenarios) {
+      for (double intensity : intensities) {
+        opt.hazards = sim::make_hazard_scenario(scenario, intensity);
+        const auto r =
+            eval::run_speed_eval(kind, cfg, platform, workload, opt);
+        t.add_row({scenario, fmt_f(intensity, 2), fmt_f(r.tokens_per_s, 2),
+                   fmt_pct(r.tokens_per_s / calm.tokens_per_s),
+                   fmt_f(r.counters.hazard_stall_s, 3),
+                   std::to_string(r.counters.migration_retries),
+                   std::to_string(r.counters.migration_aborts),
+                   std::to_string(r.counters.stale_precalcs),
+                   std::to_string(r.counters.degradations)});
+      }
+      t.add_rule();
+    }
+    std::printf("%s — calm baseline %s tokens/s\n%s\n", calm.engine.c_str(),
+                fmt_f(calm.tokens_per_s, 2).c_str(), t.render().c_str());
+  }
+
+  std::printf(
+      "shape: PCIe hazards hit the migration-bound engine hardest; CPU\n"
+      "contention hits Fiddler's CPU-compute path; DAOP degrades most\n"
+      "gracefully because deadline aborts + stale-pre-calc discards convert\n"
+      "would-be stalls into (cheaper) degraded substitutions.\n");
+  return 0;
+}

@@ -31,6 +31,7 @@
 #include "eval/similarity.hpp"
 #include "eval/speed.hpp"
 #include "model/config.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
 
 namespace {
@@ -53,7 +54,13 @@ int usage() {
       "  --seqs     sequences to average over           (default 4)\n"
       "  --seed     RNG seed                            (default 7)\n"
       "DAOP knobs: --no-alloc --no-precalc --no-degrade --swap-threshold X\n"
-      "            --quant-bits N --realloc-every N\n");
+      "            --quant-bits N --realloc-every N\n"
+      "robustness: --migration-deadline X (abort swaps over X*transfer time)\n"
+      "            --migration-retries N --stale-precalc X\n"
+      "hazards:    --hazard none|pcie|cpu|thermal|expert-load|all\n"
+      "            --hazard-intensity X in [0,1]       (default 0.5)\n"
+      "serve only: --timeout S --request-retries N --retry-backoff S\n"
+      "            --slo-ttft S --slo-latency S\n");
   return 2;
 }
 
@@ -107,7 +114,19 @@ core::DaopConfig daop_config_from(const FlagParser& flags) {
   if (flags.get_bool("mispredict-fallback")) {
     dc.mispredict_policy = core::MispredictPolicy::GracefulFallback;
   }
+  dc.migration_deadline_factor =
+      flags.get_double("migration-deadline", dc.migration_deadline_factor);
+  dc.max_migration_retries =
+      flags.get_int("migration-retries", dc.max_migration_retries);
+  dc.stale_precalc_factor =
+      flags.get_double("stale-precalc", dc.stale_precalc_factor);
   return dc;
+}
+
+sim::HazardScenario hazards_from(const FlagParser& flags) {
+  return sim::make_hazard_scenario(
+      flags.get("hazard", "none"),
+      flags.get_double("hazard-intensity", 0.5));
 }
 
 int cmd_speed(const FlagParser& flags) {
@@ -118,6 +137,7 @@ int cmd_speed(const FlagParser& flags) {
   opt.ecr = flags.get_double("ecr", 0.469);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   opt.daop_config = daop_config_from(flags);
+  opt.hazards = hazards_from(flags);
   const auto kind = pick_engine(flags.get("engine", "daop"));
   const auto r = eval::run_speed_eval(
       kind, pick_model(flags.get("model", "mixtral")),
@@ -144,6 +164,14 @@ int cmd_speed(const FlagParser& flags) {
   t.add_row({"degradations / mispredicts",
              std::to_string(r.counters.degradations) + " / " +
                  std::to_string(r.counters.mispredictions)});
+  if (opt.hazards.enabled() || r.counters.migration_retries > 0 ||
+      r.counters.migration_aborts > 0 || r.counters.stale_precalcs > 0) {
+    t.add_row({"migration retries / aborts",
+               std::to_string(r.counters.migration_retries) + " / " +
+                   std::to_string(r.counters.migration_aborts)});
+    t.add_row({"stale pre-calcs", std::to_string(r.counters.stale_precalcs)});
+    t.add_row({"hazard stall (s)", fmt_f(r.counters.hazard_stall_s, 3)});
+  }
   std::printf("%s", t.render().c_str());
   return 0;
 }
@@ -155,6 +183,12 @@ int cmd_serve(const FlagParser& flags) {
   opt.ecr = flags.get_double("ecr", 0.469);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
   opt.daop_config = daop_config_from(flags);
+  opt.hazards = hazards_from(flags);
+  opt.request_timeout_s = flags.get_double("timeout", 0.0);
+  opt.max_request_retries = flags.get_int("request-retries", 0);
+  opt.retry_backoff_s = flags.get_double("retry-backoff", 0.5);
+  opt.slo_ttft_s = flags.get_double("slo-ttft", 0.0);
+  opt.slo_latency_s = flags.get_double("slo-latency", 0.0);
   const auto r = eval::run_serving_eval(
       pick_engine(flags.get("engine", "daop")),
       pick_model(flags.get("model", "mixtral")),
@@ -175,6 +209,20 @@ int cmd_serve(const FlagParser& flags) {
   std::printf("throughput: %s tokens/s   server busy: %s\n",
               fmt_f(r.throughput_tps, 2).c_str(),
               fmt_pct(r.busy_fraction).c_str());
+  if (opt.hazards.enabled() || opt.request_timeout_s > 0.0 ||
+      opt.slo_ttft_s > 0.0 || opt.slo_latency_s > 0.0) {
+    std::printf(
+        "served: %d/%d   dropped: %d   client retries: %lld   "
+        "SLO violations: %d (%s)\n",
+        r.served, r.requests, r.dropped, r.request_retries, r.slo_violations,
+        fmt_pct(r.slo_violation_rate).c_str());
+    std::printf(
+        "hazard stall: %s s   migration retries/aborts: %lld/%lld   "
+        "stale pre-calcs: %lld\n",
+        fmt_f(r.counters.hazard_stall_s, 3).c_str(),
+        r.counters.migration_retries, r.counters.migration_aborts,
+        r.counters.stale_precalcs);
+  }
   return 0;
 }
 
@@ -246,6 +294,10 @@ int cmd_timeline(const FlagParser& flags) {
 
   auto engine = eval::make_engine(pick_engine(flags.get("engine", "daop")),
                                   costs, daop_config_from(flags));
+  sim::FaultModel fault(hazards_from(flags),
+                        static_cast<std::uint64_t>(flags.get_int("seed", 7)) ^
+                            0xFA017ULL);
+  if (fault.enabled()) engine->set_fault_model(&fault);
   sim::Timeline tl;
   tl.set_record_intervals(true);
   const auto r = engine->run(trace, placement, &tl);
@@ -293,6 +345,7 @@ int cmd_compare(const FlagParser& flags) {
   opt.ecr = flags.get_double("ecr", 0.469);
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   opt.daop_config = daop_config_from(flags);
+  opt.hazards = hazards_from(flags);
   const auto cfg = pick_model(flags.get("model", "mixtral"));
   const auto platform = pick_platform(flags.get("platform", "a6000"));
   const auto workload = pick_dataset(flags.get("dataset", "c4"));
@@ -340,6 +393,10 @@ int cmd_replay(const FlagParser& flags) {
 
   auto engine = eval::make_engine(pick_engine(flags.get("engine", "daop")),
                                   costs, daop_config_from(flags));
+  sim::FaultModel fault(hazards_from(flags),
+                        static_cast<std::uint64_t>(flags.get_int("seed", 7)) ^
+                            0xFA017ULL);
+  if (fault.enabled()) engine->set_fault_model(&fault);
   const auto r = engine->run(trace, placement);
   std::printf("%s on %s: %s tokens/s end-to-end, %s tokens/kJ\n",
               r.engine.c_str(), path.c_str(), fmt_f(r.tokens_per_s, 3).c_str(),

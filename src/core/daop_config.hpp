@@ -58,6 +58,35 @@ struct DaopConfig {
   /// fidelity cost concentrated on low-confidence tokens. 0 disables;
   /// sensible values are in [0.6, 0.95].
   double skip_top1_margin = 0.0;
+
+  // ---- Robustness / graceful-degradation policies (defaults off) ----
+  // These matter under the sim::FaultModel hazard plane but are pure
+  // policies: they also apply on a calm device if enabled.
+
+  /// Migration deadline-abort: an expert swap whose weights have not
+  /// arrived within this multiple of the unperturbed migration time
+  /// (measured from issue, so PCIe queueing counts against the budget) is
+  /// abandoned — the expert stays on the CPU and decode proceeds instead
+  /// of stalling. 0 disables (always wait).
+  double migration_deadline_factor = 0.0;
+
+  /// Bounded retries per migration after a transient expert-load failure;
+  /// one more failure aborts the migration (see migration_aborts).
+  int max_migration_retries = 2;
+
+  /// Stale pre-calculation discard: a CPU pre-calc whose result would land
+  /// later than (GPU need time + this factor * one GPU expert execution)
+  /// is dropped in favour of the best GPU-resident substitute — counted in
+  /// stale_precalcs, never waited on. 0 disables (always wait).
+  double stale_precalc_factor = 0.0;
 };
+
+/// CHECKs every DaopConfig field's range with an explanatory message
+/// (rejects swap_in_out < 1, min_predict_layer < 1, cpu_quant_bits outside
+/// {0,2,4,8}, negative intervals/retries/factors, skip_top1_margin outside
+/// [0,1]). Called by every consumer of a DaopConfig at construction so a
+/// bad config fails loudly instead of producing silently nonsensical
+/// results.
+void validate_config(const DaopConfig& config);
 
 }  // namespace daop::core

@@ -46,8 +46,7 @@ int best_gpu_expert(const cache::Placement& placement, int layer,
 
 DaopEngine::DaopEngine(const model::OpCosts& costs, DaopConfig config)
     : Engine(costs), config_(config) {
-  DAOP_CHECK_GE(config_.swap_in_out, 1.0);
-  DAOP_CHECK_GE(config_.min_predict_layer, 1);
+  validate_config(config_);
 }
 
 std::string DaopEngine::name() const {
@@ -67,6 +66,7 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
                                    sim::Timeline* external_tl) {
   sim::Timeline local_tl;
   sim::Timeline& tl = external_tl ? *external_tl : local_tl;
+  tl.set_fault_model(fault_model_);
 
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
@@ -99,6 +99,39 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
                        costs_.activations_h2d(n_tokens), "acts to GPU");
   };
 
+  // One expert migration under the robustness policies: bounded retries
+  // after transient load failures (fault plane) and a deadline budget
+  // measured from `issue` — PCIe queueing counts against it, so a congested
+  // link aborts swaps instead of stalling decode. Returns the weight-arrival
+  // time, or a negative value when the migration was aborted (the caller
+  // must then leave the expert on the CPU).
+  const double mig_cost = costs_.expert_migration();
+  auto migrate = [&](double issue, const char* tag) -> double {
+    double done = tl.schedule(sim::Res::PcieH2D, issue, mig_cost, tag);
+    ++counters.expert_migrations;
+    const double deadline =
+        config_.migration_deadline_factor > 0.0
+            ? issue + config_.migration_deadline_factor * mig_cost
+            : 0.0;
+    if (fault_model_ != nullptr && fault_model_->enabled()) {
+      double backoff = fault_model_->scenario().retry_backoff_s;
+      int attempts = 0;
+      while (fault_model_->expert_load_fails()) {
+        if (attempts >= config_.max_migration_retries ||
+            (deadline > 0.0 && done > deadline)) {
+          return -1.0;
+        }
+        ++attempts;
+        ++counters.migration_retries;
+        done = tl.schedule(sim::Res::PcieH2D, done + backoff, mig_cost, tag);
+        ++counters.expert_migrations;
+        backoff *= 2.0;
+      }
+    }
+    if (deadline > 0.0 && done > deadline) return -1.0;
+    return done;
+  };
+
   // ---- Prefill: in-place hybrid execution + Algorithm 1 swaps ----
   double ready = 0.0;
   double last_swap_end = 0.0;
@@ -119,13 +152,16 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
         const auto swaps = sequence_specific_swaps(
             counts[static_cast<std::size_t>(l)], placement, l,
             config_.swap_in_out);
-        apply_swaps(placement, l, swaps);
-        for (std::size_t s = 0; s < swaps.size(); ++s) {
-          last_swap_end =
-              std::max(last_swap_end,
-                       tl.schedule(sim::Res::PcieH2D, nonmoe_end,
-                                   costs_.expert_migration(), "swap-in expert"));
-          ++counters.expert_migrations;
+        for (const SwapDecision& s : swaps) {
+          const double done = migrate(nonmoe_end, "swap-in expert");
+          if (done < 0.0) {
+            // Deadline-abort / retries exhausted: the expert stays on the
+            // CPU and decode degrades gracefully instead of stalling.
+            ++counters.migration_aborts;
+            continue;
+          }
+          apply_swaps(placement, l, {s});
+          last_swap_end = std::max(last_swap_end, done);
           ++counters.prefill_swaps;
         }
       }
@@ -209,8 +245,28 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
         const auto ei = static_cast<std::size_t>(e);
         if (plan.active && plan.precalc_arrival[ei] >= 0.0) {
           // Pre-calculated on CPU from the previous layer's hidden states;
-          // just wait for the result (usually already arrived).
-          layer_end = std::max(layer_end, plan.precalc_arrival[ei]);
+          // normally just wait for the result (usually already arrived).
+          // Under the stale-discard policy a result landing too late (e.g.
+          // the CPU pool was stolen by a co-running app) is dropped in
+          // favour of the best GPU-resident substitute with exact inputs.
+          const double arrival = plan.precalc_arrival[ei];
+          int fb = -1;
+          if (config_.stale_precalc_factor > 0.0 &&
+              arrival > nonmoe_end + config_.stale_precalc_factor *
+                                         costs_.expert_gpu()) {
+            fb = best_gpu_expert(placement, l, tok.scores, exclude);
+          }
+          if (fb >= 0) {
+            ++counters.stale_precalcs;
+            ++counters.degradations;
+            ++counters.gpu_expert_execs;
+            exclude.push_back(fb);
+            layer_end = std::max(
+                layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                       costs_.expert_gpu(), "stale fallback"));
+          } else {
+            layer_end = std::max(layer_end, arrival);
+          }
         } else if (plan.active && plan.substitute[ei] >= 0) {
           // Graceful degradation planned at prediction time: the GPU
           // substitute executes with exact current inputs.
@@ -311,12 +367,14 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
         const auto swaps = sequence_specific_swaps(
             window[static_cast<std::size_t>(l)], placement, l,
             config_.swap_in_out);
-        apply_swaps(placement, l, swaps);
         for (const SwapDecision& s : swaps) {
-          swap_ready[sidx(l, s.expert_in)] =
-              tl.schedule(sim::Res::PcieH2D, ready, costs_.expert_migration(),
-                          "decode swap-in");
-          ++counters.expert_migrations;
+          const double done = migrate(ready, "decode swap-in");
+          if (done < 0.0) {
+            ++counters.migration_aborts;
+            continue;
+          }
+          apply_swaps(placement, l, {s});
+          swap_ready[sidx(l, s.expert_in)] = done;
           ++counters.decode_swaps;
         }
         std::fill(window[static_cast<std::size_t>(l)].begin(),

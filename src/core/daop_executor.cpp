@@ -43,7 +43,7 @@ struct Plan {
 DaopFunctionalExecutor::DaopFunctionalExecutor(
     const model::FunctionalModel& model, DaopConfig config)
     : model_(model), config_(config) {
-  DAOP_CHECK_GE(config_.min_predict_layer, 1);
+  validate_config(config_);
   if (config_.cpu_quant_bits > 0) {
     quantized_ = std::make_unique<model::QuantizedExpertSet>(
         model_, QuantSpec{config_.cpu_quant_bits, config_.cpu_quant_group});

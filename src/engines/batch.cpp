@@ -60,6 +60,7 @@ BatchResult finalize_batch(const std::string& name,
     r.tokens_per_kj = r.tokens_generated / (r.energy.total_j / 1000.0);
   }
   r.counters = counters;
+  r.counters.hazard_stall_s = tl.hazard_stall_s();
   return r;
 }
 
@@ -118,7 +119,8 @@ double hybrid_prefill(sim::Timeline& tl, const model::OpCosts& costs,
 
 BatchResult run_fiddler_batch(const model::OpCosts& costs,
                               std::span<const data::SequenceTrace> traces,
-                              const cache::Placement& initial) {
+                              const cache::Placement& initial,
+                              sim::FaultModel* fault) {
   const model::ModelConfig& cfg = costs.config();
   check_batch(traces, cfg, initial);
   const int B = static_cast<int>(traces.size());
@@ -126,6 +128,7 @@ BatchResult run_fiddler_batch(const model::OpCosts& costs,
   const int prompt_len = traces[0].prompt_len;
 
   sim::Timeline tl;
+  tl.set_fault_model(fault);
   EngineCounters counters;
   const auto prefill_counts = batch_prefill_counts(traces);
   double ready = hybrid_prefill(tl, costs, initial, prefill_counts,
@@ -172,15 +175,18 @@ BatchResult run_fiddler_batch(const model::OpCosts& costs,
 BatchResult run_daop_batch(const model::OpCosts& costs,
                            const core::DaopConfig& config,
                            std::span<const data::SequenceTrace> traces,
-                           const cache::Placement& initial) {
+                           const cache::Placement& initial,
+                           sim::FaultModel* fault) {
   const model::ModelConfig& cfg = costs.config();
   check_batch(traces, cfg, initial);
+  core::validate_config(config);
   const int B = static_cast<int>(traces.size());
   const int gen_len = traces[0].gen_len;
   const int prompt_len = traces[0].prompt_len;
   const int E = cfg.n_experts;
 
   sim::Timeline tl;
+  tl.set_fault_model(fault);
   EngineCounters counters;
   cache::Placement placement = initial;
 

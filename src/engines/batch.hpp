@@ -39,17 +39,21 @@ struct BatchResult {
 
 /// Batched Fiddler: per layer, resident experts execute on the GPU with
 /// their batch token counts; missing experts on the CPU. All traces must
-/// share prompt_len/gen_len/topology.
+/// share prompt_len/gen_len/topology. A non-null `fault` injects hazards
+/// into every scheduled op (see sim/fault_model.hpp).
 BatchResult run_fiddler_batch(const model::OpCosts& costs,
                               std::span<const data::SequenceTrace> traces,
-                              const cache::Placement& initial);
+                              const cache::Placement& initial,
+                              sim::FaultModel* fault = nullptr);
 
 /// Batched DAOP: Algorithm 1 runs on the batch's summed prefill counts
 /// (one cache serves everyone); gate-ahead pre-calculation and graceful
 /// degradation apply per sequence, with CPU work aggregated per expert.
+/// A non-null `fault` injects hazards into every scheduled op.
 BatchResult run_daop_batch(const model::OpCosts& costs,
                            const core::DaopConfig& config,
                            std::span<const data::SequenceTrace> traces,
-                           const cache::Placement& initial);
+                           const cache::Placement& initial,
+                           sim::FaultModel* fault = nullptr);
 
 }  // namespace daop::engines

@@ -29,6 +29,9 @@ RunResult Engine::finalize(const std::string& name,
     r.tokens_per_kj = trace.gen_len / (r.energy.total_j / 1000.0);
   }
   r.counters = counters;
+  // Hazard stall time is accumulated by the timeline (the single place all
+  // engines schedule through), not by engine code.
+  r.counters.hazard_stall_s = tl.hazard_stall_s();
   return r;
 }
 
@@ -57,6 +60,10 @@ RunResult aggregate_results(const std::string& name,
     agg.counters.prefill_swaps += r.counters.prefill_swaps;
     agg.counters.decode_swaps += r.counters.decode_swaps;
     agg.counters.skipped_experts += r.counters.skipped_experts;
+    agg.counters.migration_retries += r.counters.migration_retries;
+    agg.counters.migration_aborts += r.counters.migration_aborts;
+    agg.counters.stale_precalcs += r.counters.stale_precalcs;
+    agg.counters.hazard_stall_s += r.counters.hazard_stall_s;
   }
   agg.energy.total_j = energy_j;
   if (agg.total_s > 0.0) {

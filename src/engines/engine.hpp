@@ -16,6 +16,7 @@
 #include "data/routing_trace.hpp"
 #include "model/op_costs.hpp"
 #include "sim/energy.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
 
 namespace daop::engines {
@@ -35,6 +36,16 @@ struct EngineCounters {
                                      ///< (DAOP extension, off by default)
   long long skipped_experts = 0;     ///< experts skipped by the adaptive
                                      ///< top-1 margin (extension)
+
+  // ---- Hazard / degradation telemetry (fault plane) ----
+  long long migration_retries = 0;   ///< expert-load attempts retried after
+                                     ///< a transient failure
+  long long migration_aborts = 0;    ///< migrations abandoned (deadline
+                                     ///< exceeded or retries exhausted)
+  long long stale_precalcs = 0;      ///< pre-calculated results discarded
+                                     ///< because they arrived too late
+  double hazard_stall_s = 0.0;       ///< total hazard delay injected into
+                                     ///< this run's scheduled ops
 };
 
 struct RunResult {
@@ -73,6 +84,13 @@ class Engine {
                         const cache::Placement& initial,
                         sim::Timeline* tl = nullptr) = 0;
 
+  /// Attaches a hazard-injection fault model (see sim/fault_model.hpp);
+  /// every subsequent run() schedules through it. The model must outlive
+  /// the engine's runs. nullptr (the default) restores calm-device
+  /// behaviour, bit-identical to an engine that never had a fault model.
+  void set_fault_model(sim::FaultModel* fm) { fault_model_ = fm; }
+  sim::FaultModel* fault_model() const { return fault_model_; }
+
  protected:
   /// Fills the derived timing/energy fields of a result.
   RunResult finalize(const std::string& name, const data::SequenceTrace& trace,
@@ -80,6 +98,7 @@ class Engine {
                      double decode_end, const EngineCounters& counters) const;
 
   const model::OpCosts& costs_;
+  sim::FaultModel* fault_model_ = nullptr;
 };
 
 /// Averages results over multiple sequences (rates are recomputed from the

@@ -65,6 +65,7 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
                                 sim::Timeline* external_tl) {
   sim::Timeline local_tl;
   sim::Timeline& tl = external_tl ? *external_tl : local_tl;
+  tl.set_fault_model(fault_model_);
 
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
@@ -105,10 +106,28 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
     const double ready = policy_.overlap_fetch
                              ? issue
                              : std::max(issue, serial_after);
-    const double done =
+    double done =
         tl.schedule(sim::Res::PcieH2D, ready, mig_time, "fetch expert");
-    st.fetch_ready[st.idx(l, e)] = done;
     ++counters.expert_migrations;
+    // Transient expert-load failures (fault plane): a GPU-centric engine
+    // has no CPU execution path to degrade to, so it must re-stream the
+    // weights — bounded retries with exponential backoff, after which the
+    // load is assumed to go through.
+    if (fault_model_ != nullptr && fault_model_->enabled()) {
+      const sim::HazardScenario& sc = fault_model_->scenario();
+      double backoff = sc.retry_backoff_s;
+      int attempts = 0;
+      while (attempts < sc.max_transfer_retries &&
+             fault_model_->expert_load_fails()) {
+        ++attempts;
+        ++counters.migration_retries;
+        done = tl.schedule(sim::Res::PcieH2D, done + backoff, mig_time,
+                           "refetch expert");
+        ++counters.expert_migrations;
+        backoff *= 2.0;
+      }
+    }
+    st.fetch_ready[st.idx(l, e)] = done;
     return done;
   };
 

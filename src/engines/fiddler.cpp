@@ -11,6 +11,7 @@ RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
                              sim::Timeline* external_tl) {
   sim::Timeline local_tl;
   sim::Timeline& tl = external_tl ? *external_tl : local_tl;
+  tl.set_fault_model(fault_model_);
 
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);

@@ -20,6 +20,11 @@ ServingResult run_serving_eval(EngineKind kind,
   DAOP_CHECK_GT(options.n_requests, 0);
   DAOP_CHECK_LE(options.min_prompt, options.max_prompt);
   DAOP_CHECK_LE(options.min_gen, options.max_gen);
+  DAOP_CHECK_GE(options.request_timeout_s, 0.0);
+  DAOP_CHECK_GE(options.max_request_retries, 0);
+  DAOP_CHECK_GE(options.retry_backoff_s, 0.0);
+  DAOP_CHECK_GE(options.slo_ttft_s, 0.0);
+  DAOP_CHECK_GE(options.slo_latency_s, 0.0);
 
   const sim::CostModel cm(platform);
   const model::OpCosts costs(model_cfg, cm);
@@ -36,6 +41,8 @@ ServingResult run_serving_eval(EngineKind kind,
                                  model_cfg.n_experts, model_cfg.top_k,
                                  options.seed);
   auto engine = make_engine(kind, costs, options.daop_config);
+  sim::FaultModel fault(options.hazards, options.seed ^ 0xFA017ULL);
+  if (fault.enabled()) engine->set_fault_model(&fault);
 
   Rng rng(options.seed ^ 0x5e7511e5ULL);
   double arrival = 0.0;
@@ -48,6 +55,7 @@ ServingResult run_serving_eval(EngineKind kind,
   std::vector<double> wait;
   double makespan = 0.0;
 
+  ServingResult out;
   for (int i = 0; i < options.n_requests; ++i) {
     // Poisson arrivals: exponential inter-arrival gaps.
     arrival += -std::log(std::max(rng.uniform(), 1e-12)) /
@@ -55,28 +63,76 @@ ServingResult run_serving_eval(EngineKind kind,
     const int prompt = rng.uniform_int(options.min_prompt, options.max_prompt);
     const int gen_len = rng.uniform_int(options.min_gen, options.max_gen);
 
-    const data::SequenceTrace trace = gen.generate(i, prompt, gen_len);
-    const engines::RunResult r = engine->run(trace, initial);
+    // Client-side timeout loop: a request whose queue wait exceeds the
+    // timeout is abandoned at (re-arrival + timeout) and retries after a
+    // backoff, up to max_request_retries re-queues; then it is dropped
+    // without ever occupying the server.
+    double eff_arrival = arrival;
+    bool dropped = false;
+    int attempts = 0;
+    for (;;) {
+      const double start = std::max(eff_arrival, server_free);
+      if (options.request_timeout_s > 0.0 &&
+          start - eff_arrival > options.request_timeout_s) {
+        if (attempts < options.max_request_retries) {
+          ++attempts;
+          ++out.request_retries;
+          eff_arrival +=
+              options.request_timeout_s + options.retry_backoff_s;
+          continue;
+        }
+        dropped = true;
+        break;
+      }
+      const data::SequenceTrace trace = gen.generate(i, prompt, gen_len);
+      const engines::RunResult r = engine->run(trace, initial);
+      const double end = start + r.total_s;
+      server_free = end;
+      busy += r.total_s;
+      tokens += r.generated_tokens;
+      makespan = end;
+      ++out.served;
 
-    const double start = std::max(arrival, server_free);
-    const double end = start + r.total_s;
-    server_free = end;
-    busy += r.total_s;
-    tokens += r.generated_tokens;
-    makespan = end;
-
-    wait.push_back(start - arrival);
-    ttft.push_back(start - arrival + r.prefill_s);
-    latency.push_back(end - arrival);
+      // Client-observed metrics count from the ORIGINAL arrival, so retry
+      // waiting shows up in the latency distribution.
+      const double w = start - arrival;
+      const double first_tok = w + r.prefill_s;
+      const double lat = end - arrival;
+      wait.push_back(w);
+      ttft.push_back(first_tok);
+      latency.push_back(lat);
+      if ((options.slo_ttft_s > 0.0 && first_tok > options.slo_ttft_s) ||
+          (options.slo_latency_s > 0.0 && lat > options.slo_latency_s)) {
+        ++out.slo_violations;
+      }
+      out.counters.expert_migrations += r.counters.expert_migrations;
+      out.counters.migration_retries += r.counters.migration_retries;
+      out.counters.migration_aborts += r.counters.migration_aborts;
+      out.counters.stale_precalcs += r.counters.stale_precalcs;
+      out.counters.degradations += r.counters.degradations;
+      out.counters.mispredictions += r.counters.mispredictions;
+      out.counters.cache_hits += r.counters.cache_hits;
+      out.counters.cache_misses += r.counters.cache_misses;
+      out.counters.hazard_stall_s += r.counters.hazard_stall_s;
+      break;
+    }
+    if (dropped) {
+      // A request the operator failed to serve is an SLO violation too.
+      ++out.dropped;
+      ++out.slo_violations;
+    }
   }
 
-  ServingResult out;
   out.engine = engine->name();
   out.requests = options.n_requests;
-  out.ttft_s = summarize(ttft);
-  out.latency_s = summarize(latency);
-  out.queue_wait_s = summarize(wait);
+  if (!latency.empty()) {
+    out.ttft_s = summarize(ttft);
+    out.latency_s = summarize(latency);
+    out.queue_wait_s = summarize(wait);
+  }
   out.makespan_s = makespan;
+  out.slo_violation_rate =
+      static_cast<double>(out.slo_violations) / options.n_requests;
   if (makespan > 0.0) {
     out.throughput_tps = static_cast<double>(tokens) / makespan;
     out.busy_fraction = std::min(1.0, busy / makespan);

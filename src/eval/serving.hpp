@@ -27,18 +27,48 @@ struct ServingOptions {
   int calibration_seqs = 32;
   std::uint64_t seed = 99;
   core::DaopConfig daop_config;
+
+  /// Hazard environment injected into every served request (default: calm
+  /// device — bit-identical to serving without a fault plane).
+  sim::HazardScenario hazards;
+
+  /// Client-side queue-wait timeout: a request still unserved this long
+  /// after (re-)arriving is abandoned by its client. 0 = clients wait
+  /// forever (the pre-fault-plane behaviour).
+  double request_timeout_s = 0.0;
+  /// How many times an abandoned request re-enters the queue before it is
+  /// dropped for good.
+  int max_request_retries = 0;
+  /// Client backoff between abandoning and retrying.
+  double retry_backoff_s = 0.5;
+
+  /// SLO thresholds for violation accounting; 0 disables the corresponding
+  /// check.
+  double slo_ttft_s = 0.0;
+  double slo_latency_s = 0.0;
 };
 
 struct ServingResult {
   std::string engine;
   int requests = 0;
-  Summary ttft_s;          ///< arrival -> first output token
-  Summary latency_s;       ///< arrival -> request complete
-  Summary queue_wait_s;    ///< arrival -> service start
+  Summary ttft_s;          ///< arrival -> first output token (served only)
+  Summary latency_s;       ///< arrival -> request complete (served only)
+  Summary queue_wait_s;    ///< arrival -> service start (served only)
   double throughput_tps = 0.0;  ///< generated tokens / makespan
   double makespan_s = 0.0;
   /// Fraction of the makespan the server spent serving (1.0 ≈ saturated).
   double busy_fraction = 0.0;
+
+  // ---- Robustness telemetry ----
+  int served = 0;                 ///< requests that completed service
+  int dropped = 0;                ///< abandoned after exhausting retries
+  long long request_retries = 0;  ///< client re-queues after timeouts
+  /// Served requests breaching an SLO threshold, plus dropped requests.
+  int slo_violations = 0;
+  double slo_violation_rate = 0.0;  ///< slo_violations / requests
+  /// Engine counters summed over served requests (migration retries,
+  /// aborts, stale pre-calcs, hazard stall time, ...).
+  engines::EngineCounters counters;
 };
 
 /// Simulates `options.n_requests` requests through a FCFS queue served by

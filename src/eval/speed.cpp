@@ -95,6 +95,10 @@ std::vector<engines::RunResult> run_speed_eval_per_sequence(
                                  options.seed);
 
   auto engine = make_engine(kind, costs, options.daop_config);
+  // The fault model is shared across the eval's sequences (one continuous
+  // deterministic hazard environment) and must outlive every run.
+  sim::FaultModel fault(options.hazards, options.seed ^ 0xFA017ULL);
+  if (fault.enabled()) engine->set_fault_model(&fault);
   std::vector<engines::RunResult> results;
   results.reserve(static_cast<std::size_t>(options.n_seqs));
   for (int s = 0; s < options.n_seqs; ++s) {

@@ -12,6 +12,7 @@
 #include "data/workload.hpp"
 #include "engines/engine.hpp"
 #include "sim/device.hpp"
+#include "sim/fault_model.hpp"
 
 namespace daop::eval {
 
@@ -47,6 +48,9 @@ struct SpeedEvalOptions {
   int calibration_seqs = 32;
   std::uint64_t seed = 7;
   core::DaopConfig daop_config;
+  /// Hazard environment injected into every run (default: calm device —
+  /// bit-identical to an eval without a fault plane).
+  sim::HazardScenario hazards;
 };
 
 /// Runs `kind` over `n_seqs` sequences of `workload` and aggregates.

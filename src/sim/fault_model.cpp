@@ -1,0 +1,170 @@
+#include "sim/fault_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace daop::sim {
+namespace {
+
+/// True when `t` falls inside the active window of a periodic hazard whose
+/// cycle starts are shifted by `phase`.
+bool in_window(double t, double period, double window, double phase) {
+  if (period <= 0.0 || window <= 0.0) return false;
+  const double x = std::fmod(t + phase, period);
+  return x < window;
+}
+
+}  // namespace
+
+bool HazardScenario::enabled() const {
+  return pcie_stall_prob > 0.0 || pcie_fail_prob > 0.0 ||
+         (cpu_contention_period_s > 0.0 && cpu_contention_window_s > 0.0 &&
+          cpu_contention_slowdown > 1.0) ||
+         (gpu_throttle_period_s > 0.0 && gpu_throttle_window_s > 0.0 &&
+          gpu_throttle_slowdown > 1.0) ||
+         expert_load_fail_prob > 0.0;
+}
+
+void HazardScenario::validate() const {
+  DAOP_CHECK_MSG(pcie_stall_prob >= 0.0 && pcie_stall_prob <= 1.0,
+                 "pcie_stall_prob must be in [0,1], got " << pcie_stall_prob);
+  DAOP_CHECK_MSG(pcie_fail_prob >= 0.0 && pcie_fail_prob <= 1.0,
+                 "pcie_fail_prob must be in [0,1], got " << pcie_fail_prob);
+  DAOP_CHECK_MSG(expert_load_fail_prob >= 0.0 && expert_load_fail_prob <= 1.0,
+                 "expert_load_fail_prob must be in [0,1], got "
+                     << expert_load_fail_prob);
+  DAOP_CHECK_MSG(pcie_stall_mean_s >= 0.0,
+                 "pcie_stall_mean_s must be >= 0, got " << pcie_stall_mean_s);
+  DAOP_CHECK_MSG(retry_backoff_s >= 0.0,
+                 "retry_backoff_s must be >= 0, got " << retry_backoff_s);
+  DAOP_CHECK_MSG(max_transfer_retries >= 0,
+                 "max_transfer_retries must be >= 0, got "
+                     << max_transfer_retries);
+  DAOP_CHECK_MSG(cpu_contention_period_s >= 0.0 &&
+                     cpu_contention_window_s >= 0.0 &&
+                     cpu_contention_window_s <= cpu_contention_period_s,
+                 "CPU contention window must fit its period (window "
+                     << cpu_contention_window_s << ", period "
+                     << cpu_contention_period_s << ")");
+  DAOP_CHECK_MSG(cpu_contention_slowdown >= 1.0,
+                 "cpu_contention_slowdown must be >= 1, got "
+                     << cpu_contention_slowdown);
+  DAOP_CHECK_MSG(gpu_throttle_period_s >= 0.0 &&
+                     gpu_throttle_window_s >= 0.0 &&
+                     gpu_throttle_window_s <= gpu_throttle_period_s,
+                 "GPU throttle window must fit its period (window "
+                     << gpu_throttle_window_s << ", period "
+                     << gpu_throttle_period_s << ")");
+  DAOP_CHECK_MSG(gpu_throttle_slowdown >= 1.0,
+                 "gpu_throttle_slowdown must be >= 1, got "
+                     << gpu_throttle_slowdown);
+}
+
+HazardScenario make_hazard_scenario(const std::string& kind,
+                                    double intensity) {
+  DAOP_CHECK_MSG(intensity >= 0.0 && intensity <= 1.0,
+                 "hazard intensity must be in [0,1], got " << intensity);
+  HazardScenario sc;
+  if (kind == "none" || intensity == 0.0) return sc;
+  const bool all = kind == "all";
+  bool known = all;
+  if (all || kind == "pcie") {
+    known = true;
+    sc.pcie_stall_prob = 0.25 * intensity;
+    sc.pcie_stall_mean_s = 5e-3 * intensity;
+    sc.pcie_fail_prob = 0.10 * intensity;
+  }
+  if (all || kind == "cpu") {
+    known = true;
+    // A co-running app periodically steals the shared DRAM bandwidth the
+    // memory-bound CPU expert path depends on.
+    sc.cpu_contention_period_s = 0.05;
+    sc.cpu_contention_window_s = 0.03 * intensity;
+    sc.cpu_contention_slowdown = 1.0 + 3.0 * intensity;
+  }
+  if (all || kind == "thermal") {
+    known = true;
+    sc.gpu_throttle_period_s = 0.2;
+    sc.gpu_throttle_window_s = 0.08 * intensity;
+    sc.gpu_throttle_slowdown = 1.0 + 0.8 * intensity;
+  }
+  if (all || kind == "expert-load") {
+    known = true;
+    sc.expert_load_fail_prob = 0.5 * intensity;
+  }
+  DAOP_CHECK_MSG(known, "unknown hazard scenario '" << kind
+                                                    << "' (see "
+                                                       "hazard_scenario_kinds)");
+  sc.validate();
+  return sc;
+}
+
+const std::vector<std::string>& hazard_scenario_kinds() {
+  static const std::vector<std::string> kinds = {
+      "none", "pcie", "cpu", "thermal", "expert-load", "all"};
+  return kinds;
+}
+
+FaultModel::FaultModel(const HazardScenario& scenario, std::uint64_t seed)
+    : scenario_(scenario) {
+  scenario_.validate();
+  enabled_ = scenario_.enabled();
+  Rng base(seed);
+  transfer_rng_ = base.fork(1);
+  load_rng_ = base.fork(2);
+  // Window phases are drawn once so hazard windows do not all start at
+  // t = 0 (which would systematically punish prefill).
+  Rng phase_rng = base.fork(3);
+  cpu_phase_s_ = phase_rng.uniform() * scenario_.cpu_contention_period_s;
+  gpu_phase_s_ = phase_rng.uniform() * scenario_.gpu_throttle_period_s;
+}
+
+FaultModel::Perturbation FaultModel::perturb(Res r, double start,
+                                             double duration) {
+  Perturbation p;
+  if (!enabled_ || duration <= 0.0) return p;
+  switch (r) {
+    case Res::GpuStream:
+      if (in_window(start, scenario_.gpu_throttle_period_s,
+                    scenario_.gpu_throttle_window_s, gpu_phase_s_)) {
+        p.extra_s = duration * (scenario_.gpu_throttle_slowdown - 1.0);
+      }
+      break;
+    case Res::CpuPool:
+      if (in_window(start, scenario_.cpu_contention_period_s,
+                    scenario_.cpu_contention_window_s, cpu_phase_s_)) {
+        p.extra_s = duration * (scenario_.cpu_contention_slowdown - 1.0);
+      }
+      break;
+    case Res::PcieH2D:
+    case Res::PcieD2H: {
+      if (scenario_.pcie_stall_prob > 0.0 &&
+          transfer_rng_.uniform() < scenario_.pcie_stall_prob) {
+        // Exponential stall with the configured mean.
+        p.extra_s += -scenario_.pcie_stall_mean_s *
+                     std::log(std::max(transfer_rng_.uniform(), 1e-12));
+      }
+      if (scenario_.pcie_fail_prob > 0.0) {
+        double backoff = scenario_.retry_backoff_s;
+        while (p.retries < scenario_.max_transfer_retries &&
+               transfer_rng_.uniform() < scenario_.pcie_fail_prob) {
+          // The failed attempt burned the full transfer; back off and
+          // re-transfer. The final attempt always succeeds.
+          p.extra_s += duration + backoff;
+          backoff *= 2.0;
+          ++p.retries;
+        }
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+bool FaultModel::expert_load_fails() {
+  if (scenario_.expert_load_fail_prob <= 0.0) return false;
+  return load_rng_.uniform() < scenario_.expert_load_fail_prob;
+}
+
+}  // namespace daop::sim

@@ -1,0 +1,119 @@
+// Hazard-injection fault plane for the performance simulator.
+//
+// The engines normally schedule against a perfectly calm device: PCIe never
+// stalls, the CPU pool is never stolen by a co-running app, the GPU never
+// throttles, and expert weight loads never fail. Real on-device deployment
+// (the paper's target platform) is dominated by exactly these perturbations,
+// so this module injects them deterministically: a FaultModel attached to a
+// sim::Timeline perturbs every scheduled op according to a HazardScenario,
+// and exposes an engine-visible transient expert-load failure stream. All
+// draws flow from an explicit seed through daop::Rng, so a hazard run is as
+// bit-reproducible as a calm one. With no FaultModel attached (the default)
+// the timeline behaves exactly as before — the fault plane is a strict
+// no-op when off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/timeline.hpp"
+
+namespace daop::sim {
+
+/// Configuration of one hazard environment. All fields default to "no
+/// hazard"; a default-constructed scenario is disabled.
+struct HazardScenario {
+  // ---- PCIe link hazards (both DMA directions) ----
+  /// Probability that a transfer hits a link stall (bus contention,
+  /// host-memory pressure).
+  double pcie_stall_prob = 0.0;
+  /// Mean stall length in seconds (exponentially distributed).
+  double pcie_stall_mean_s = 0.0;
+  /// Probability that a transfer attempt fails outright and must be
+  /// retried (ECC replay, DMA error). Retries re-pay the full transfer
+  /// plus an exponential backoff; the attempt after `max_transfer_retries`
+  /// always succeeds so runs terminate.
+  double pcie_fail_prob = 0.0;
+  int max_transfer_retries = 3;
+  /// Base retry backoff in seconds; doubles per consecutive retry.
+  double retry_backoff_s = 1e-3;
+
+  // ---- CPU-pool contention (co-running app steals memory bandwidth) ----
+  /// Length of one contention cycle; 0 disables CPU contention.
+  double cpu_contention_period_s = 0.0;
+  /// Contended window at the start of each cycle.
+  double cpu_contention_window_s = 0.0;
+  /// Factor (>= 1) by which CPU ops starting inside a window slow down.
+  double cpu_contention_slowdown = 1.0;
+
+  // ---- GPU thermal throttling ----
+  /// Length of one throttle cycle; 0 disables GPU throttling.
+  double gpu_throttle_period_s = 0.0;
+  /// Throttled window at the start of each cycle.
+  double gpu_throttle_window_s = 0.0;
+  /// Factor (>= 1) by which GPU ops starting inside a window slow down.
+  double gpu_throttle_slowdown = 1.0;
+
+  // ---- Transient expert weight-load failures ----
+  /// Probability that one expert weight-load attempt fails transiently
+  /// (engines decide how to react: retry, abort, or fall back to CPU).
+  double expert_load_fail_prob = 0.0;
+
+  /// True when any hazard can actually fire.
+  bool enabled() const;
+
+  /// CHECKs every field's range (probabilities in [0,1], slowdowns >= 1,
+  /// windows within their periods, non-negative times/retries).
+  void validate() const;
+};
+
+/// Named scenario presets scaled by `intensity` in [0, 1] (0 = disabled):
+/// "none", "pcie" (stalls + transfer failures), "cpu" (pool contention),
+/// "thermal" (GPU throttling), "expert-load" (transient load failures),
+/// "all" (everything at once).
+HazardScenario make_hazard_scenario(const std::string& kind,
+                                    double intensity);
+
+/// The preset names accepted by make_hazard_scenario.
+const std::vector<std::string>& hazard_scenario_kinds();
+
+/// Deterministic hazard sampler. One FaultModel is attached to a Timeline
+/// (Timeline::set_fault_model) and shared by every run of one experiment;
+/// the draw sequence depends only on (seed, order of schedule calls), so a
+/// fixed seed reproduces every perturbation bit-for-bit.
+class FaultModel {
+ public:
+  /// Validates `scenario` and derives the deterministic streams from
+  /// `seed`.
+  FaultModel(const HazardScenario& scenario, std::uint64_t seed);
+
+  const HazardScenario& scenario() const { return scenario_; }
+  bool enabled() const { return enabled_; }
+
+  /// Extra delay injected into one scheduled op.
+  struct Perturbation {
+    double extra_s = 0.0;  ///< added to the op's duration (>= 0)
+    int retries = 0;       ///< link-level transfer retries included
+  };
+
+  /// Samples the perturbation for an op of `duration` seconds starting at
+  /// `start` on resource `r`. Consumes random draws only for PCIe ops;
+  /// contention/throttle windows are a fixed (seed-phased) schedule.
+  Perturbation perturb(Res r, double start, double duration);
+
+  /// Engine hook: whether the next expert weight-load attempt fails
+  /// transiently. Independent stream from perturb().
+  bool expert_load_fails();
+
+ private:
+  HazardScenario scenario_;
+  bool enabled_ = false;
+  Rng transfer_rng_;
+  Rng load_rng_;
+  double cpu_phase_s_ = 0.0;  ///< window offset within the CPU cycle
+  double gpu_phase_s_ = 0.0;  ///< window offset within the GPU cycle
+};
+
+}  // namespace daop::sim

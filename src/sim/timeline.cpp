@@ -1,9 +1,11 @@
 #include "sim/timeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
+#include "sim/fault_model.hpp"
 
 namespace daop::sim {
 
@@ -21,11 +23,27 @@ Timeline::Timeline() { reset(); }
 
 double Timeline::schedule(Res r, double ready, double duration,
                           std::string tag) {
-  DAOP_CHECK_GE(ready, 0.0);
-  DAOP_CHECK_GE(duration, 0.0);
+  // Negative, NaN or infinite inputs would silently corrupt a resource's
+  // busy-until state for every later op, so they are hard errors — this is
+  // what lets fault-perturbed ops be trusted downstream.
+  DAOP_CHECK_MSG(std::isfinite(ready) && ready >= 0.0,
+                 "schedule ready time must be finite and >= 0, got " << ready);
+  DAOP_CHECK_MSG(std::isfinite(duration) && duration >= 0.0,
+                 "schedule duration must be finite and >= 0, got "
+                     << duration);
   const int i = static_cast<int>(r);
   const double start = std::max(ready, busy_until_[i]);
+  if (fault_ != nullptr && fault_->enabled() && duration > 0.0) {
+    const FaultModel::Perturbation p = fault_->perturb(r, start, duration);
+    DAOP_CHECK_MSG(std::isfinite(p.extra_s) && p.extra_s >= 0.0,
+                   "fault perturbation must be finite and >= 0, got "
+                       << p.extra_s);
+    duration += p.extra_s;
+    hazard_stall_s_ += p.extra_s;
+    hazard_transfer_retries_ += p.retries;
+  }
   const double end = start + duration;
+  DAOP_CHECK_GE(end, busy_until_[i]);  // time never moves backwards
   busy_until_[i] = end;
   busy_time_[i] += duration;
   if (record_ && duration > 0.0) {
@@ -49,6 +67,8 @@ double Timeline::span() const {
 }
 
 void Timeline::block_until(Res r, double t) {
+  DAOP_CHECK_MSG(std::isfinite(t) && t >= 0.0,
+                 "block_until time must be finite and >= 0, got " << t);
   const int i = static_cast<int>(r);
   busy_until_[i] = std::max(busy_until_[i], t);
 }
@@ -57,6 +77,8 @@ void Timeline::reset() {
   busy_until_.fill(0.0);
   busy_time_.fill(0.0);
   intervals_.clear();
+  hazard_stall_s_ = 0.0;
+  hazard_transfer_retries_ = 0;
 }
 
 std::string render_gantt(const Timeline& tl, double t0, double t1, int width) {

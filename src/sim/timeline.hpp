@@ -14,6 +14,8 @@
 
 namespace daop::sim {
 
+class FaultModel;
+
 /// Hardware resources that serialize work.
 enum class Res : int {
   GpuStream = 0,  ///< GPU compute stream
@@ -42,7 +44,10 @@ class Timeline {
 
   /// Schedules work of `duration` seconds on resource `r` that may not begin
   /// before `ready` (its dependencies' completion). Returns the finish time.
-  /// The op starts at max(ready, resource busy-until).
+  /// The op starts at max(ready, resource busy-until). When a fault model is
+  /// attached the op's duration is perturbed by the active hazard scenario;
+  /// `ready` and `duration` must be finite and non-negative so perturbed ops
+  /// can never move a resource's busy-until backwards.
   double schedule(Res r, double ready, double duration, std::string tag = {});
 
   /// Earliest time new work could start on `r`.
@@ -64,6 +69,23 @@ class Timeline {
   /// simulations only need aggregate busy times.
   void set_record_intervals(bool on) { record_ = on; }
 
+  /// Attaches a hazard-injection fault model; every subsequently scheduled
+  /// op is perturbed through it, so all engines price hazards identically.
+  /// nullptr (the default) restores exact unperturbed behaviour.
+  void set_fault_model(FaultModel* fm) { fault_ = fm; }
+  FaultModel* fault_model() const { return fault_; }
+
+  /// Total hazard delay injected into scheduled ops (stalls, retries,
+  /// contention and throttle slowdowns), in seconds.
+  double hazard_stall_s() const { return hazard_stall_s_; }
+
+  /// Link-level transfer retries injected by the fault model.
+  long long hazard_transfer_retries() const {
+    return hazard_transfer_retries_;
+  }
+
+  /// Clears all scheduled state and hazard telemetry; keeps the attached
+  /// fault model (it is configuration, not state).
   void reset();
 
  private:
@@ -71,6 +93,9 @@ class Timeline {
   std::array<double, kNumRes> busy_time_{};
   std::vector<Interval> intervals_;
   bool record_ = false;
+  FaultModel* fault_ = nullptr;
+  double hazard_stall_s_ = 0.0;
+  long long hazard_transfer_retries_ = 0;
 };
 
 /// Renders the recorded intervals of a timeline as an ASCII gantt chart over

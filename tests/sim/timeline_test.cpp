@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace daop::sim {
@@ -94,6 +96,34 @@ TEST(Timeline, RejectsNegativeInputs) {
   Timeline tl;
   EXPECT_THROW(tl.schedule(Res::GpuStream, -1.0, 1.0), CheckError);
   EXPECT_THROW(tl.schedule(Res::GpuStream, 0.0, -1.0), CheckError);
+}
+
+TEST(Timeline, RejectsNonFiniteInputs) {
+  Timeline tl;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(tl.schedule(Res::GpuStream, nan, 1.0), CheckError);
+  EXPECT_THROW(tl.schedule(Res::GpuStream, 0.0, nan), CheckError);
+  EXPECT_THROW(tl.schedule(Res::GpuStream, inf, 1.0), CheckError);
+  EXPECT_THROW(tl.schedule(Res::GpuStream, 0.0, inf), CheckError);
+}
+
+TEST(Timeline, BlockUntilRejectsBadTimes) {
+  Timeline tl;
+  EXPECT_THROW(tl.block_until(Res::CpuPool, -1.0), CheckError);
+  EXPECT_THROW(
+      tl.block_until(Res::CpuPool, std::numeric_limits<double>::quiet_NaN()),
+      CheckError);
+  EXPECT_THROW(
+      tl.block_until(Res::CpuPool, std::numeric_limits<double>::infinity()),
+      CheckError);
+}
+
+TEST(Timeline, BlockUntilNeverMovesTimeBackwards) {
+  Timeline tl;
+  tl.block_until(Res::GpuStream, 5.0);
+  tl.block_until(Res::GpuStream, 2.0);  // earlier sync point: no-op
+  EXPECT_EQ(tl.busy_until(Res::GpuStream), 5.0);
 }
 
 TEST(Timeline, IntervalsNeverOverlapPerResource) {
