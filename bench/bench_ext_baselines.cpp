@@ -6,13 +6,15 @@
 // identical traces, placement and cost model.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/speed.hpp"
 #include "model/config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace daop;
+  const FlagParser flags(argc, argv);
 
   const sim::PlatformSpec platform = sim::a6000_i9_platform();
   const model::ModelConfig cfg = model::mixtral_8x7b();
@@ -26,6 +28,8 @@ int main() {
   opt.prompt_len = 256;
   opt.gen_len = 256;
   opt.ecr = 0.469;
+  obs::MetricsRegistry reg;
+  opt.metrics = &reg;
 
   TextTable t({"engine", "tokens/s", "tokens/kJ", "migrations", "CPU execs",
                "prefetch hits"});
@@ -43,5 +47,5 @@ int main() {
       "prefetcher or quantizer — stays migration-bound (Table I: 40 ms per\n"
       "expert vs ~1 ms per block). Only the CPU-executing engines (Fiddler,\n"
       "DAOP) escape, and DAOP's prediction + allocation add ~40%% on top.\n");
-  return 0;
+  return benchutil::write_metrics_snapshot(flags, reg);
 }

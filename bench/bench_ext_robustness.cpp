@@ -7,14 +7,17 @@
 // pre-calc discards) that show DAOP's robustness policies firing.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/speed.hpp"
 #include "model/config.hpp"
 #include "sim/fault_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace daop;
+  const FlagParser flags(argc, argv);
+  obs::MetricsRegistry reg;
 
   const model::ModelConfig cfg = model::mixtral_8x7b();
   const sim::PlatformSpec platform = sim::a6000_i9_platform();
@@ -45,6 +48,7 @@ int main() {
     opt.n_seqs = 4;
     opt.prompt_len = 128;
     opt.gen_len = 96;
+    opt.metrics = &reg;
     if (kind == eval::EngineKind::Daop) opt.daop_config = robust;
     const auto calm =
         eval::run_speed_eval(kind, cfg, platform, workload, opt);
@@ -75,5 +79,5 @@ int main() {
       "contention hits Fiddler's CPU-compute path; DAOP degrades most\n"
       "gracefully because deadline aborts + stale-pre-calc discards convert\n"
       "would-be stalls into (cheaper) degraded substitutions.\n");
-  return 0;
+  return benchutil::write_metrics_snapshot(flags, reg);
 }

@@ -4,13 +4,16 @@
 // where each engine saturates (queue blow-up) on the A6000 + i9 platform.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/serving.hpp"
 #include "model/config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace daop;
+  const FlagParser flags(argc, argv);
+  obs::MetricsRegistry reg;
 
   const model::ModelConfig cfg = model::mixtral_8x7b();
   const sim::PlatformSpec platform = sim::a6000_i9_platform();
@@ -30,6 +33,7 @@ int main() {
       opt.arrival_rate_rps = rate;
       opt.n_requests = 24;
       opt.ecr = 0.469;
+      opt.metrics = &reg;
       const auto r = eval::run_serving_eval(kind, cfg, platform,
                                             data::sharegpt_calibration(), opt);
       t.add_row({r.engine, fmt_f(rate, 3), fmt_f(r.ttft_s.mean, 1),
@@ -44,5 +48,5 @@ int main() {
       "(queue wait explodes); Fiddler sustains moderate load; DAOP's ~40%%\n"
       "higher single-stream rate translates into a ~40%% higher sustainable\n"
       "request rate at equal latency.\n");
-  return 0;
+  return benchutil::write_metrics_snapshot(flags, reg);
 }

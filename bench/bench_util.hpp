@@ -1,0 +1,36 @@
+// Shared helpers for the extension benches.
+//
+// Every bench binary stays runnable with zero arguments; passing
+// --metrics-out PATH (and optionally --metrics-format prom|json) additionally
+// dumps the observability registry the bench accumulated, so CI and operators
+// can archive a machine-readable snapshot next to the human-readable table.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "obs/metrics.hpp"
+
+namespace daop::benchutil {
+
+/// Writes `reg` to --metrics-out when given. Returns the process exit code
+/// (0 on success or when no snapshot was requested, 1 on I/O failure).
+inline int write_metrics_snapshot(const FlagParser& flags,
+                                  const obs::MetricsRegistry& reg) {
+  const std::string path = flags.get("metrics-out", "");
+  const std::string format = flags.get("metrics-format", "prom");
+  if (path.empty()) return 0;
+  std::ofstream f(path);
+  if (f) f << (format == "json" ? reg.to_json() : reg.to_prometheus());
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("metrics snapshot written to %s (%zu families)\n", path.c_str(),
+              reg.family_count());
+  return 0;
+}
+
+}  // namespace daop::benchutil

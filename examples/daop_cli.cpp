@@ -18,6 +18,7 @@
 //   daop_cli dump --dataset c4 --seq 0 --path /tmp/seq0.trace
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "cache/calibration.hpp"
@@ -26,11 +27,14 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "data/trace_io.hpp"
+#include "engines/run_metrics.hpp"
 #include "eval/accuracy.hpp"
 #include "eval/serving.hpp"
 #include "eval/similarity.hpp"
 #include "eval/speed.hpp"
 #include "model/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
 
@@ -60,8 +64,30 @@ int usage() {
       "hazards:    --hazard none|pcie|cpu|thermal|expert-load|all\n"
       "            --hazard-intensity X in [0,1]       (default 0.5)\n"
       "serve only: --timeout S --request-retries N --retry-backoff S\n"
-      "            --slo-ttft S --slo-latency S\n");
+      "            --slo-ttft S --slo-latency S --in/--out fixed lengths\n"
+      "metrics:    --metrics-out PATH --metrics-format prom|json\n"
+      "            (speed, compare, serve, timeline)\n");
   return 2;
+}
+
+/// Writes the registry to --metrics-out when given (Prometheus text format
+/// by default, JSON with --metrics-format json). Returns 0 on success or
+/// when no output was requested, 1 on I/O failure.
+int write_metrics(const FlagParser& flags, const obs::MetricsRegistry& reg) {
+  const std::string path = flags.get("metrics-out", "");
+  const std::string format = flags.get("metrics-format", "prom");
+  if (path.empty()) return 0;
+  DAOP_CHECK_MSG(format == "prom" || format == "json",
+                 "unknown --metrics-format '" << format << "'");
+  std::ofstream f(path);
+  if (f) f << (format == "json" ? reg.to_json() : reg.to_prometheus());
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("metrics written to %s (%zu families, %s)\n", path.c_str(),
+              reg.family_count(), format.c_str());
+  return 0;
 }
 
 model::ModelConfig pick_model(const std::string& name) {
@@ -138,6 +164,8 @@ int cmd_speed(const FlagParser& flags) {
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   opt.daop_config = daop_config_from(flags);
   opt.hazards = hazards_from(flags);
+  obs::MetricsRegistry reg;
+  opt.metrics = &reg;
   const auto kind = pick_engine(flags.get("engine", "daop"));
   const auto r = eval::run_speed_eval(
       kind, pick_model(flags.get("model", "mixtral")),
@@ -173,7 +201,7 @@ int cmd_speed(const FlagParser& flags) {
     t.add_row({"hazard stall (s)", fmt_f(r.counters.hazard_stall_s, 3)});
   }
   std::printf("%s", t.render().c_str());
-  return 0;
+  return write_metrics(flags, reg);
 }
 
 int cmd_serve(const FlagParser& flags) {
@@ -189,20 +217,28 @@ int cmd_serve(const FlagParser& flags) {
   opt.retry_backoff_s = flags.get_double("retry-backoff", 0.5);
   opt.slo_ttft_s = flags.get_double("slo-ttft", 0.0);
   opt.slo_latency_s = flags.get_double("slo-latency", 0.0);
+  const int fixed_in = flags.get_int("in", 0);
+  if (fixed_in > 0) opt.min_prompt = opt.max_prompt = fixed_in;
+  const int fixed_out = flags.get_int("out", 0);
+  if (fixed_out > 0) opt.min_gen = opt.max_gen = fixed_out;
+  obs::MetricsRegistry reg;
+  opt.metrics = &reg;
   const auto r = eval::run_serving_eval(
       pick_engine(flags.get("engine", "daop")),
       pick_model(flags.get("model", "mixtral")),
       pick_platform(flags.get("platform", "a6000")),
       pick_dataset(flags.get("dataset", "sharegpt")), opt);
 
-  TextTable t({"metric", "mean", "95% CI of mean"});
+  TextTable t({"metric", "mean", "p50", "p90", "p99", "95% CI of mean"});
   auto row = [&](const char* name, const Summary& s) {
-    t.add_row({name, fmt_f(s.mean, 2) + " s",
+    t.add_row({name, fmt_f(s.mean, 2) + " s", fmt_f(s.p50, 2),
+               fmt_f(s.p90, 2), fmt_f(s.p99, 2),
                fmt_f(s.mean - s.ci95, 2) + " .. " + fmt_f(s.mean + s.ci95, 2)});
   };
   std::printf("engine: %s   requests: %d   rate: %s rps\n", r.engine.c_str(),
               r.requests, fmt_f(opt.arrival_rate_rps, 3).c_str());
   row("time to first token", r.ttft_s);
+  row("time per output token", r.tpot_s);
   row("queue wait", r.queue_wait_s);
   row("request latency", r.latency_s);
   std::printf("%s", t.render().c_str());
@@ -223,7 +259,7 @@ int cmd_serve(const FlagParser& flags) {
         r.counters.migration_retries, r.counters.migration_aborts,
         r.counters.stale_precalcs);
   }
-  return 0;
+  return write_metrics(flags, reg);
 }
 
 int cmd_accuracy(const FlagParser& flags) {
@@ -298,6 +334,8 @@ int cmd_timeline(const FlagParser& flags) {
                         static_cast<std::uint64_t>(flags.get_int("seed", 7)) ^
                             0xFA017ULL);
   if (fault.enabled()) engine->set_fault_model(&fault);
+  obs::SpanTracer tracer;
+  engine->set_tracer(&tracer);
   sim::Timeline tl;
   tl.set_record_intervals(true);
   const auto r = engine->run(trace, placement, &tl);
@@ -310,7 +348,7 @@ int cmd_timeline(const FlagParser& flags) {
                         .c_str());
   const std::string json = flags.get("out-json", "");
   if (!json.empty()) {
-    if (sim::write_chrome_trace(tl, json)) {
+    if (sim::write_chrome_trace(tl, json, &tracer)) {
       std::printf("chrome trace written to %s (open in chrome://tracing)\n",
                   json.c_str());
     } else {
@@ -318,7 +356,9 @@ int cmd_timeline(const FlagParser& flags) {
       return 1;
     }
   }
-  return 0;
+  obs::MetricsRegistry reg;
+  engines::record_run_metrics(reg, r);
+  return write_metrics(flags, reg);
 }
 
 int cmd_dump(const FlagParser& flags) {
@@ -350,6 +390,8 @@ int cmd_compare(const FlagParser& flags) {
   const auto platform = pick_platform(flags.get("platform", "a6000"));
   const auto workload = pick_dataset(flags.get("dataset", "c4"));
   const bool extended = flags.get_bool("extended");
+  obs::MetricsRegistry reg;
+  opt.metrics = &reg;
 
   TextTable t({"engine", "tokens/s", "tokens/kJ", "hit rate"});
   for (auto kind : extended ? eval::extended_baseline_engines()
@@ -364,7 +406,7 @@ int cmd_compare(const FlagParser& flags) {
               cfg.name.c_str(), platform.name.c_str(), workload.name.c_str(),
               fmt_pct(opt.ecr).c_str(), opt.prompt_len, opt.gen_len);
   std::printf("%s", t.render().c_str());
-  return 0;
+  return write_metrics(flags, reg);
 }
 
 int cmd_replay(const FlagParser& flags) {

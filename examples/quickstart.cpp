@@ -7,9 +7,11 @@
 // Part 2 (performance plane): simulates one sequence of Mixtral 8x7B on the
 // paper's A6000 + i9 platform under Fiddler and DAOP and reports tokens/s.
 #include <cstdio>
+#include <fstream>
 
 #include "cache/calibration.hpp"
 #include "cache/placement.hpp"
+#include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "core/daop_engine.hpp"
 #include "core/daop_executor.hpp"
@@ -18,9 +20,13 @@
 #include "eval/accuracy.hpp"
 #include "eval/speed.hpp"
 #include "model/functional_model.hpp"
+#include "obs/metrics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace daop;
+  const FlagParser flags(argc, argv);
+  const std::string metrics_out = flags.get("metrics-out", "");
+  const std::string metrics_format = flags.get("metrics-format", "prom");
 
   // ---------------------------------------------------------------- Part 1
   std::printf("== Part 1: functional plane (real numerics, tiny model) ==\n");
@@ -71,6 +77,8 @@ int main() {
   opt.prompt_len = 128;
   opt.gen_len = 128;
   opt.ecr = 0.469;
+  obs::MetricsRegistry reg;
+  opt.metrics = &reg;
   for (auto kind : {eval::EngineKind::Fiddler, eval::EngineKind::Daop}) {
     const auto r = eval::run_speed_eval(kind, model::mixtral_8x7b(),
                                         sim::a6000_i9_platform(), data::c4(),
@@ -81,5 +89,17 @@ int main() {
   }
   std::printf("\nSee bench/ for the full reproduction of every paper table "
               "and figure.\n");
+  if (!metrics_out.empty()) {
+    std::ofstream f(metrics_out);
+    if (f) {
+      f << (metrics_format == "json" ? reg.to_json() : reg.to_prometheus());
+    }
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s (%zu families)\n", metrics_out.c_str(),
+                reg.family_count());
+  }
   return 0;
 }

@@ -26,6 +26,9 @@ Summary summarize(std::span<const double> values) {
     s.stddev = std::sqrt(ss / (s.n - 1));
     s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
   }
+  s.p50 = percentile(values, 0.50);
+  s.p90 = percentile(values, 0.90);
+  s.p99 = percentile(values, 0.99);
   return s;
 }
 

@@ -17,6 +17,12 @@ struct Summary {
   /// Half-width of the normal-approximation 95% confidence interval of the
   /// mean (1.96 * stddev / sqrt(n)); 0 for n < 2.
   double ci95 = 0.0;
+  /// Exact percentiles (linear interpolation between order statistics).
+  /// Serving tail-latency reports use these as ground truth against the
+  /// bucketed histogram estimates.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 Summary summarize(std::span<const double> values);

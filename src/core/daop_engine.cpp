@@ -1,6 +1,7 @@
 #include "core/daop_engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.hpp"
 #include "core/allocation.hpp"
@@ -13,15 +14,24 @@ namespace {
 /// Pre-calculation plan produced at layer i for layer i+1.
 struct NextLayerPlan {
   bool active = false;
+  /// Whether this plan has already been charged a misprediction (the counter
+  /// means "the predicted set missed a used expert", so it is charged at
+  /// most once per plan even when several selected experts were missed).
+  bool mispredicted = false;
   /// Result-arrival time (on GPU) per pre-calculated CPU expert; < 0 when
   /// the expert was not pre-calculated.
   std::vector<double> precalc_arrival;
   /// Graceful-degradation substitute per dropped CPU expert; -1 when none.
   std::vector<int> substitute;
+  /// Tracing: span id of the prediction instant and of each expert's
+  /// pre-calculation span (0 when tracing is off / not pre-calculated).
+  std::uint64_t pred_span = 0;
+  std::vector<std::uint64_t> precalc_span;
 
   explicit NextLayerPlan(int n_experts)
       : precalc_arrival(static_cast<std::size_t>(n_experts), -1.0),
-        substitute(static_cast<std::size_t>(n_experts), -1) {}
+        substitute(static_cast<std::size_t>(n_experts), -1),
+        precalc_span(static_cast<std::size_t>(n_experts), 0) {}
 };
 
 /// Best GPU-resident expert by `scores`, excluding `exclude`; -1 if none.
@@ -67,6 +77,7 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
   sim::Timeline local_tl;
   sim::Timeline& tl = external_tl ? *external_tl : local_tl;
   tl.set_fault_model(fault_model_);
+  const double stall0 = tl.hazard_stall_s();
 
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
@@ -95,6 +106,9 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
     const double exec =
         tl.schedule(sim::Res::CpuPool, out, exec_cost, "CPU expert");
     ++counters.cpu_expert_execs;
+    if (tracing()) {
+      tspan(engines::tracks::kExpertCpu, "CPU expert", tl.last_start(), exec);
+    }
     return tl.schedule(sim::Res::PcieH2D, exec,
                        costs_.activations_h2d(n_tokens), "acts to GPU");
   };
@@ -108,6 +122,7 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
   const double mig_cost = costs_.expert_migration();
   auto migrate = [&](double issue, const char* tag) -> double {
     double done = tl.schedule(sim::Res::PcieH2D, issue, mig_cost, tag);
+    const double mig_start = tl.last_start();
     ++counters.expert_migrations;
     const double deadline =
         config_.migration_deadline_factor > 0.0
@@ -119,6 +134,10 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
       while (fault_model_->expert_load_fails()) {
         if (attempts >= config_.max_migration_retries ||
             (deadline > 0.0 && done > deadline)) {
+          if (tracing()) {
+            tspan(engines::tracks::kMigration, std::string(tag) + " (aborted)",
+                  mig_start, done);
+          }
           return -1.0;
         }
         ++attempts;
@@ -128,7 +147,14 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
         backoff *= 2.0;
       }
     }
-    if (deadline > 0.0 && done > deadline) return -1.0;
+    if (deadline > 0.0 && done > deadline) {
+      if (tracing()) {
+        tspan(engines::tracks::kMigration, std::string(tag) + " (aborted)",
+              mig_start, done);
+      }
+      return -1.0;
+    }
+    if (tracing()) tspan(engines::tracks::kMigration, tag, mig_start, done);
     return done;
   };
 
@@ -174,10 +200,14 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
         if (exec_on_gpu[static_cast<std::size_t>(e)]) {
           ++counters.cache_hits;
           ++counters.gpu_expert_execs;
-          layer_end = std::max(
-              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                     costs_.expert_gpu_prefill(tok),
-                                     "prefill expert"));
+          const double exec_end =
+              tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                          costs_.expert_gpu_prefill(tok), "prefill expert");
+          if (tracing()) {
+            tspan(engines::tracks::kExpertGpu, "prefill expert",
+                  tl.last_start(), exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
         } else {
           ++counters.cache_misses;
           layer_end = std::max(
@@ -189,6 +219,9 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
     }
   }
   const double prefill_end = ready;
+  if (tracing()) {
+    tspan(engines::tracks::kToken, "prefill", 0.0, prefill_end);
+  }
   // The decode configuration requires all swapped-in weights to be resident.
   ready = std::max(ready, last_swap_end);
 
@@ -207,6 +240,7 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
 
   for (int t = 0; t < trace.gen_len; ++t) {
     const int ctx = trace.prompt_len + t;
+    const double token_start = ready;
     NextLayerPlan plan(E);  // produced at layer l-1 for layer l
     for (int l = 0; l < L; ++l) {
       const double nonmoe_end = tl.schedule(
@@ -214,6 +248,10 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
 
       const data::TokenRouting& tok = trace.at(data::Phase::Decode, l, t);
       std::vector<int> selected = topk_indices(tok.scores, cfg.top_k);
+      if (tracing()) {
+        tinstant(engines::tracks::kGate, "gate L" + std::to_string(l),
+                 nonmoe_end);
+      }
       // Adaptive expert skipping (extension): confident tokens keep only
       // their top-1 expert.
       if (config_.skip_top1_margin > 0.0 && selected.size() >= 2) {
@@ -236,9 +274,14 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
           // Experts swapped in mid-decode are usable once their weights
           // arrive (no-op when decode re-allocation is off).
           const double eready = std::max(nonmoe_end, swap_ready[sidx(l, e)]);
-          layer_end = std::max(
-              layer_end, tl.schedule(sim::Res::GpuStream, eready,
-                                     costs_.expert_gpu(), "GPU expert"));
+          const double exec_end = tl.schedule(sim::Res::GpuStream, eready,
+                                              costs_.expert_gpu(),
+                                              "GPU expert");
+          if (tracing()) {
+            tspan(engines::tracks::kExpertGpu, "GPU expert", tl.last_start(),
+                  exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
           continue;
         }
         ++counters.cache_misses;
@@ -261,10 +304,27 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
             ++counters.degradations;
             ++counters.gpu_expert_execs;
             exclude.push_back(fb);
-            layer_end = std::max(
-                layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                       costs_.expert_gpu(), "stale fallback"));
+            if (tracing()) {
+              const std::uint64_t d = tinstant(
+                  engines::tracks::kPrecalc,
+                  "pre-calc discard E" + std::to_string(e), nonmoe_end);
+              tflow(plan.precalc_span[ei], d, "stale");
+            }
+            const double exec_end =
+                tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                            costs_.expert_gpu(), "stale fallback");
+            if (tracing()) {
+              tspan(engines::tracks::kExpertGpu, "stale fallback",
+                    tl.last_start(), exec_end);
+            }
+            layer_end = std::max(layer_end, exec_end);
           } else {
+            if (tracing()) {
+              const std::uint64_t c = tinstant(
+                  engines::tracks::kPrecalc,
+                  "pre-calc commit E" + std::to_string(e), arrival);
+              tflow(plan.precalc_span[ei], c, "commit");
+            }
             layer_end = std::max(layer_end, arrival);
           }
         } else if (plan.active && plan.substitute[ei] >= 0) {
@@ -272,12 +332,23 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
           // substitute executes with exact current inputs.
           ++counters.gpu_expert_execs;
           exclude.push_back(plan.substitute[ei]);
-          layer_end = std::max(
-              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                     costs_.expert_gpu(), "substitute expert"));
+          const double exec_end =
+              tl.schedule(sim::Res::GpuStream, nonmoe_end, costs_.expert_gpu(),
+                          "substitute expert");
+          if (tracing()) {
+            tspan(engines::tracks::kExpertGpu, "substitute expert",
+                  tl.last_start(), exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
         } else if (plan.active) {
           // Misprediction: a selected CPU expert was not pre-calculated.
-          ++counters.mispredictions;
+          // Charged once per plan — the counter's unit is "predicted set
+          // missed a used expert", not "missed expert", so a top-k gate
+          // missing both experts is still one misprediction.
+          if (!plan.mispredicted) {
+            plan.mispredicted = true;
+            ++counters.mispredictions;
+          }
           int fb = -1;
           if (config_.mispredict_policy == MispredictPolicy::GracefulFallback) {
             fb = best_gpu_expert(placement, l, tok.scores, exclude);
@@ -286,9 +357,14 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
             ++counters.degradations;
             ++counters.gpu_expert_execs;
             exclude.push_back(fb);
-            layer_end = std::max(
-                layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                       costs_.expert_gpu(), "fallback expert"));
+            const double exec_end =
+                tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                            costs_.expert_gpu(), "fallback expert");
+            if (tracing()) {
+              tspan(engines::tracks::kExpertGpu, "fallback expert",
+                    tl.last_start(), exec_end);
+            }
+            layer_end = std::max(layer_end, exec_end);
           } else {
             layer_end = std::max(
                 layer_end, cpu_expert_sync(nonmoe_end, 1, cpu_expert_cost));
@@ -310,6 +386,11 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
         if (!ntok.pred_scores.empty()) {
           plan.active = true;
           ++counters.predictions;
+          if (tracing()) {
+            plan.pred_span =
+                tinstant(engines::tracks::kPrediction,
+                         "predict L" + std::to_string(nl), nonmoe_end);
+          }
           std::vector<int> predicted = topk_indices(ntok.pred_scores, cfg.top_k);
           // Under adaptive skipping, confident predictions only need their
           // top-1 expert pre-calculated.
@@ -345,18 +426,33 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
             const double out =
                 tl.schedule(sim::Res::PcieD2H, nonmoe_end,
                             costs_.activations_d2h(1), "precalc acts");
+            const double pstart = tl.last_start();
             const double exec = tl.schedule(sim::Res::CpuPool, out,
                                             cpu_expert_cost,
                                             "precalc CPU expert");
             ++counters.cpu_expert_execs;
-            plan.precalc_arrival[static_cast<std::size_t>(e)] =
+            const double arrival =
                 tl.schedule(sim::Res::PcieH2D, exec,
                             costs_.activations_h2d(1), "precalc result");
+            plan.precalc_arrival[static_cast<std::size_t>(e)] = arrival;
+            if (tracing()) {
+              const std::uint64_t ps =
+                  tspan(engines::tracks::kPrecalc,
+                        "pre-calc L" + std::to_string(nl) + " E" +
+                            std::to_string(e),
+                        pstart, arrival);
+              plan.precalc_span[static_cast<std::size_t>(e)] = ps;
+              tflow(plan.pred_span, ps, "pre-calc");
+            }
           }
         }
       }
 
       ready = layer_end;
+    }
+    if (tracing()) {
+      tspan(engines::tracks::kToken, "token " + std::to_string(t),
+            token_start, ready);
     }
 
     // Decode re-allocation (extension): every N tokens, re-run Algorithm 1
@@ -383,7 +479,7 @@ engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
     }
   }
 
-  return finalize(name(), trace, tl, prefill_end, ready, counters);
+  return finalize(name(), trace, tl, prefill_end, ready, counters, stall0);
 }
 
 std::unique_ptr<engines::Engine> make_daop(const model::OpCosts& costs,

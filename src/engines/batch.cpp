@@ -247,6 +247,10 @@ BatchResult run_daop_batch(const model::OpCosts& costs,
       for (int b = 0; b < B; ++b) {
         const auto& tok = traces[static_cast<std::size_t>(b)].at(
             data::Phase::Decode, l, t);
+        // Charged at most once per sequence per plan: the counter means
+        // "this sequence's predicted set missed a used expert", matching
+        // the single-sequence engine's per-plan semantics.
+        bool missed = false;
         for (int e : topk_indices(tok.scores, cfg.top_k)) {
           const auto ei = static_cast<std::size_t>(e);
           if (placement.on_gpu(l, e)) {
@@ -263,7 +267,10 @@ BatchResult run_daop_batch(const model::OpCosts& costs,
             ++gpu_tokens[static_cast<std::size_t>(
                 plan.sub[static_cast<std::size_t>(b)][ei])];
           } else if (plan.active) {
-            ++counters.mispredictions;
+            if (!missed) {
+              missed = true;
+              ++counters.mispredictions;
+            }
             ++cpu_exact_tokens[ei];  // RecomputeExact semantics in batch
           } else {
             ++cpu_exact_tokens[ei];  // early layers: in-place hybrid

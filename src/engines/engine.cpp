@@ -6,11 +6,30 @@
 
 namespace daop::engines {
 
+void EngineCounters::add(const EngineCounters& o) {
+  expert_migrations += o.expert_migrations;
+  gpu_expert_execs += o.gpu_expert_execs;
+  cpu_expert_execs += o.cpu_expert_execs;
+  cache_hits += o.cache_hits;
+  cache_misses += o.cache_misses;
+  prefetch_hits += o.prefetch_hits;
+  predictions += o.predictions;
+  mispredictions += o.mispredictions;
+  degradations += o.degradations;
+  prefill_swaps += o.prefill_swaps;
+  decode_swaps += o.decode_swaps;
+  skipped_experts += o.skipped_experts;
+  migration_retries += o.migration_retries;
+  migration_aborts += o.migration_aborts;
+  stale_precalcs += o.stale_precalcs;
+  hazard_stall_s += o.hazard_stall_s;
+}
+
 RunResult Engine::finalize(const std::string& name,
                            const data::SequenceTrace& trace,
                            const sim::Timeline& tl, double prefill_end,
-                           double decode_end,
-                           const EngineCounters& counters) const {
+                           double decode_end, const EngineCounters& counters,
+                           double hazard_stall_baseline_s) const {
   DAOP_CHECK_GE(decode_end, prefill_end);
   RunResult r;
   r.engine = name;
@@ -30,9 +49,28 @@ RunResult Engine::finalize(const std::string& name,
   }
   r.counters = counters;
   // Hazard stall time is accumulated by the timeline (the single place all
-  // engines schedule through), not by engine code.
-  r.counters.hazard_stall_s = tl.hazard_stall_s();
+  // engines schedule through), not by engine code. Subtracting the run's
+  // starting baseline keeps the counter per-run even on a reused timeline.
+  r.counters.hazard_stall_s = tl.hazard_stall_s() - hazard_stall_baseline_s;
   return r;
+}
+
+std::uint64_t Engine::tspan(const char* track, std::string name, double start,
+                            double end) const {
+  if (tracer_ == nullptr) return 0;
+  return tracer_->span(tracer_->track(track), std::move(name), start, end);
+}
+
+std::uint64_t Engine::tinstant(const char* track, std::string name,
+                               double t) const {
+  if (tracer_ == nullptr) return 0;
+  return tracer_->instant(tracer_->track(track), std::move(name), t);
+}
+
+void Engine::tflow(std::uint64_t from, std::uint64_t to,
+                   std::string name) const {
+  if (tracer_ == nullptr || from == 0 || to == 0) return;
+  tracer_->flow(from, to, std::move(name));
 }
 
 RunResult aggregate_results(const std::string& name,
@@ -48,22 +86,7 @@ RunResult aggregate_results(const std::string& name,
     agg.decode_s += r.decode_s;
     agg.total_s += r.total_s;
     energy_j += r.energy.total_j;
-    agg.counters.expert_migrations += r.counters.expert_migrations;
-    agg.counters.gpu_expert_execs += r.counters.gpu_expert_execs;
-    agg.counters.cpu_expert_execs += r.counters.cpu_expert_execs;
-    agg.counters.cache_hits += r.counters.cache_hits;
-    agg.counters.cache_misses += r.counters.cache_misses;
-    agg.counters.prefetch_hits += r.counters.prefetch_hits;
-    agg.counters.predictions += r.counters.predictions;
-    agg.counters.mispredictions += r.counters.mispredictions;
-    agg.counters.degradations += r.counters.degradations;
-    agg.counters.prefill_swaps += r.counters.prefill_swaps;
-    agg.counters.decode_swaps += r.counters.decode_swaps;
-    agg.counters.skipped_experts += r.counters.skipped_experts;
-    agg.counters.migration_retries += r.counters.migration_retries;
-    agg.counters.migration_aborts += r.counters.migration_aborts;
-    agg.counters.stale_precalcs += r.counters.stale_precalcs;
-    agg.counters.hazard_stall_s += r.counters.hazard_stall_s;
+    agg.counters.add(r.counters);
   }
   agg.energy.total_j = energy_j;
   if (agg.total_s > 0.0) {

@@ -15,11 +15,24 @@
 #include "cache/placement.hpp"
 #include "data/routing_trace.hpp"
 #include "model/op_costs.hpp"
+#include "obs/span_tracer.hpp"
 #include "sim/energy.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
 
 namespace daop::engines {
+
+/// Canonical span-track names shared by all engines, so traces from
+/// different engines line up in the same viewer rows.
+namespace tracks {
+inline constexpr const char* kGate = "Gate";
+inline constexpr const char* kToken = "Token";
+inline constexpr const char* kExpertGpu = "Expert GPU";
+inline constexpr const char* kExpertCpu = "Expert CPU";
+inline constexpr const char* kMigration = "Migration";
+inline constexpr const char* kPrediction = "Prediction";
+inline constexpr const char* kPrecalc = "Pre-calc";
+}  // namespace tracks
 
 struct EngineCounters {
   long long expert_migrations = 0;   ///< CPU->GPU weight transfers
@@ -46,6 +59,11 @@ struct EngineCounters {
                                      ///< because they arrived too late
   double hazard_stall_s = 0.0;       ///< total hazard delay injected into
                                      ///< this run's scheduled ops
+
+  /// Accumulates another run's counters into this one. Every aggregation
+  /// path (multi-sequence averaging, serving) goes through this so a newly
+  /// added counter can never be silently dropped by one of them.
+  void add(const EngineCounters& o);
 };
 
 struct RunResult {
@@ -91,14 +109,35 @@ class Engine {
   void set_fault_model(sim::FaultModel* fm) { fault_model_ = fm; }
   sim::FaultModel* fault_model() const { return fault_model_; }
 
+  /// Attaches a span tracer; subsequent runs record gate / expert-exec /
+  /// migration / prediction / pre-calculation spans into it. Tracing is
+  /// strictly passive — spans are derived from times the schedule already
+  /// produced, so the timeline is bit-identical with or without a tracer.
+  /// nullptr (the default) disables tracing.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  obs::SpanTracer* tracer() const { return tracer_; }
+
  protected:
   /// Fills the derived timing/energy fields of a result.
+  /// `hazard_stall_baseline_s` is the timeline's accumulated hazard stall at
+  /// the start of this run, so a reused external timeline does not leak a
+  /// previous run's stalls into this result's counters.
   RunResult finalize(const std::string& name, const data::SequenceTrace& trace,
                      const sim::Timeline& tl, double prefill_end,
-                     double decode_end, const EngineCounters& counters) const;
+                     double decode_end, const EngineCounters& counters,
+                     double hazard_stall_baseline_s = 0.0) const;
+
+  // ---- Tracing helpers: exact no-ops without an attached tracer. ----
+  bool tracing() const { return tracer_ != nullptr; }
+  std::uint64_t tspan(const char* track, std::string name, double start,
+                      double end) const;
+  std::uint64_t tinstant(const char* track, std::string name, double t) const;
+  void tflow(std::uint64_t from, std::uint64_t to,
+             std::string name = {}) const;
 
   const model::OpCosts& costs_;
   sim::FaultModel* fault_model_ = nullptr;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 /// Averages results over multiple sequences (rates are recomputed from the

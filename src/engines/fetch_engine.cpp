@@ -1,6 +1,7 @@
 #include "engines/fetch_engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
 
 #include "common/check.hpp"
@@ -18,6 +19,13 @@ struct FetchState {
   /// Completion time of an in-flight (or done) transfer per (layer, expert);
   /// negative when none.
   std::vector<double> fetch_ready;
+  /// Set while a *prefetch* (speculative fetch issued ahead of need) is
+  /// outstanding and has not yet been credited as a prefetch hit. A single
+  /// prefetch is credited at most once, on its first use; demand fetches
+  /// never set this.
+  std::vector<char> prefetch_pending;
+  /// Tracing: span id of the last fetch per (layer, expert); 0 when none.
+  std::vector<std::uint64_t> fetch_span;
 
   explicit FetchState(const cache::Placement& initial)
       : placement(initial),
@@ -26,7 +34,9 @@ struct FetchState {
                  0),
         fetch_ready(static_cast<std::size_t>(initial.n_layers()) *
                         initial.n_experts(),
-                    -1.0) {}
+                    -1.0),
+        prefetch_pending(fetch_ready.size(), 0),
+        fetch_span(fetch_ready.size(), 0) {}
 
   std::size_t idx(int l, int e) const {
     return static_cast<std::size_t>(l) *
@@ -66,6 +76,7 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
   sim::Timeline local_tl;
   sim::Timeline& tl = external_tl ? *external_tl : local_tl;
   tl.set_fault_model(fault_model_);
+  const double stall0 = tl.hazard_stall_s();
 
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
@@ -94,6 +105,8 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
       if (v < 0) return false;
       st.placement.move_to_cpu(l, v);
       st.fetch_ready[st.idx(l, v)] = -1.0;
+      // An evicted prefetch was never used, so it can no longer be a hit.
+      st.prefetch_pending[st.idx(l, v)] = 0;
     }
     st.placement.move_to_gpu(l, e);
     return true;
@@ -108,6 +121,7 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
                              : std::max(issue, serial_after);
     double done =
         tl.schedule(sim::Res::PcieH2D, ready, mig_time, "fetch expert");
+    const double fetch_start = tl.last_start();
     ++counters.expert_migrations;
     // Transient expert-load failures (fault plane): a GPU-centric engine
     // has no CPU execution path to degrade to, so it must re-stream the
@@ -128,6 +142,14 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
       }
     }
     st.fetch_ready[st.idx(l, e)] = done;
+    // A re-stream always supersedes any previous fetch of this expert.
+    st.prefetch_pending[st.idx(l, e)] = 0;
+    if (tracing()) {
+      st.fetch_span[st.idx(l, e)] = tspan(
+          tracks::kMigration, "fetch L" + std::to_string(l) + " E" +
+                                  std::to_string(e),
+          fetch_start, done);
+    }
     return done;
   };
 
@@ -175,6 +197,10 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
             tl.schedule(sim::Res::GpuStream, exec_ready,
                         costs_.expert_gpu_prefill(tok), "prefill expert");
         ++counters.gpu_expert_execs;
+        if (tracing()) {
+          tspan(tracks::kExpertGpu, "prefill expert", tl.last_start(),
+                exec_end);
+        }
         st.touch(l, e);
         prev_exec_end = exec_end;
         layer_end = std::max(layer_end, exec_end);
@@ -183,6 +209,7 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
     }
   }
   const double prefill_end = ready;
+  if (tracing()) tspan(tracks::kToken, "prefill", 0.0, prefill_end);
 
   // ---- Decode ----
   // Sequence-pattern prefetches (MoE-Infinity) are issued once per
@@ -192,15 +219,20 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
       static_cast<std::size_t>(L) * cfg.n_experts, false);
   for (int t = 0; t < trace.gen_len; ++t) {
     const int ctx = trace.prompt_len + t;
+    const double token_start = ready;
     for (int l = 0; l < L; ++l) {
       const double nonmoe_end = tl.schedule(
           sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
       const std::vector<int> selected = trace.selected(data::Phase::Decode, l, t);
       std::unordered_set<int> protect(selected.begin(), selected.end());
+      if (tracing()) {
+        tinstant(tracks::kGate, "gate L" + std::to_string(l), nonmoe_end);
+      }
 
       // Issue next-layer prefetches as soon as this layer's gate resolves.
       if (policy_.prefetch_next_layer && l + 1 < L) {
         std::vector<int> guess;
+        std::uint64_t pred_span = 0;
         if (policy_.prefetch_uses_sequence_pattern) {
           // MoE-Infinity: prefetch the next layer's sequence-level dominant
           // experts (prefill activation pattern).
@@ -210,7 +242,14 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
           guess = topk_indices(scores, cfg.top_k);
         } else if (policy_.prefetch_uses_prediction) {
           guess = trace.predicted(l + 1, t);
-          if (!guess.empty()) ++counters.predictions;
+          if (!guess.empty()) {
+            ++counters.predictions;
+            if (tracing()) {
+              pred_span = tinstant(tracks::kPrediction,
+                                   "predict L" + std::to_string(l + 1),
+                                   nonmoe_end);
+            }
+          }
         } else {
           guess = selected;  // assume expert reuse across layers
         }
@@ -224,6 +263,8 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
             pattern_prefetched[i] = true;
           }
           fetch(l + 1, e, nonmoe_end, nonmoe_end);
+          st.prefetch_pending[i] = 1;
+          tflow(pred_span, st.fetch_span[i], "prefetch");
           if (policy_.reuse_cache) {
             make_resident(l + 1, e, std::unordered_set<int>(guess.begin(),
                                                             guess.end()));
@@ -236,20 +277,21 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
       for (int e : selected) {
         double exec_ready = nonmoe_end;
         const std::size_t i = st.idx(l, e);
+        bool consumed_prefetch = false;
         if (st.placement.on_gpu(l, e)) {
           ++counters.cache_hits;
+          consumed_prefetch = st.prefetch_pending[i] != 0;
           // May still be in-flight from a prefetch.
           if (st.fetch_ready[i] > exec_ready) {
             exec_ready = st.fetch_ready[i];
-            ++counters.prefetch_hits;
           }
         } else {
           ++counters.cache_misses;
           if (st.fetch_ready[i] >= 0.0) {
-            // An earlier prefetch is in flight (or landed without a free
+            // An earlier fetch is in flight (or landed without a free
             // slot); consume it instead of re-streaming the weights.
             exec_ready = std::max(nonmoe_end, st.fetch_ready[i]);
-            ++counters.prefetch_hits;
+            consumed_prefetch = st.prefetch_pending[i] != 0;
           } else {
             exec_ready = fetch(l, e, nonmoe_end, prev_exec_end);
           }
@@ -259,8 +301,18 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
             st.fetch_ready[i] = -1.0;
           }
         }
+        if (consumed_prefetch) {
+          // Credit each speculative prefetch at most once, on first use.
+          st.prefetch_pending[i] = 0;
+          ++counters.prefetch_hits;
+        }
         const double exec_end = tl.schedule(
             sim::Res::GpuStream, exec_ready, costs_.expert_gpu(), "expert");
+        if (tracing()) {
+          const std::uint64_t x = tspan(tracks::kExpertGpu, "expert",
+                                        tl.last_start(), exec_end);
+          if (consumed_prefetch) tflow(st.fetch_span[i], x, "prefetched");
+        }
         ++counters.gpu_expert_execs;
         st.touch(l, e);
         prev_exec_end = exec_end;
@@ -268,9 +320,13 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
       }
       ready = layer_end;
     }
+    if (tracing()) {
+      tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready);
+    }
   }
 
-  return finalize(policy_.name, trace, tl, prefill_end, ready, counters);
+  return finalize(policy_.name, trace, tl, prefill_end, ready, counters,
+                  stall0);
 }
 
 std::unique_ptr<Engine> make_moe_ondemand(const model::OpCosts& costs) {

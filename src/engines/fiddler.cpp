@@ -12,6 +12,7 @@ RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
   sim::Timeline local_tl;
   sim::Timeline& tl = external_tl ? *external_tl : local_tl;
   tl.set_fault_model(fault_model_);
+  const double stall0 = tl.hazard_stall_s();
 
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
@@ -27,6 +28,9 @@ RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
     const double exec =
         tl.schedule(sim::Res::CpuPool, out, exec_cost, "CPU expert");
     ++counters.cpu_expert_execs;
+    if (tracing()) {
+      tspan(tracks::kExpertCpu, "CPU expert", tl.last_start(), exec);
+    }
     return tl.schedule(sim::Res::PcieH2D, exec,
                        costs_.activations_h2d(n_tokens), "acts to GPU");
   };
@@ -48,10 +52,14 @@ RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
         if (initial.on_gpu(l, e)) {
           ++counters.cache_hits;
           ++counters.gpu_expert_execs;
-          layer_end = std::max(
-              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                     costs_.expert_gpu_prefill(tok),
-                                     "prefill expert"));
+          const double exec_end =
+              tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                          costs_.expert_gpu_prefill(tok), "prefill expert");
+          if (tracing()) {
+            tspan(tracks::kExpertGpu, "prefill expert", tl.last_start(),
+                  exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
         } else {
           ++counters.cache_misses;
           layer_end = std::max(
@@ -63,21 +71,30 @@ RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
     }
   }
   const double prefill_end = ready;
+  if (tracing()) tspan(tracks::kToken, "prefill", 0.0, prefill_end);
 
   // ---- Decode: per-layer synchronous hybrid execution ----
   for (int t = 0; t < trace.gen_len; ++t) {
     const int ctx = trace.prompt_len + t;
+    const double token_start = ready;
     for (int l = 0; l < L; ++l) {
       const double nonmoe_end = tl.schedule(
           sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
+      if (tracing()) {
+        tinstant(tracks::kGate, "gate L" + std::to_string(l), nonmoe_end);
+      }
       double layer_end = nonmoe_end;
       for (int e : trace.selected(data::Phase::Decode, l, t)) {
         if (initial.on_gpu(l, e)) {
           ++counters.cache_hits;
           ++counters.gpu_expert_execs;
-          layer_end = std::max(
-              layer_end, tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                     costs_.expert_gpu(), "GPU expert"));
+          const double exec_end = tl.schedule(sim::Res::GpuStream, nonmoe_end,
+                                              costs_.expert_gpu(),
+                                              "GPU expert");
+          if (tracing()) {
+            tspan(tracks::kExpertGpu, "GPU expert", tl.last_start(), exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
         } else {
           ++counters.cache_misses;
           layer_end =
@@ -86,9 +103,12 @@ RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
       }
       ready = layer_end;
     }
+    if (tracing()) {
+      tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready);
+    }
   }
 
-  return finalize(name(), trace, tl, prefill_end, ready, counters);
+  return finalize(name(), trace, tl, prefill_end, ready, counters, stall0);
 }
 
 std::unique_ptr<Engine> make_fiddler(const model::OpCosts& costs) {

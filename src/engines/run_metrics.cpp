@@ -1,0 +1,100 @@
+#include "engines/run_metrics.hpp"
+
+namespace daop::engines {
+namespace {
+
+obs::Labels with(const obs::Labels& base, const std::string& key,
+                 const std::string& value) {
+  obs::Labels out = base;
+  out.emplace_back(key, value);
+  return out;
+}
+
+}  // namespace
+
+void record_counter_metrics(obs::MetricsRegistry& reg,
+                            const EngineCounters& c,
+                            const obs::Labels& labels) {
+  reg.counter("daop_expert_execs_total", "Expert executions by device.",
+              with(labels, "device", "gpu"))
+      .inc(static_cast<double>(c.gpu_expert_execs));
+  reg.counter("daop_expert_execs_total", "Expert executions by device.",
+              with(labels, "device", "cpu"))
+      .inc(static_cast<double>(c.cpu_expert_execs));
+  reg.counter("daop_expert_cache_lookups_total",
+              "Selected-expert GPU cache lookups by result.",
+              with(labels, "result", "hit"))
+      .inc(static_cast<double>(c.cache_hits));
+  reg.counter("daop_expert_cache_lookups_total",
+              "Selected-expert GPU cache lookups by result.",
+              with(labels, "result", "miss"))
+      .inc(static_cast<double>(c.cache_misses));
+  reg.counter("daop_expert_migrations_total",
+              "CPU-to-GPU expert weight transfers.", labels)
+      .inc(static_cast<double>(c.expert_migrations));
+  reg.counter("daop_expert_migration_retries_total",
+              "Expert-load attempts retried after transient failures.",
+              labels)
+      .inc(static_cast<double>(c.migration_retries));
+  reg.counter("daop_expert_migration_aborts_total",
+              "Migrations abandoned (deadline exceeded or retries exhausted).",
+              labels)
+      .inc(static_cast<double>(c.migration_aborts));
+  reg.counter("daop_prefetch_hits_total",
+              "Prefetched or pre-fetched experts that were actually used.",
+              labels)
+      .inc(static_cast<double>(c.prefetch_hits));
+  reg.counter("daop_predictions_total", "Gate-ahead predictions issued.",
+              labels)
+      .inc(static_cast<double>(c.predictions));
+  reg.counter("daop_mispredictions_total",
+              "Predictions whose expert set missed a used expert.", labels)
+      .inc(static_cast<double>(c.mispredictions));
+  reg.counter("daop_degradations_total",
+              "Graceful-degradation expert substitutions.", labels)
+      .inc(static_cast<double>(c.degradations));
+  reg.counter("daop_swaps_total", "Expert placement swaps by phase.",
+              with(labels, "phase", "prefill"))
+      .inc(static_cast<double>(c.prefill_swaps));
+  reg.counter("daop_swaps_total", "Expert placement swaps by phase.",
+              with(labels, "phase", "decode"))
+      .inc(static_cast<double>(c.decode_swaps));
+  reg.counter("daop_skipped_experts_total",
+              "Experts skipped by the adaptive top-1 margin.", labels)
+      .inc(static_cast<double>(c.skipped_experts));
+  reg.counter("daop_stale_precalcs_total",
+              "Pre-calculated results discarded for arriving too late.",
+              labels)
+      .inc(static_cast<double>(c.stale_precalcs));
+  reg.counter("daop_hazard_stall_seconds_total",
+              "Total hazard delay injected into scheduled ops.", labels)
+      .inc(c.hazard_stall_s);
+}
+
+void record_run_metrics(obs::MetricsRegistry& reg, const RunResult& r,
+                        const obs::Labels& labels) {
+  reg.counter("daop_engine_runs_total", "Sequences simulated.", labels).inc();
+  reg.counter("daop_engine_prompt_tokens_total", "Prompt tokens processed.",
+              labels)
+      .inc(static_cast<double>(r.prompt_tokens));
+  reg.counter("daop_engine_generated_tokens_total", "Tokens generated.",
+              labels)
+      .inc(static_cast<double>(r.generated_tokens));
+  reg.counter("daop_engine_phase_seconds_total",
+              "Simulated wall time by phase.",
+              with(labels, "phase", "prefill"))
+      .inc(r.prefill_s);
+  reg.counter("daop_engine_phase_seconds_total",
+              "Simulated wall time by phase.", with(labels, "phase", "decode"))
+      .inc(r.decode_s);
+  reg.counter("daop_engine_energy_joules_total",
+              "Simulated energy consumed across runs.", labels)
+      .inc(r.energy.total_j);
+  record_counter_metrics(reg, r.counters, labels);
+}
+
+void record_run_metrics(obs::MetricsRegistry& reg, const RunResult& r) {
+  record_run_metrics(reg, r, obs::Labels{{"engine", r.engine}});
+}
+
+}  // namespace daop::engines

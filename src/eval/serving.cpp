@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include <string>
+
 #include "cache/calibration.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "data/trace_generator.hpp"
+#include "engines/run_metrics.hpp"
 #include "model/op_costs.hpp"
 
 namespace daop::eval {
@@ -43,6 +46,7 @@ ServingResult run_serving_eval(EngineKind kind,
   auto engine = make_engine(kind, costs, options.daop_config);
   sim::FaultModel fault(options.hazards, options.seed ^ 0xFA017ULL);
   if (fault.enabled()) engine->set_fault_model(&fault);
+  if (options.tracer != nullptr) engine->set_tracer(options.tracer);
 
   Rng rng(options.seed ^ 0x5e7511e5ULL);
   double arrival = 0.0;
@@ -53,6 +57,10 @@ ServingResult run_serving_eval(EngineKind kind,
   std::vector<double> ttft;
   std::vector<double> latency;
   std::vector<double> wait;
+  std::vector<double> tpot;
+  obs::HistogramData ttft_hist(obs::default_latency_buckets());
+  obs::HistogramData tpot_hist(obs::default_latency_buckets());
+  obs::HistogramData latency_hist(obs::default_latency_buckets());
   double makespan = 0.0;
 
   ServingResult out;
@@ -85,6 +93,12 @@ ServingResult run_serving_eval(EngineKind kind,
         break;
       }
       const data::SequenceTrace trace = gen.generate(i, prompt, gen_len);
+      if (options.tracer != nullptr) {
+        // Engine-local spans start at t=0; shift them onto the serving
+        // clock and stamp them with this request's id.
+        options.tracer->set_request(i);
+        options.tracer->set_time_offset(start);
+      }
       const engines::RunResult r = engine->run(trace, initial);
       const double end = start + r.total_s;
       server_free = end;
@@ -98,22 +112,30 @@ ServingResult run_serving_eval(EngineKind kind,
       const double w = start - arrival;
       const double first_tok = w + r.prefill_s;
       const double lat = end - arrival;
+      const double per_tok =
+          r.generated_tokens > 0 ? r.decode_s / r.generated_tokens : 0.0;
       wait.push_back(w);
       ttft.push_back(first_tok);
       latency.push_back(lat);
+      tpot.push_back(per_tok);
+      ttft_hist.observe(first_tok);
+      tpot_hist.observe(per_tok);
+      latency_hist.observe(lat);
+      if (options.tracer != nullptr) {
+        obs::SpanTracer& tr = *options.tracer;
+        tr.set_time_offset(0.0);
+        const std::uint32_t q_track = tr.track("Queue");
+        const std::uint32_t req_track = tr.track("Request");
+        tr.span(q_track, "queue wait", arrival, start);
+        tr.span(req_track, "request " + std::to_string(i), start, end);
+        tr.instant(req_track, "first token", start + r.prefill_s);
+        tr.set_request(-1);
+      }
       if ((options.slo_ttft_s > 0.0 && first_tok > options.slo_ttft_s) ||
           (options.slo_latency_s > 0.0 && lat > options.slo_latency_s)) {
         ++out.slo_violations;
       }
-      out.counters.expert_migrations += r.counters.expert_migrations;
-      out.counters.migration_retries += r.counters.migration_retries;
-      out.counters.migration_aborts += r.counters.migration_aborts;
-      out.counters.stale_precalcs += r.counters.stale_precalcs;
-      out.counters.degradations += r.counters.degradations;
-      out.counters.mispredictions += r.counters.mispredictions;
-      out.counters.cache_hits += r.counters.cache_hits;
-      out.counters.cache_misses += r.counters.cache_misses;
-      out.counters.hazard_stall_s += r.counters.hazard_stall_s;
+      out.counters.add(r.counters);
       break;
     }
     if (dropped) {
@@ -129,13 +151,63 @@ ServingResult run_serving_eval(EngineKind kind,
     out.ttft_s = summarize(ttft);
     out.latency_s = summarize(latency);
     out.queue_wait_s = summarize(wait);
+    out.tpot_s = summarize(tpot);
   }
+  out.ttft_hist = ttft_hist;
+  out.tpot_hist = tpot_hist;
+  out.latency_hist = latency_hist;
   out.makespan_s = makespan;
   out.slo_violation_rate =
       static_cast<double>(out.slo_violations) / options.n_requests;
   if (makespan > 0.0) {
     out.throughput_tps = static_cast<double>(tokens) / makespan;
     out.busy_fraction = std::min(1.0, busy / makespan);
+  }
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    const obs::Labels labels{{"engine", out.engine}};
+    const std::vector<double> buckets = obs::default_latency_buckets();
+    reg.counter("daop_serving_requests_total", "Requests by final outcome.",
+                obs::Labels{{"engine", out.engine}, {"outcome", "served"}})
+        .inc(static_cast<double>(out.served));
+    reg.counter("daop_serving_requests_total", "Requests by final outcome.",
+                obs::Labels{{"engine", out.engine}, {"outcome", "dropped"}})
+        .inc(static_cast<double>(out.dropped));
+    reg.counter("daop_serving_request_retries_total",
+                "Client re-queues after queue-wait timeouts.", labels)
+        .inc(static_cast<double>(out.request_retries));
+    reg.counter("daop_serving_slo_violations_total",
+                "Served requests breaching an SLO, plus dropped requests.",
+                labels)
+        .inc(static_cast<double>(out.slo_violations));
+    reg.counter("daop_serving_generated_tokens_total",
+                "Tokens generated across served requests.", labels)
+        .inc(static_cast<double>(tokens));
+    reg.histogram("daop_serving_ttft_seconds",
+                  "Arrival to first output token.", buckets, labels)
+        .merge(ttft_hist);
+    reg.histogram("daop_serving_tpot_seconds",
+                  "Mean time per output token per request.", buckets, labels)
+        .merge(tpot_hist);
+    reg.histogram("daop_serving_latency_seconds",
+                  "Arrival to request completion.", buckets, labels)
+        .merge(latency_hist);
+    obs::HistogramData wait_hist(buckets);
+    for (double v : wait) wait_hist.observe(v);
+    reg.histogram("daop_serving_queue_wait_seconds",
+                  "Arrival to service start.", buckets, labels)
+        .merge(wait_hist);
+    reg.gauge("daop_serving_throughput_tokens_per_second",
+              "Generated tokens per second of makespan.", labels)
+        .set(out.throughput_tps);
+    reg.gauge("daop_serving_makespan_seconds",
+              "Last request completion time.", labels)
+        .set(out.makespan_s);
+    reg.gauge("daop_serving_busy_fraction",
+              "Fraction of the makespan the server spent serving.", labels)
+        .set(out.busy_fraction);
+    engines::record_counter_metrics(reg, out.counters, labels);
   }
   return out;
 }

@@ -12,6 +12,8 @@
 
 #include "common/stats.hpp"
 #include "eval/speed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace daop::eval {
 
@@ -46,6 +48,16 @@ struct ServingOptions {
   /// check.
   double slo_ttft_s = 0.0;
   double slo_latency_s = 0.0;
+
+  // ---- Observability (both default off) ----
+  // Attaching either is strictly passive: the simulated schedule, queue
+  // decisions and all timing results stay bit-identical.
+  /// Receives serving latency histograms, request outcome counters and the
+  /// summed engine counters.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Receives per-request spans (queue wait, request service, first-token
+  /// instant) plus the engine's own spans shifted onto the serving clock.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 struct ServingResult {
@@ -54,6 +66,13 @@ struct ServingResult {
   Summary ttft_s;          ///< arrival -> first output token (served only)
   Summary latency_s;       ///< arrival -> request complete (served only)
   Summary queue_wait_s;    ///< arrival -> service start (served only)
+  Summary tpot_s;          ///< mean time per output token (served only)
+  /// Bucketed latency distributions (default_latency_buckets), observed per
+  /// served request. histogram_quantile over these agrees with the exact
+  /// Summary percentiles to within one bucket width.
+  obs::HistogramData ttft_hist;
+  obs::HistogramData tpot_hist;
+  obs::HistogramData latency_hist;
   double throughput_tps = 0.0;  ///< generated tokens / makespan
   double makespan_s = 0.0;
   /// Fraction of the makespan the server spent serving (1.0 ≈ saturated).

@@ -6,6 +6,7 @@
 #include "data/trace_generator.hpp"
 #include "engines/fetch_engine.hpp"
 #include "engines/fiddler.hpp"
+#include "engines/run_metrics.hpp"
 #include "model/op_costs.hpp"
 
 namespace daop::eval {
@@ -105,6 +106,9 @@ std::vector<engines::RunResult> run_speed_eval_per_sequence(
     const data::SequenceTrace trace =
         gen.generate(s, options.prompt_len, options.gen_len);
     results.push_back(engine->run(trace, initial));
+    if (options.metrics != nullptr) {
+      engines::record_run_metrics(*options.metrics, results.back());
+    }
   }
   return results;
 }

@@ -11,6 +11,7 @@
 #include "core/daop_config.hpp"
 #include "data/workload.hpp"
 #include "engines/engine.hpp"
+#include "obs/metrics.hpp"
 #include "sim/device.hpp"
 #include "sim/fault_model.hpp"
 
@@ -51,6 +52,10 @@ struct SpeedEvalOptions {
   /// Hazard environment injected into every run (default: calm device —
   /// bit-identical to an eval without a fault plane).
   sim::HazardScenario hazards;
+  /// Optional observability sink: each sequence's result is recorded into it
+  /// (labeled by engine). Strictly passive — timing results are bit-identical
+  /// with or without a registry. nullptr (the default) disables.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs `kind` over `n_seqs` sequences of `workload` and aggregates.

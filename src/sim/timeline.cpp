@@ -33,16 +33,23 @@ double Timeline::schedule(Res r, double ready, double duration,
                      << duration);
   const int i = static_cast<int>(r);
   const double start = std::max(ready, busy_until_[i]);
+  last_start_ = start;
+  double hazard_extra = 0.0;
   if (fault_ != nullptr && fault_->enabled() && duration > 0.0) {
     const FaultModel::Perturbation p = fault_->perturb(r, start, duration);
     DAOP_CHECK_MSG(std::isfinite(p.extra_s) && p.extra_s >= 0.0,
                    "fault perturbation must be finite and >= 0, got "
                        << p.extra_s);
+    hazard_extra = p.extra_s;
     duration += p.extra_s;
     hazard_stall_s_ += p.extra_s;
     hazard_transfer_retries_ += p.retries;
   }
   const double end = start + duration;
+  if (record_ && hazard_extra > 0.0) {
+    hazard_intervals_.push_back(
+        Interval{r, end - hazard_extra, end, "hazard stall"});
+  }
   DAOP_CHECK_GE(end, busy_until_[i]);  // time never moves backwards
   busy_until_[i] = end;
   busy_time_[i] += duration;
@@ -77,6 +84,8 @@ void Timeline::reset() {
   busy_until_.fill(0.0);
   busy_time_.fill(0.0);
   intervals_.clear();
+  hazard_intervals_.clear();
+  last_start_ = 0.0;
   hazard_stall_s_ = 0.0;
   hazard_transfer_retries_ = 0;
 }

@@ -53,6 +53,11 @@ class Timeline {
   /// Earliest time new work could start on `r`.
   double busy_until(Res r) const;
 
+  /// Start time of the most recently scheduled op (0 before any schedule()).
+  /// Lets callers derive exact span boundaries for tracing without
+  /// re-deriving the resource queueing decision.
+  double last_start() const { return last_start_; }
+
   /// Total busy seconds accumulated on `r`.
   double busy_time(Res r) const;
 
@@ -64,6 +69,13 @@ class Timeline {
   void block_until(Res r, double t);
 
   const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Hazard-stall sub-intervals (the fault-injected tail of each perturbed
+  /// op), recorded only while interval recording is on. Rendered as a
+  /// dedicated "Hazards" track by the Chrome trace export.
+  const std::vector<Interval>& hazard_intervals() const {
+    return hazard_intervals_;
+  }
 
   /// Enables interval recording (tags + gantt). Off by default: long decode
   /// simulations only need aggregate busy times.
@@ -92,6 +104,8 @@ class Timeline {
   std::array<double, kNumRes> busy_until_{};
   std::array<double, kNumRes> busy_time_{};
   std::vector<Interval> intervals_;
+  std::vector<Interval> hazard_intervals_;
+  double last_start_ = 0.0;
   bool record_ = false;
   FaultModel* fault_ = nullptr;
   double hazard_stall_s_ = 0.0;

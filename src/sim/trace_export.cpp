@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/span_tracer.hpp"
+
 namespace daop::sim {
 namespace {
 
@@ -21,23 +23,102 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+void append_complete_event(std::string& out, bool& first,
+                           const std::string& name, int tid, double start_s,
+                           double end_s) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[256];
+  // ts/dur in microseconds, one pid, one tid per resource.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                "\"ts\":%.3f,\"dur\":%.3f}",
+                json_escape(name).c_str(), tid, start_s * 1e6,
+                (end_s - start_s) * 1e6);
+  out += buf;
+}
+
+void append_span_event(std::string& out, bool& first,
+                       const obs::TraceSpan& sp) {
+  if (!first) out += ",\n";
+  first = false;
+  const int tid = kSpanTidBase + static_cast<int>(sp.track);
+  char buf[320];
+  std::string args;
+  if (sp.request >= 0) {
+    char abuf[64];
+    std::snprintf(abuf, sizeof(abuf), ",\"args\":{\"request\":%lld}",
+                  static_cast<long long>(sp.request));
+    args = abuf;
+  }
+  if (sp.end > sp.start) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f%s}",
+                  json_escape(sp.name).c_str(), tid, sp.start * 1e6,
+                  (sp.end - sp.start) * 1e6, args.c_str());
+  } else {
+    // Zero-duration spans are instants ("i"), thread-scoped.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+                  "\"tid\":%d,\"ts\":%.3f%s}",
+                  json_escape(sp.name).c_str(), tid, sp.start * 1e6,
+                  args.c_str());
+  }
+  out += buf;
+}
+
+void append_flow_events(std::string& out, bool& first,
+                        const obs::SpanTracer& tracer, std::size_t flow_idx) {
+  const obs::TraceFlow& fl = tracer.flows()[flow_idx];
+  // Span ids are 1-based indices into spans().
+  const obs::TraceSpan& a = tracer.spans()[fl.from - 1];
+  const obs::TraceSpan& b = tracer.spans()[fl.to - 1];
+  const std::string name =
+      json_escape(fl.name.empty() ? a.name + " -> " + b.name : fl.name);
+  char buf[320];
+  if (!first) out += ",\n";
+  first = false;
+  // Flow start anchors to the end of the producing span, flow finish (with
+  // binding point "e" = enclosing slice) to the start of the consuming span.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%zu,"
+                "\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
+                name.c_str(), flow_idx + 1,
+                kSpanTidBase + static_cast<int>(a.track), a.end * 1e6);
+  out += buf;
+  out += ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+                "\"id\":%zu,\"pid\":1,\"tid\":%d,\"ts\":%.3f}",
+                name.c_str(), flow_idx + 1,
+                kSpanTidBase + static_cast<int>(b.track), b.start * 1e6);
+  out += buf;
+}
+
 }  // namespace
 
-std::string to_chrome_trace_json(const Timeline& tl) {
+std::string to_chrome_trace_json(const Timeline& tl,
+                                 const obs::SpanTracer* tracer) {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   for (const auto& iv : tl.intervals()) {
-    if (!first) out += ",\n";
-    first = false;
-    char buf[256];
-    // ts/dur in microseconds, one pid, one tid per resource.
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                  "\"ts\":%.3f,\"dur\":%.3f}",
-                  json_escape(iv.tag.empty() ? res_name(iv.res) : iv.tag).c_str(),
-                  static_cast<int>(iv.res), iv.start * 1e6,
-                  (iv.end - iv.start) * 1e6);
-    out += buf;
+    append_complete_event(out, first,
+                          iv.tag.empty() ? res_name(iv.res) : iv.tag,
+                          static_cast<int>(iv.res), iv.start, iv.end);
+  }
+  const bool have_hazards = !tl.hazard_intervals().empty();
+  for (const auto& iv : tl.hazard_intervals()) {
+    append_complete_event(out, first, iv.tag.empty() ? "hazard" : iv.tag,
+                          kHazardTid, iv.start, iv.end);
+  }
+  if (tracer != nullptr) {
+    for (const auto& sp : tracer->spans()) {
+      append_span_event(out, first, sp);
+    }
+    for (std::size_t i = 0; i < tracer->flows().size(); ++i) {
+      append_flow_events(out, first, *tracer, i);
+    }
   }
   out += "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{";
   for (int r = 0; r < kNumRes; ++r) {
@@ -46,14 +127,30 @@ std::string to_chrome_trace_json(const Timeline& tl) {
                   r ? "," : "", r, res_name(static_cast<Res>(r)));
     out += buf;
   }
+  if (have_hazards) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ",\"thread_name_%d\":\"Hazards\"",
+                  kHazardTid);
+    out += buf;
+  }
+  if (tracer != nullptr) {
+    for (std::size_t t = 0; t < tracer->tracks().size(); ++t) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), ",\"thread_name_%d\":\"%s\"",
+                    kSpanTidBase + static_cast<int>(t),
+                    json_escape(tracer->tracks()[t]).c_str());
+      out += buf;
+    }
+  }
   out += "}}\n";
   return out;
 }
 
-bool write_chrome_trace(const Timeline& tl, const std::string& path) {
+bool write_chrome_trace(const Timeline& tl, const std::string& path,
+                        const obs::SpanTracer* tracer) {
   std::ofstream f(path);
   if (!f) return false;
-  f << to_chrome_trace_json(tl);
+  f << to_chrome_trace_json(tl, tracer);
   return static_cast<bool>(f);
 }
 

@@ -2,19 +2,38 @@
 // timeline: every scheduled interval becomes a complete ("X") event on its
 // resource's track. Lets users inspect engine schedules interactively
 // instead of through the ASCII gantt.
+//
+// When a SpanTracer is supplied, its tracks are appended as extra named
+// threads (tid 100+), hazard-stall sub-intervals get a dedicated "Hazards"
+// track, instant spans become "i" events, and recorded flows become "s"/"f"
+// flow arrows (e.g. prediction issue -> pre-calc -> expert exec). With a
+// null tracer and no recorded hazards, the output is byte-identical to the
+// seed format.
 #pragma once
 
 #include <string>
 
 #include "sim/timeline.hpp"
 
+namespace daop::obs {
+class SpanTracer;
+}  // namespace daop::obs
+
 namespace daop::sim {
 
+/// Thread id of the hazard-stall track in the exported trace (resource
+/// tracks occupy tids 0..3, tracer tracks start at kSpanTidBase).
+inline constexpr int kHazardTid = 90;
+inline constexpr int kSpanTidBase = 100;
+
 /// Serializes the recorded intervals as Chrome Trace Event JSON (the
-/// timeline must have been run with set_record_intervals(true)).
-std::string to_chrome_trace_json(const Timeline& tl);
+/// timeline must have been run with set_record_intervals(true)). A non-null
+/// `tracer` contributes additional span tracks, instants and flow arrows.
+std::string to_chrome_trace_json(const Timeline& tl,
+                                 const obs::SpanTracer* tracer = nullptr);
 
 /// Writes the JSON to `path`; returns false on I/O failure.
-bool write_chrome_trace(const Timeline& tl, const std::string& path);
+bool write_chrome_trace(const Timeline& tl, const std::string& path,
+                        const obs::SpanTracer* tracer = nullptr);
 
 }  // namespace daop::sim

@@ -46,6 +46,38 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.35), 3.5);
 }
 
+TEST(Stats, PercentileSingleValueIsThatValue) {
+  const std::vector<double> v = {7.25};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 7.25);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 7.25);
+}
+
+TEST(Stats, PercentileWithDuplicates) {
+  // A run of duplicates pins every interior percentile to that value.
+  const std::vector<double> v = {1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Stats, SummaryFillsExactPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(v, 0.50));
+  EXPECT_DOUBLE_EQ(s.p90, percentile(v, 0.90));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(v, 0.99));
+  // Order statistics of 1..100 with linear interpolation.
+  EXPECT_DOUBLE_EQ(s.p50, 50.5);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_GE(s.p99, s.p90);
+  EXPECT_GE(s.p90, s.p50);
+}
+
 TEST(Stats, PearsonPerfectAndAnti) {
   const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
   const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};

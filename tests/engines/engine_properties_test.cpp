@@ -138,6 +138,42 @@ TEST_P(EngineProperty, LongerGenerationTakesLonger) {
   EXPECT_GT(large.total_s, small.total_s);
 }
 
+TEST_P(EngineProperty, MispredictionsBoundedByPredictions) {
+  // Predictions deliberately point at the wrong expert: the gate selects
+  // the off-GPU expert 3 while predictions claim the GPU-resident expert 1.
+  // An engine may count at most one misprediction per issued prediction.
+  // small_mixtral has fewer layers than the default min_predict_layer, so
+  // lower it so DAOP's prediction path actually runs on this model. Prefill
+  // sticks to the already-cached expert 0 so prefill-time reallocation does
+  // not pull expert 3 onto the GPU before decode gets to miss on it.
+  auto tr = daop::testing::fixed_trace(cfg_, 8, 8, {3}, {1});
+  tr.prefill = daop::testing::fixed_trace(cfg_, 8, 8, {0}, {1}).prefill;
+  core::DaopConfig dcfg;
+  dcfg.min_predict_layer = 1;
+  const auto r = eval::make_engine(GetParam(), costs_, dcfg)
+                     ->run(tr, daop::testing::prefix_placement(cfg_, 2));
+  EXPECT_LE(r.counters.mispredictions, r.counters.predictions);
+  if (GetParam() == eval::EngineKind::Daop) {
+    EXPECT_GT(r.counters.mispredictions, 0);
+  }
+}
+
+TEST_P(EngineProperty, AttachedTracerIsTimingNeutral) {
+  // Observability must be passive: a run with a span tracer attached lands
+  // on the bit-identical schedule of an untraced run.
+  const auto tr = random_trace(6);
+  const auto placement = calibrated_placement(0.469);
+  const auto plain = engine()->run(tr, placement);
+  auto traced_engine = engine();
+  obs::SpanTracer tracer;
+  traced_engine->set_tracer(&tracer);
+  const auto traced = traced_engine->run(tr, placement);
+  EXPECT_EQ(plain.total_s, traced.total_s);
+  EXPECT_EQ(plain.energy.total_j, traced.energy.total_j);
+  EXPECT_EQ(plain.counters.cache_hits, traced.counters.cache_hits);
+  EXPECT_FALSE(tracer.spans().empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineProperty,
     ::testing::Values(eval::EngineKind::MoEOnDemand,

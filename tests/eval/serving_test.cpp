@@ -66,6 +66,48 @@ TEST(Serving, FasterEngineServesSameLoadWithLowerLatency) {
   EXPECT_GT(daop.throughput_tps, ondemand.throughput_tps);
 }
 
+TEST(Serving, HistogramPercentilesAgreeWithExactWithinOneBucket) {
+  // The bucketed TTFT/TPOT/latency histograms are estimates; the Summary
+  // percentiles are exact order statistics. The histogram_quantile estimate
+  // can be off by at most the width of the bucket the exact value falls in.
+  auto opt = fast_options();
+  opt.n_requests = 16;
+  const auto r = run(EngineKind::Daop, opt);
+  ASSERT_EQ(r.ttft_hist.total, r.served);
+  ASSERT_EQ(r.tpot_hist.total, r.served);
+  ASSERT_EQ(r.latency_hist.total, r.served);
+  struct Case {
+    const char* name;
+    const obs::HistogramData* hist;
+    const Summary* exact;
+  };
+  const Case cases[] = {{"ttft", &r.ttft_hist, &r.ttft_s},
+                        {"tpot", &r.tpot_hist, &r.tpot_s},
+                        {"latency", &r.latency_hist, &r.latency_s}};
+  const struct {
+    double q;
+    double Summary::*field;
+  } quantiles[] = {{0.50, &Summary::p50},
+                   {0.90, &Summary::p90},
+                   {0.99, &Summary::p99}};
+  for (const Case& c : cases) {
+    for (const auto& [q, field] : quantiles) {
+      const double exact = c.exact->*field;
+      const double est = obs::histogram_quantile(*c.hist, q);
+      EXPECT_NEAR(est, exact, c.hist->bucket_width(exact) + 1e-12)
+          << c.name << " q=" << q;
+    }
+  }
+}
+
+TEST(Serving, TpotSummaryMatchesPerRequestRates) {
+  const auto r = run(EngineKind::Fiddler, fast_options());
+  EXPECT_EQ(r.tpot_s.n, r.served);
+  EXPECT_GT(r.tpot_s.mean, 0.0);
+  // Per-token time is a fraction of a full request's latency.
+  EXPECT_LT(r.tpot_s.max, r.latency_s.max);
+}
+
 TEST(Serving, RejectsBadOptions) {
   auto opt = fast_options();
   opt.arrival_rate_rps = 0.0;

@@ -1,0 +1,249 @@
+// Counter-invariant suite: algebraic identities every engine's counters
+// must satisfy, swept across engines x seeds x workloads. These lock down
+// the accounting semantics the observability plane exports — an engine that
+// double-counts a prefetch hit or leaks hazard stalls across runs fails
+// here even though its timing stays plausible.
+#include <gtest/gtest.h>
+
+#include "../testing/helpers.hpp"
+#include "cache/calibration.hpp"
+#include "data/trace_generator.hpp"
+#include "engines/run_metrics.hpp"
+#include "eval/speed.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault_model.hpp"
+
+namespace daop::engines {
+namespace {
+
+const std::vector<std::uint64_t> kSeeds = {7, 21, 1234};
+
+struct Workload {
+  const char* name;
+  data::WorkloadSpec spec;
+};
+
+std::vector<Workload> workloads() {
+  return {{"c4", data::c4()}, {"sharegpt", data::sharegpt_calibration()}};
+}
+
+class CounterInvariants : public ::testing::TestWithParam<eval::EngineKind> {
+ protected:
+  CounterInvariants()
+      : cfg_(daop::testing::small_mixtral()),
+        cm_(sim::a6000_i9_platform()),
+        costs_(cfg_, cm_) {}
+
+  data::SequenceTrace trace(const data::WorkloadSpec& spec, std::uint64_t seed,
+                            int seq = 0, int prompt = 12, int gen = 10) const {
+    const data::TraceGenerator gen_obj(spec, cfg_.n_layers, cfg_.n_experts,
+                                       cfg_.top_k, seed);
+    return gen_obj.generate(seq, prompt, gen);
+  }
+
+  cache::Placement placement(double ecr = 0.469) const {
+    const data::TraceGenerator calib(data::sharegpt_calibration(),
+                                     cfg_.n_layers, cfg_.n_experts, cfg_.top_k,
+                                     99);
+    return cache::init_placement_calibrated(
+        cfg_.n_layers, cfg_.n_experts, ecr,
+        cache::calibrate_activation_counts(calib, 6));
+  }
+
+  std::unique_ptr<Engine> engine() const {
+    return eval::make_engine(GetParam(), costs_);
+  }
+
+  static long long selection_count(const data::SequenceTrace& tr,
+                                   const model::ModelConfig& cfg) {
+    const auto prefill_counts = tr.activation_counts(data::Phase::Prefill);
+    long long uses = 0;
+    for (const auto& layer : prefill_counts) {
+      for (double c : layer) {
+        if (c > 0.0) ++uses;
+      }
+    }
+    return uses +
+           static_cast<long long>(tr.gen_len) * cfg.n_layers * cfg.top_k;
+  }
+
+  static void check_invariants(const EngineCounters& c, long long selections) {
+    // Non-negativity of every counter.
+    EXPECT_GE(c.expert_migrations, 0);
+    EXPECT_GE(c.gpu_expert_execs, 0);
+    EXPECT_GE(c.cpu_expert_execs, 0);
+    EXPECT_GE(c.cache_hits, 0);
+    EXPECT_GE(c.cache_misses, 0);
+    EXPECT_GE(c.prefetch_hits, 0);
+    EXPECT_GE(c.predictions, 0);
+    EXPECT_GE(c.mispredictions, 0);
+    EXPECT_GE(c.degradations, 0);
+    EXPECT_GE(c.prefill_swaps, 0);
+    EXPECT_GE(c.decode_swaps, 0);
+    EXPECT_GE(c.skipped_experts, 0);
+    EXPECT_GE(c.migration_retries, 0);
+    EXPECT_GE(c.migration_aborts, 0);
+    EXPECT_GE(c.stale_precalcs, 0);
+    EXPECT_GE(c.hazard_stall_s, 0.0);
+
+    // Cache partition identity: every selected-expert lookup is exactly one
+    // of hit or miss, and together they cover every selection.
+    EXPECT_EQ(c.cache_hits + c.cache_misses, selections);
+
+    // An expert is executed somewhere; work is conserved.
+    EXPECT_GT(c.gpu_expert_execs + c.cpu_expert_execs, 0);
+
+    // A misprediction is a prediction that went wrong — there can never be
+    // more of them than predictions issued (at most one per issued plan).
+    EXPECT_LE(c.mispredictions, c.predictions);
+
+    // Every credited prefetch hit consumed a weight transfer; a prefetch can
+    // be credited at most once, so hits can never exceed migrations.
+    EXPECT_LE(c.prefetch_hits, c.expert_migrations);
+  }
+
+  model::ModelConfig cfg_;
+  sim::CostModel cm_;
+  model::OpCosts costs_;
+};
+
+TEST_P(CounterInvariants, HoldAcrossSeedsAndWorkloads) {
+  const auto pl = placement();
+  for (const auto& w : workloads()) {
+    for (std::uint64_t seed : kSeeds) {
+      SCOPED_TRACE(std::string(w.name) + " seed=" + std::to_string(seed));
+      const auto tr = trace(w.spec, seed);
+      const auto r = engine()->run(tr, pl);
+      check_invariants(r.counters, selection_count(tr, cfg_));
+    }
+  }
+}
+
+TEST_P(CounterInvariants, CalmRunsReportNoHazardTelemetry) {
+  // Without a FaultModel nothing can stall, retry or go stale.
+  const auto r = engine()->run(trace(data::c4(), 7), placement());
+  EXPECT_EQ(r.counters.migration_retries, 0);
+  EXPECT_EQ(r.counters.migration_aborts, 0);
+  EXPECT_EQ(r.counters.stale_precalcs, 0);
+  EXPECT_DOUBLE_EQ(r.counters.hazard_stall_s, 0.0);
+}
+
+TEST_P(CounterInvariants, CountersResetBetweenRunsOfOneInstance) {
+  // Reusing an engine instance must not leak counters from the previous
+  // sequence: the third run of identical input reports identical counters.
+  const auto tr = trace(data::c4(), 21);
+  const auto pl = placement();
+  auto e = engine();
+  const auto r1 = e->run(tr, pl);
+  e->run(trace(data::sharegpt_calibration(), 9), pl);  // different sequence
+  const auto r3 = e->run(tr, pl);
+  EXPECT_EQ(r1.counters.cache_hits, r3.counters.cache_hits);
+  EXPECT_EQ(r1.counters.cache_misses, r3.counters.cache_misses);
+  EXPECT_EQ(r1.counters.expert_migrations, r3.counters.expert_migrations);
+  EXPECT_EQ(r1.counters.prefetch_hits, r3.counters.prefetch_hits);
+  EXPECT_EQ(r1.counters.predictions, r3.counters.predictions);
+  EXPECT_EQ(r1.counters.mispredictions, r3.counters.mispredictions);
+  EXPECT_EQ(r1.counters.gpu_expert_execs, r3.counters.gpu_expert_execs);
+  EXPECT_EQ(r1.counters.cpu_expert_execs, r3.counters.cpu_expert_execs);
+  EXPECT_DOUBLE_EQ(r1.counters.hazard_stall_s, r3.counters.hazard_stall_s);
+}
+
+TEST_P(CounterInvariants, HazardStallDoesNotLeakAcrossSharedTimeline) {
+  // A fault model shared across sequential runs on one external timeline
+  // must attribute each run only its own stall (baseline subtraction).
+  sim::FaultModel fault(sim::make_hazard_scenario("all", 0.8), 0xFA017ULL);
+  auto e = engine();
+  e->set_fault_model(&fault);
+  const auto tr = trace(data::c4(), 7);
+  const auto pl = placement();
+  sim::Timeline tl;
+  const auto r1 = e->run(tr, pl, &tl);
+  const auto r2 = e->run(tr, pl, &tl);
+  EXPECT_GE(r1.counters.hazard_stall_s, 0.0);
+  EXPECT_GE(r2.counters.hazard_stall_s, 0.0);
+  // The per-run stalls partition the timeline's cumulative stall.
+  EXPECT_NEAR(r1.counters.hazard_stall_s + r2.counters.hazard_stall_s,
+              tl.hazard_stall_s(), 1e-9);
+  // Sanity: cumulative stall would dwarf a single run's if it leaked.
+  EXPECT_LE(r2.counters.hazard_stall_s, tl.hazard_stall_s() + 1e-12);
+}
+
+TEST_P(CounterInvariants, AggregationPreservesEveryCounter) {
+  const auto pl = placement();
+  auto e = engine();
+  std::vector<RunResult> results;
+  EngineCounters expect;
+  for (std::uint64_t seed : kSeeds) {
+    results.push_back(e->run(trace(data::c4(), seed), pl));
+    expect.add(results.back().counters);
+  }
+  const RunResult agg = aggregate_results("agg", results);
+  EXPECT_EQ(agg.counters.cache_hits, expect.cache_hits);
+  EXPECT_EQ(agg.counters.cache_misses, expect.cache_misses);
+  EXPECT_EQ(agg.counters.expert_migrations, expect.expert_migrations);
+  EXPECT_EQ(agg.counters.gpu_expert_execs, expect.gpu_expert_execs);
+  EXPECT_EQ(agg.counters.cpu_expert_execs, expect.cpu_expert_execs);
+  EXPECT_EQ(agg.counters.prefetch_hits, expect.prefetch_hits);
+  EXPECT_EQ(agg.counters.predictions, expect.predictions);
+  EXPECT_EQ(agg.counters.mispredictions, expect.mispredictions);
+  EXPECT_EQ(agg.counters.degradations, expect.degradations);
+  EXPECT_EQ(agg.counters.prefill_swaps, expect.prefill_swaps);
+  EXPECT_EQ(agg.counters.decode_swaps, expect.decode_swaps);
+  EXPECT_EQ(agg.counters.skipped_experts, expect.skipped_experts);
+  EXPECT_EQ(agg.counters.migration_retries, expect.migration_retries);
+  EXPECT_EQ(agg.counters.migration_aborts, expect.migration_aborts);
+  EXPECT_EQ(agg.counters.stale_precalcs, expect.stale_precalcs);
+  EXPECT_DOUBLE_EQ(agg.counters.hazard_stall_s, expect.hazard_stall_s);
+}
+
+TEST_P(CounterInvariants, RecordedMetricsMatchCounters) {
+  const auto r = engine()->run(trace(data::c4(), 7), placement());
+  obs::MetricsRegistry reg;
+  record_run_metrics(reg, r);
+  // The bridge must cover engine-level families (>= 12 acceptance floor).
+  EXPECT_GE(reg.family_count(), 12U);
+  const std::string out = reg.to_prometheus();
+  const std::string eng = "{engine=\"" + r.engine + "\"";
+  auto series = [&](const std::string& fam, const std::string& extra,
+                    long long v) {
+    const std::string line =
+        fam + eng + extra + "} " + std::to_string(v) + "\n";
+    EXPECT_NE(out.find(line), std::string::npos)
+        << "missing series: " << line << "in:\n"
+        << out;
+  };
+  series("daop_expert_execs_total", ",device=\"gpu\"",
+         r.counters.gpu_expert_execs);
+  series("daop_expert_execs_total", ",device=\"cpu\"",
+         r.counters.cpu_expert_execs);
+  series("daop_expert_cache_lookups_total", ",result=\"hit\"",
+         r.counters.cache_hits);
+  series("daop_expert_cache_lookups_total", ",result=\"miss\"",
+         r.counters.cache_misses);
+  series("daop_expert_migrations_total", "", r.counters.expert_migrations);
+  series("daop_prefetch_hits_total", "", r.counters.prefetch_hits);
+  series("daop_predictions_total", "", r.counters.predictions);
+  series("daop_mispredictions_total", "", r.counters.mispredictions);
+  series("daop_engine_generated_tokens_total", "",
+         static_cast<long long>(r.generated_tokens));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, CounterInvariants,
+    ::testing::Values(eval::EngineKind::MoEOnDemand,
+                      eval::EngineKind::DeepSpeedMII,
+                      eval::EngineKind::MixtralOffloading,
+                      eval::EngineKind::PreGatedMoE,
+                      eval::EngineKind::EdgeMoE,
+                      eval::EngineKind::MoEInfinity,
+                      eval::EngineKind::Fiddler, eval::EngineKind::Daop),
+    [](const ::testing::TestParamInfo<eval::EngineKind>& info) {
+      std::string n = eval::engine_kind_name(info.param);
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace daop::engines

@@ -1,0 +1,195 @@
+// Determinism regression: observability must be invisible to the simulation
+// and itself reproducible. Two identical runs with metrics + tracing attached
+// export byte-identical Prometheus text; a run WITH observability finishes at
+// the bit-identical simulated times of a run without it; and concurrent
+// recording through the ThreadPool cannot change an integer-valued export.
+#include <gtest/gtest.h>
+
+#include "../testing/helpers.hpp"
+#include "cache/calibration.hpp"
+#include "common/thread_pool.hpp"
+#include "data/trace_generator.hpp"
+#include "eval/serving.hpp"
+#include "eval/speed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+#include "sim/trace_export.hpp"
+
+namespace daop::eval {
+namespace {
+
+SpeedEvalOptions fast_speed_options() {
+  SpeedEvalOptions opt;
+  opt.n_seqs = 2;
+  opt.prompt_len = 16;
+  opt.gen_len = 12;
+  opt.calibration_seqs = 4;
+  return opt;
+}
+
+TEST(ObsDeterminism, PrometheusExportByteIdenticalAcrossRuns) {
+  for (auto kind : {EngineKind::Fiddler, EngineKind::Daop,
+                    EngineKind::MixtralOffloading}) {
+    obs::MetricsRegistry reg_a;
+    obs::MetricsRegistry reg_b;
+    auto opt = fast_speed_options();
+    opt.metrics = &reg_a;
+    run_speed_eval(kind, daop::testing::small_mixtral(),
+                   sim::a6000_i9_platform(), data::c4(), opt);
+    opt.metrics = &reg_b;
+    run_speed_eval(kind, daop::testing::small_mixtral(),
+                   sim::a6000_i9_platform(), data::c4(), opt);
+    EXPECT_EQ(reg_a.to_prometheus(), reg_b.to_prometheus());
+    EXPECT_EQ(reg_a.to_json(), reg_b.to_json());
+    EXPECT_FALSE(reg_a.empty());
+  }
+}
+
+TEST(ObsDeterminism, TracingNeverPerturbsEngineTimelines) {
+  const model::ModelConfig cfg = daop::testing::small_mixtral();
+  const sim::CostModel cm(sim::a6000_i9_platform());
+  const model::OpCosts costs(cfg, cm);
+  const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                 cfg.top_k, 7);
+  const auto trace = gen.generate(0, 16, 12);
+  const data::TraceGenerator calib(data::sharegpt_calibration(), cfg.n_layers,
+                                   cfg.n_experts, cfg.top_k, 99);
+  const auto placement = cache::init_placement_calibrated(
+      cfg.n_layers, cfg.n_experts, 0.469,
+      cache::calibrate_activation_counts(calib, 6));
+
+  for (auto kind :
+       {EngineKind::MoEOnDemand, EngineKind::DeepSpeedMII,
+        EngineKind::MixtralOffloading, EngineKind::PreGatedMoE,
+        EngineKind::EdgeMoE, EngineKind::MoEInfinity, EngineKind::Fiddler,
+        EngineKind::Daop}) {
+    SCOPED_TRACE(engine_kind_name(kind));
+    auto plain = make_engine(kind, costs);
+    const auto r_plain = plain->run(trace, placement);
+
+    auto traced = make_engine(kind, costs);
+    obs::SpanTracer tracer;
+    traced->set_tracer(&tracer);
+    sim::Timeline tl;
+    tl.set_record_intervals(true);
+    const auto r_traced = traced->run(trace, placement, &tl);
+
+    // Bit-identical simulated times, not merely close: tracing is passive.
+    EXPECT_EQ(r_plain.total_s, r_traced.total_s);
+    EXPECT_EQ(r_plain.prefill_s, r_traced.prefill_s);
+    EXPECT_EQ(r_plain.decode_s, r_traced.decode_s);
+    EXPECT_EQ(r_plain.energy.total_j, r_traced.energy.total_j);
+    EXPECT_EQ(r_plain.counters.cache_hits, r_traced.counters.cache_hits);
+    EXPECT_EQ(r_plain.counters.expert_migrations,
+              r_traced.counters.expert_migrations);
+    // The tracer actually saw the run (every engine records Token spans).
+    EXPECT_FALSE(tracer.spans().empty());
+  }
+}
+
+TEST(ObsDeterminism, TracerSpansStayWithinRunSpan) {
+  const model::ModelConfig cfg = daop::testing::small_mixtral();
+  const sim::CostModel cm(sim::a6000_i9_platform());
+  const model::OpCosts costs(cfg, cm);
+  const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                 cfg.top_k, 7);
+  const auto trace = gen.generate(0, 16, 12);
+  const data::TraceGenerator calib(data::sharegpt_calibration(), cfg.n_layers,
+                                   cfg.n_experts, cfg.top_k, 99);
+  const auto placement = cache::init_placement_calibrated(
+      cfg.n_layers, cfg.n_experts, 0.469,
+      cache::calibrate_activation_counts(calib, 6));
+  auto engine = make_engine(EngineKind::Daop, costs);
+  obs::SpanTracer tracer;
+  engine->set_tracer(&tracer);
+  const auto r = engine->run(trace, placement);
+  ASSERT_FALSE(tracer.spans().empty());
+  for (const auto& sp : tracer.spans()) {
+    EXPECT_GE(sp.start, 0.0);
+    EXPECT_LE(sp.end, r.total_s + 1e-9);
+    EXPECT_LE(sp.start, sp.end);
+  }
+}
+
+TEST(ObsDeterminism, ServingUnaffectedByObservability) {
+  ServingOptions base;
+  base.arrival_rate_rps = 0.05;
+  base.n_requests = 5;
+  base.min_prompt = 16;
+  base.max_prompt = 24;
+  base.min_gen = 12;
+  base.max_gen = 16;
+  base.calibration_seqs = 4;
+
+  const auto plain = run_serving_eval(
+      EngineKind::Daop, daop::testing::small_mixtral(),
+      sim::a6000_i9_platform(), data::sharegpt_calibration(), base);
+
+  obs::MetricsRegistry reg;
+  obs::SpanTracer tracer;
+  auto instrumented = base;
+  instrumented.metrics = &reg;
+  instrumented.tracer = &tracer;
+  const auto observed = run_serving_eval(
+      EngineKind::Daop, daop::testing::small_mixtral(),
+      sim::a6000_i9_platform(), data::sharegpt_calibration(), instrumented);
+
+  EXPECT_EQ(plain.makespan_s, observed.makespan_s);
+  EXPECT_EQ(plain.latency_s.mean, observed.latency_s.mean);
+  EXPECT_EQ(plain.ttft_s.p99, observed.ttft_s.p99);
+  EXPECT_EQ(plain.throughput_tps, observed.throughput_tps);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_FALSE(tracer.spans().empty());
+}
+
+TEST(ObsDeterminism, ChromeTraceByteIdenticalAcrossRuns) {
+  auto render = [] {
+    const model::ModelConfig cfg = daop::testing::small_mixtral();
+    const sim::CostModel cm(sim::a6000_i9_platform());
+    const model::OpCosts costs(cfg, cm);
+    const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                   cfg.top_k, 7);
+    const data::TraceGenerator calib(data::sharegpt_calibration(),
+                                     cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                     99);
+    const auto placement = cache::init_placement_calibrated(
+        cfg.n_layers, cfg.n_experts, 0.469,
+        cache::calibrate_activation_counts(calib, 6));
+    auto engine = make_engine(EngineKind::Daop, costs);
+    obs::SpanTracer tracer;
+    engine->set_tracer(&tracer);
+    sim::Timeline tl;
+    tl.set_record_intervals(true);
+    engine->run(gen.generate(0, 16, 12), placement, &tl);
+    return sim::to_chrome_trace_json(tl, &tracer);
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(ObsDeterminism, ThreadPoolRecordingKeepsExportExact) {
+  // Recording from the global ThreadPool (the same pool the functional plane
+  // uses) must not lose or double any integer increment, so the export is
+  // byte-identical to a serial recording regardless of interleaving.
+  constexpr std::int64_t kN = 5000;
+  obs::MetricsRegistry parallel_reg;
+  ThreadPool::global().parallel_for(kN, [&](std::int64_t i) {
+    parallel_reg
+        .counter("daop_tp_total", "h", {{"mod", i % 2 == 0 ? "0" : "1"}})
+        .inc();
+    parallel_reg.histogram("daop_tp_seconds", "h", {0.5, 1.0})
+        .observe(i % 2 == 0 ? 0.25 : 0.75);
+  });
+
+  obs::MetricsRegistry serial_reg;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    serial_reg
+        .counter("daop_tp_total", "h", {{"mod", i % 2 == 0 ? "0" : "1"}})
+        .inc();
+    serial_reg.histogram("daop_tp_seconds", "h", {0.5, 1.0})
+        .observe(i % 2 == 0 ? 0.25 : 0.75);
+  }
+  EXPECT_EQ(parallel_reg.to_prometheus(), serial_reg.to_prometheus());
+}
+
+}  // namespace
+}  // namespace daop::eval
