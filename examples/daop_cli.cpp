@@ -63,8 +63,10 @@ int usage() {
       "            --migration-retries N --stale-precalc X\n"
       "hazards:    --hazard none|pcie|cpu|thermal|expert-load|all\n"
       "            --hazard-intensity X in [0,1]       (default 0.5)\n"
-      "serve only: --timeout S --request-retries N --retry-backoff S\n"
-      "            --slo-ttft S --slo-latency S --in/--out fixed lengths\n"
+      "serve only: --rate RPS --requests N --max-concurrent K (K>=2 enables\n"
+      "            continuous batching) --timeout S --request-retries N\n"
+      "            --retry-backoff S --slo-ttft S --slo-latency S\n"
+      "            --in/--out fixed lengths --out-json PATH (request spans)\n"
       "metrics:    --metrics-out PATH --metrics-format prom|json\n"
       "            (speed, compare, serve, timeline)\n");
   return 2;
@@ -217,12 +219,16 @@ int cmd_serve(const FlagParser& flags) {
   opt.retry_backoff_s = flags.get_double("retry-backoff", 0.5);
   opt.slo_ttft_s = flags.get_double("slo-ttft", 0.0);
   opt.slo_latency_s = flags.get_double("slo-latency", 0.0);
+  opt.max_concurrent = flags.get_int("max-concurrent", 1);
   const int fixed_in = flags.get_int("in", 0);
   if (fixed_in > 0) opt.min_prompt = opt.max_prompt = fixed_in;
   const int fixed_out = flags.get_int("out", 0);
   if (fixed_out > 0) opt.min_gen = opt.max_gen = fixed_out;
   obs::MetricsRegistry reg;
   opt.metrics = &reg;
+  obs::SpanTracer tracer;
+  const std::string trace_json = flags.get("out-json", "");
+  if (!trace_json.empty()) opt.tracer = &tracer;
   const auto r = eval::run_serving_eval(
       pick_engine(flags.get("engine", "daop")),
       pick_model(flags.get("model", "mixtral")),
@@ -235,8 +241,13 @@ int cmd_serve(const FlagParser& flags) {
                fmt_f(s.p90, 2), fmt_f(s.p99, 2),
                fmt_f(s.mean - s.ci95, 2) + " .. " + fmt_f(s.mean + s.ci95, 2)});
   };
-  std::printf("engine: %s   requests: %d   rate: %s rps\n", r.engine.c_str(),
-              r.requests, fmt_f(opt.arrival_rate_rps, 3).c_str());
+  const std::string sched =
+      opt.max_concurrent > 1
+          ? "continuous batching x" + std::to_string(opt.max_concurrent)
+          : "sequential";
+  std::printf("engine: %s   requests: %d   rate: %s rps   scheduler: %s\n",
+              r.engine.c_str(), r.requests,
+              fmt_f(opt.arrival_rate_rps, 3).c_str(), sched.c_str());
   row("time to first token", r.ttft_s);
   row("time per output token", r.tpot_s);
   row("queue wait", r.queue_wait_s);
@@ -258,6 +269,19 @@ int cmd_serve(const FlagParser& flags) {
         fmt_f(r.counters.hazard_stall_s, 3).c_str(),
         r.counters.migration_retries, r.counters.migration_aborts,
         r.counters.stale_precalcs);
+  }
+  if (!trace_json.empty()) {
+    // Serving spans (queue wait, per-request service, engine spans shifted
+    // onto the serving clock) live on the tracer's tracks; there is no
+    // single recorded timeline across requests to merge in.
+    const sim::Timeline no_timeline;
+    if (sim::write_chrome_trace(no_timeline, trace_json, &tracer)) {
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_json.c_str());
+      return 1;
+    }
   }
   return write_metrics(flags, reg);
 }

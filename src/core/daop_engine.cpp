@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "cache/arbiter.hpp"
 #include "common/check.hpp"
 #include "core/allocation.hpp"
+#include "engines/session.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quant.hpp"
 
@@ -52,6 +54,403 @@ int best_gpu_expert(const cache::Placement& placement, int layer,
   return best;
 }
 
+/// DAOP session: Algorithm-1 prefill swaps, predictive pre-calculation, and
+/// graceful degradation as policy over the session base's mechanics.
+class DaopSession final : public engines::SequenceSession {
+ public:
+  DaopSession(std::string engine_name, const model::OpCosts& costs,
+              const DaopConfig& config, const data::SequenceTrace& trace,
+              const engines::SessionEnv& env, sim::FaultModel* fault,
+              obs::SpanTracer* tracer, const cache::Placement& initial)
+      : SequenceSession(std::move(engine_name), costs, trace, env, fault,
+                        tracer),
+        config_(config),
+        placement_(initial),
+        L_(costs.config().n_layers),
+        E_(costs.config().n_experts),
+        mig_cost_(costs.expert_migration()),
+        // Decode-phase CPU expert cost; quantized when the EdgeMoE-style
+        // extension is enabled (the CPU path is memory-bound).
+        cpu_expert_cost_(
+            config.cpu_quant_bits > 0
+                ? costs.expert_cpu_scaled(
+                      QuantSpec{config.cpu_quant_bits, config.cpu_quant_group}
+                          .bytes_per_weight() /
+                      costs.config().bytes_per_param)
+                : costs.expert_cpu()),
+        swap_ready_(static_cast<std::size_t>(L_) * E_, 0.0),
+        window_(static_cast<std::size_t>(L_),
+                std::vector<double>(static_cast<std::size_t>(E_), 0.0)) {}
+
+ private:
+  /// The shared placement under an arbiter, a private copy otherwise.
+  cache::Placement& placement() {
+    return arbiter() != nullptr ? arbiter()->placement() : placement_;
+  }
+
+  std::size_t sidx(int l, int e) const {
+    return static_cast<std::size_t>(l) * static_cast<std::size_t>(E_) +
+           static_cast<std::size_t>(e);
+  }
+
+  /// One expert migration under the robustness policies (bounded retries,
+  /// deadline budget). Returns the weight-arrival time, or a negative value
+  /// when the migration was aborted (the caller must then leave the expert
+  /// on the CPU).
+  double migrate(double issue, const char* tag) {
+    const MigrationOutcome m = migrate_with_retry(
+        issue, mig_cost_, tag, tag, tag, config_.max_migration_retries,
+        config_.migration_deadline_factor, /*abort_when_exhausted=*/true);
+    return m.aborted ? -1.0 : m.done;
+  }
+
+  /// Applies one Algorithm-1 swap decision: refuses up front when the
+  /// victim is pinned by a concurrent session, otherwise migrates the
+  /// incoming expert (which may itself abort) and commits the swap.
+  /// Returns the weight-arrival time, or < 0 when nothing was swapped.
+  double swap_in(int l, const SwapDecision& s, double issue,
+                 const char* tag) {
+    if (arbiter() != nullptr &&
+        arbiter()->pinned_by_other(l, s.expert_out, request_id())) {
+      ++counters_.pin_refusals;
+      return -1.0;
+    }
+    const double done = migrate(issue, tag);
+    if (done < 0.0) {
+      // Deadline-abort / retries exhausted: the expert stays on the CPU
+      // and decode degrades gracefully instead of stalling.
+      ++counters_.migration_aborts;
+      return -1.0;
+    }
+    if (arbiter() != nullptr) {
+      if (!arbiter()->try_swap(l, s.expert_in, s.expert_out, request_id())) {
+        // Pinned between the pre-check and the commit (cannot happen in a
+        // deterministic interleave, but the arbiter owns the rule).
+        ++counters_.pin_refusals;
+        return -1.0;
+      }
+      publish_weight_ready(l, s.expert_in, done);
+    } else {
+      apply_swaps(placement(), l, {s});
+    }
+    return done;
+  }
+
+  void run_prefill() override {
+    // Prefill: in-place hybrid execution + Algorithm 1 swaps whose
+    // migrations ride the PCIe link underneath the remaining compute.
+    const int np = trace().prompt_len;
+    const auto counts = trace().activation_counts(data::Phase::Prefill);
+    double last_swap_end = 0.0;
+    for (int l = 0; l < L_; ++l) {
+      const double nonmoe_end = tl().schedule(
+          sim::Res::GpuStream, ready_, costs_.nonmoe_gpu_prefill(np),
+          "prefill non-MoE");
+
+      // Execute this layer where experts currently live; swaps adjust the
+      // cache for the decode phase and ride the PCIe link concurrently.
+      std::vector<bool> exec_on_gpu(static_cast<std::size_t>(E_));
+      for (int e = 0; e < E_; ++e) {
+        exec_on_gpu[static_cast<std::size_t>(e)] = placement().on_gpu(l, e);
+      }
+
+      if (config_.enable_seq_allocation) {
+        const auto swaps = sequence_specific_swaps(
+            counts[static_cast<std::size_t>(l)], placement(), l,
+            config_.swap_in_out);
+        for (const SwapDecision& s : swaps) {
+          const double done = swap_in(l, s, nonmoe_end, "swap-in expert");
+          if (done < 0.0) continue;
+          last_swap_end = std::max(last_swap_end, done);
+          ++counters_.prefill_swaps;
+        }
+      }
+
+      double layer_end = nonmoe_end;
+      for (int e = 0; e < E_; ++e) {
+        const int tok = static_cast<int>(
+            counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
+        if (tok == 0) continue;
+        if (exec_on_gpu[static_cast<std::size_t>(e)]) {
+          ++counters_.cache_hits;
+          ++counters_.gpu_expert_execs;
+          const double eready = shared_weight_gate(l, e, nonmoe_end);
+          const double exec_end =
+              tl().schedule(sim::Res::GpuStream, eready,
+                            costs_.expert_gpu_prefill(tok), "prefill expert");
+          if (tracing()) {
+            tspan(engines::tracks::kExpertGpu, "prefill expert",
+                  tl().last_start(), exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
+        } else {
+          ++counters_.cache_misses;
+          layer_end = std::max(
+              layer_end,
+              cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
+        }
+      }
+      ready_ = layer_end;
+    }
+    prefill_end_ = ready_;
+    // The decode configuration requires all swapped-in weights to be
+    // resident.
+    ready_ = std::max(ready_, last_swap_end);
+  }
+
+  void run_decode_token(int t) override {
+    const model::ModelConfig& cfg = costs_.config();
+    const int ctx = trace().prompt_len + t;
+    NextLayerPlan plan(E_);  // produced at layer l-1 for layer l
+    for (int l = 0; l < L_; ++l) {
+      const double nonmoe_end = tl().schedule(
+          sim::Res::GpuStream, ready_, costs_.nonmoe_gpu(ctx), "non-MoE");
+
+      const data::TokenRouting& tok = trace().at(data::Phase::Decode, l, t);
+      std::vector<int> selected = topk_indices(tok.scores, cfg.top_k);
+      if (tracing()) {
+        tinstant(engines::tracks::kGate, "gate L" + std::to_string(l),
+                 nonmoe_end);
+      }
+      // Adaptive expert skipping (extension): confident tokens keep only
+      // their top-1 expert.
+      if (config_.skip_top1_margin > 0.0 && selected.size() >= 2) {
+        std::vector<float> w(selected.size());
+        softmax_subset(tok.scores, selected, w);
+        if (w[0] >= config_.skip_top1_margin) {
+          counters_.skipped_experts +=
+              static_cast<long long>(selected.size()) - 1;
+          selected.resize(1);
+        }
+      }
+
+      double layer_end = nonmoe_end;
+      std::vector<int> exclude = selected;  // fallbacks must be fresh experts
+      for (int e : selected) {
+        window_[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] +=
+            1.0;
+        if (placement().on_gpu(l, e)) {
+          ++counters_.cache_hits;
+          ++counters_.gpu_expert_execs;
+          pin_shared(l, e);
+          // Experts swapped in mid-decode are usable once their weights
+          // arrive (no-op when decode re-allocation is off).
+          const double eready = shared_weight_gate(
+              l, e, std::max(nonmoe_end, swap_ready_[sidx(l, e)]));
+          const double exec_end = tl().schedule(sim::Res::GpuStream, eready,
+                                                costs_.expert_gpu(),
+                                                "GPU expert");
+          if (tracing()) {
+            tspan(engines::tracks::kExpertGpu, "GPU expert",
+                  tl().last_start(), exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
+          continue;
+        }
+        ++counters_.cache_misses;
+        const auto ei = static_cast<std::size_t>(e);
+        if (plan.active && plan.precalc_arrival[ei] >= 0.0) {
+          // Pre-calculated on CPU from the previous layer's hidden states;
+          // normally just wait for the result (usually already arrived).
+          // Under the stale-discard policy a result landing too late (e.g.
+          // the CPU pool was stolen by a co-running app) is dropped in
+          // favour of the best GPU-resident substitute with exact inputs.
+          const double arrival = plan.precalc_arrival[ei];
+          int fb = -1;
+          if (config_.stale_precalc_factor > 0.0 &&
+              arrival > nonmoe_end + config_.stale_precalc_factor *
+                                         costs_.expert_gpu()) {
+            fb = best_gpu_expert(placement(), l, tok.scores, exclude);
+          }
+          if (fb >= 0) {
+            ++counters_.stale_precalcs;
+            ++counters_.degradations;
+            ++counters_.gpu_expert_execs;
+            exclude.push_back(fb);
+            if (tracing()) {
+              const std::uint64_t d = tinstant(
+                  engines::tracks::kPrecalc,
+                  "pre-calc discard E" + std::to_string(e), nonmoe_end);
+              tflow(plan.precalc_span[ei], d, "stale");
+            }
+            const double exec_end =
+                tl().schedule(sim::Res::GpuStream, nonmoe_end,
+                              costs_.expert_gpu(), "stale fallback");
+            if (tracing()) {
+              tspan(engines::tracks::kExpertGpu, "stale fallback",
+                    tl().last_start(), exec_end);
+            }
+            layer_end = std::max(layer_end, exec_end);
+          } else {
+            if (tracing()) {
+              const std::uint64_t c = tinstant(
+                  engines::tracks::kPrecalc,
+                  "pre-calc commit E" + std::to_string(e), arrival);
+              tflow(plan.precalc_span[ei], c, "commit");
+            }
+            layer_end = std::max(layer_end, arrival);
+          }
+        } else if (plan.active && plan.substitute[ei] >= 0) {
+          // Graceful degradation planned at prediction time: the GPU
+          // substitute executes with exact current inputs.
+          ++counters_.gpu_expert_execs;
+          exclude.push_back(plan.substitute[ei]);
+          const double exec_end =
+              tl().schedule(sim::Res::GpuStream, nonmoe_end,
+                            costs_.expert_gpu(), "substitute expert");
+          if (tracing()) {
+            tspan(engines::tracks::kExpertGpu, "substitute expert",
+                  tl().last_start(), exec_end);
+          }
+          layer_end = std::max(layer_end, exec_end);
+        } else if (plan.active) {
+          // Misprediction: a selected CPU expert was not pre-calculated.
+          // Charged once per plan — the counter's unit is "predicted set
+          // missed a used expert", not "missed expert", so a top-k gate
+          // missing both experts is still one misprediction.
+          if (!plan.mispredicted) {
+            plan.mispredicted = true;
+            ++counters_.mispredictions;
+          }
+          int fb = -1;
+          if (config_.mispredict_policy ==
+              MispredictPolicy::GracefulFallback) {
+            fb = best_gpu_expert(placement(), l, tok.scores, exclude);
+          }
+          if (fb >= 0) {
+            ++counters_.degradations;
+            ++counters_.gpu_expert_execs;
+            exclude.push_back(fb);
+            const double exec_end =
+                tl().schedule(sim::Res::GpuStream, nonmoe_end,
+                              costs_.expert_gpu(), "fallback expert");
+            if (tracing()) {
+              tspan(engines::tracks::kExpertGpu, "fallback expert",
+                    tl().last_start(), exec_end);
+            }
+            layer_end = std::max(layer_end, exec_end);
+          } else {
+            layer_end = std::max(
+                layer_end, cpu_expert(nonmoe_end, 1, cpu_expert_cost_));
+          }
+        } else {
+          // Early layers (or precalc disabled): in-place hybrid execution.
+          layer_end = std::max(layer_end,
+                               cpu_expert(nonmoe_end, 1, cpu_expert_cost_));
+        }
+      }
+
+      // ---- Plan pre-calculation for layer l+1 using this layer's hidden
+      // states (available at nonmoe_end). ----
+      plan = NextLayerPlan(E_);
+      const int nl = l + 1;
+      if (config_.enable_precalc && nl < L_ &&
+          nl >= config_.min_predict_layer) {
+        const data::TokenRouting& ntok =
+            trace().at(data::Phase::Decode, nl, t);
+        if (!ntok.pred_scores.empty()) {
+          plan.active = true;
+          ++counters_.predictions;
+          if (tracing()) {
+            plan.pred_span =
+                tinstant(engines::tracks::kPrediction,
+                         "predict L" + std::to_string(nl), nonmoe_end);
+          }
+          std::vector<int> predicted =
+              topk_indices(ntok.pred_scores, cfg.top_k);
+          // Under adaptive skipping, confident predictions only need their
+          // top-1 expert pre-calculated.
+          if (config_.skip_top1_margin > 0.0 && predicted.size() >= 2) {
+            std::vector<float> w(predicted.size());
+            softmax_subset(ntok.pred_scores, predicted, w);
+            if (w[0] >= config_.skip_top1_margin) predicted.resize(1);
+          }
+
+          std::vector<int> pred_cpu;
+          for (int e : predicted) {
+            if (!placement().on_gpu(nl, e)) pred_cpu.push_back(e);
+          }
+
+          // Graceful degradation: if every predicted expert sits on the
+          // CPU, replace the lowest-scored one with the best GPU-resident
+          // expert.
+          if (config_.enable_degradation &&
+              static_cast<int>(pred_cpu.size()) == cfg.top_k &&
+              cfg.top_k >= 2) {
+            int drop = pred_cpu.back();  // topk_indices is score-descending
+            const int sub = best_gpu_expert(placement(), nl,
+                                            ntok.pred_scores, predicted);
+            if (sub >= 0) {
+              plan.substitute[static_cast<std::size_t>(drop)] = sub;
+              pred_cpu.pop_back();
+              ++counters_.degradations;
+            }
+          }
+
+          // Pre-calculate the remaining predicted CPU experts from this
+          // layer's non-MoE hidden states.
+          for (int e : pred_cpu) {
+            const engines::CpuExpertTimes ct = engines::cpu_expert_roundtrip(
+                tl(), costs_, nonmoe_end, 1, cpu_expert_cost_, counters_,
+                {"precalc acts", "precalc CPU expert", "precalc result"});
+            const double arrival = ct.result_arrival;
+            plan.precalc_arrival[static_cast<std::size_t>(e)] = arrival;
+            if (tracing()) {
+              const std::uint64_t ps =
+                  tspan(engines::tracks::kPrecalc,
+                        "pre-calc L" + std::to_string(nl) + " E" +
+                            std::to_string(e),
+                        ct.acts_out_start, arrival);
+              plan.precalc_span[static_cast<std::size_t>(e)] = ps;
+              tflow(plan.pred_span, ps, "pre-calc");
+            }
+          }
+        }
+      }
+
+      ready_ = layer_end;
+    }
+  }
+
+  void post_token(int t) override {
+    // Decode re-allocation (extension): every N tokens, re-run Algorithm 1
+    // over the trailing window so the cache follows within-sequence drift.
+    // On a SHARED placement the cache is prefill-frozen (paper §IV-A applies
+    // per-sequence allocation at prefill only): concurrent sessions have
+    // conflicting trailing windows, and letting each re-steer the shared
+    // cache every interval thrashes the very experts its peers pinned.
+    if (shared() || config_.decode_realloc_interval <= 0 ||
+        (t + 1) % config_.decode_realloc_interval != 0) {
+      return;
+    }
+    for (int l = 0; l < L_; ++l) {
+      const auto swaps = sequence_specific_swaps(
+          window_[static_cast<std::size_t>(l)], placement(), l,
+          config_.swap_in_out);
+      for (const SwapDecision& s : swaps) {
+        const double done = swap_in(l, s, ready_, "decode swap-in");
+        if (done < 0.0) continue;
+        swap_ready_[sidx(l, s.expert_in)] = done;
+        ++counters_.decode_swaps;
+      }
+      std::fill(window_[static_cast<std::size_t>(l)].begin(),
+                window_[static_cast<std::size_t>(l)].end(), 0.0);
+    }
+  }
+
+  const DaopConfig& config_;
+  cache::Placement placement_;
+  const int L_;
+  const int E_;
+  const double mig_cost_;
+  const double cpu_expert_cost_;
+  /// Per-expert weight-arrival gates for experts swapped in mid-decode
+  /// (decode re-allocation extension state).
+  std::vector<double> swap_ready_;
+  /// Trailing-window activation counts for decode re-allocation.
+  std::vector<std::vector<double>> window_;
+};
+
 }  // namespace
 
 DaopEngine::DaopEngine(const model::OpCosts& costs, DaopConfig config)
@@ -71,415 +470,14 @@ std::string DaopEngine::name() const {
   return n;
 }
 
-engines::RunResult DaopEngine::run(const data::SequenceTrace& trace,
-                                   const cache::Placement& initial,
-                                   sim::Timeline* external_tl) {
-  sim::Timeline local_tl;
-  sim::Timeline& tl = external_tl ? *external_tl : local_tl;
-  tl.set_fault_model(fault_model_);
-  const double stall0 = tl.hazard_stall_s();
-
+std::unique_ptr<engines::SequenceSession> DaopEngine::open_session(
+    const data::SequenceTrace& trace, const cache::Placement& initial,
+    const engines::SessionEnv& env) {
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
   DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
-  const int L = cfg.n_layers;
-  const int E = cfg.n_experts;
-
-  cache::Placement placement = initial;
-  engines::EngineCounters counters;
-
-  // Decode-phase CPU expert cost; quantized when the EdgeMoE-style
-  // extension is enabled (the CPU path is memory-bound).
-  const double cpu_expert_cost =
-      config_.cpu_quant_bits > 0
-          ? costs_.expert_cpu_scaled(
-                QuantSpec{config_.cpu_quant_bits, config_.cpu_quant_group}
-                    .bytes_per_weight() /
-                cfg.bytes_per_param)
-          : costs_.expert_cpu();
-
-  // CPU-resident expert execution with exact (current) activations.
-  auto cpu_expert_sync = [&](double start, int n_tokens, double exec_cost) {
-    const double out = tl.schedule(sim::Res::PcieD2H, start,
-                                   costs_.activations_d2h(n_tokens),
-                                   "acts to CPU");
-    const double exec =
-        tl.schedule(sim::Res::CpuPool, out, exec_cost, "CPU expert");
-    ++counters.cpu_expert_execs;
-    if (tracing()) {
-      tspan(engines::tracks::kExpertCpu, "CPU expert", tl.last_start(), exec);
-    }
-    return tl.schedule(sim::Res::PcieH2D, exec,
-                       costs_.activations_h2d(n_tokens), "acts to GPU");
-  };
-
-  // One expert migration under the robustness policies: bounded retries
-  // after transient load failures (fault plane) and a deadline budget
-  // measured from `issue` — PCIe queueing counts against it, so a congested
-  // link aborts swaps instead of stalling decode. Returns the weight-arrival
-  // time, or a negative value when the migration was aborted (the caller
-  // must then leave the expert on the CPU).
-  const double mig_cost = costs_.expert_migration();
-  auto migrate = [&](double issue, const char* tag) -> double {
-    double done = tl.schedule(sim::Res::PcieH2D, issue, mig_cost, tag);
-    const double mig_start = tl.last_start();
-    ++counters.expert_migrations;
-    const double deadline =
-        config_.migration_deadline_factor > 0.0
-            ? issue + config_.migration_deadline_factor * mig_cost
-            : 0.0;
-    if (fault_model_ != nullptr && fault_model_->enabled()) {
-      double backoff = fault_model_->scenario().retry_backoff_s;
-      int attempts = 0;
-      while (fault_model_->expert_load_fails()) {
-        if (attempts >= config_.max_migration_retries ||
-            (deadline > 0.0 && done > deadline)) {
-          if (tracing()) {
-            tspan(engines::tracks::kMigration, std::string(tag) + " (aborted)",
-                  mig_start, done);
-          }
-          return -1.0;
-        }
-        ++attempts;
-        ++counters.migration_retries;
-        done = tl.schedule(sim::Res::PcieH2D, done + backoff, mig_cost, tag);
-        ++counters.expert_migrations;
-        backoff *= 2.0;
-      }
-    }
-    if (deadline > 0.0 && done > deadline) {
-      if (tracing()) {
-        tspan(engines::tracks::kMigration, std::string(tag) + " (aborted)",
-              mig_start, done);
-      }
-      return -1.0;
-    }
-    if (tracing()) tspan(engines::tracks::kMigration, tag, mig_start, done);
-    return done;
-  };
-
-  // ---- Prefill: in-place hybrid execution + Algorithm 1 swaps ----
-  double ready = 0.0;
-  double last_swap_end = 0.0;
-  {
-    const int np = trace.prompt_len;
-    const auto counts = trace.activation_counts(data::Phase::Prefill);
-    for (int l = 0; l < L; ++l) {
-      const double nonmoe_end = tl.schedule(
-          sim::Res::GpuStream, ready, costs_.nonmoe_gpu_prefill(np),
-          "prefill non-MoE");
-
-      // Execute this layer where experts currently live; swaps adjust the
-      // cache for the decode phase and ride the PCIe link concurrently.
-      std::vector<bool> exec_on_gpu(static_cast<std::size_t>(E));
-      for (int e = 0; e < E; ++e) exec_on_gpu[static_cast<std::size_t>(e)] = placement.on_gpu(l, e);
-
-      if (config_.enable_seq_allocation) {
-        const auto swaps = sequence_specific_swaps(
-            counts[static_cast<std::size_t>(l)], placement, l,
-            config_.swap_in_out);
-        for (const SwapDecision& s : swaps) {
-          const double done = migrate(nonmoe_end, "swap-in expert");
-          if (done < 0.0) {
-            // Deadline-abort / retries exhausted: the expert stays on the
-            // CPU and decode degrades gracefully instead of stalling.
-            ++counters.migration_aborts;
-            continue;
-          }
-          apply_swaps(placement, l, {s});
-          last_swap_end = std::max(last_swap_end, done);
-          ++counters.prefill_swaps;
-        }
-      }
-
-      double layer_end = nonmoe_end;
-      for (int e = 0; e < E; ++e) {
-        const int tok = static_cast<int>(
-            counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
-        if (tok == 0) continue;
-        if (exec_on_gpu[static_cast<std::size_t>(e)]) {
-          ++counters.cache_hits;
-          ++counters.gpu_expert_execs;
-          const double exec_end =
-              tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                          costs_.expert_gpu_prefill(tok), "prefill expert");
-          if (tracing()) {
-            tspan(engines::tracks::kExpertGpu, "prefill expert",
-                  tl.last_start(), exec_end);
-          }
-          layer_end = std::max(layer_end, exec_end);
-        } else {
-          ++counters.cache_misses;
-          layer_end = std::max(
-              layer_end,
-              cpu_expert_sync(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
-        }
-      }
-      ready = layer_end;
-    }
-  }
-  const double prefill_end = ready;
-  if (tracing()) {
-    tspan(engines::tracks::kToken, "prefill", 0.0, prefill_end);
-  }
-  // The decode configuration requires all swapped-in weights to be resident.
-  ready = std::max(ready, last_swap_end);
-
-  // ---- Decode: predictive pre-calculation + graceful degradation ----
-  // Decode re-allocation extension state (inactive unless configured):
-  // trailing-window activation counts and per-expert weight-arrival gates
-  // for experts swapped in mid-decode.
-  std::vector<double> swap_ready(static_cast<std::size_t>(L) * E, 0.0);
-  std::vector<std::vector<double>> window(
-      static_cast<std::size_t>(L),
-      std::vector<double>(static_cast<std::size_t>(E), 0.0));
-  auto sidx = [E](int l, int e) {
-    return static_cast<std::size_t>(l) * static_cast<std::size_t>(E) +
-           static_cast<std::size_t>(e);
-  };
-
-  for (int t = 0; t < trace.gen_len; ++t) {
-    const int ctx = trace.prompt_len + t;
-    const double token_start = ready;
-    NextLayerPlan plan(E);  // produced at layer l-1 for layer l
-    for (int l = 0; l < L; ++l) {
-      const double nonmoe_end = tl.schedule(
-          sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
-
-      const data::TokenRouting& tok = trace.at(data::Phase::Decode, l, t);
-      std::vector<int> selected = topk_indices(tok.scores, cfg.top_k);
-      if (tracing()) {
-        tinstant(engines::tracks::kGate, "gate L" + std::to_string(l),
-                 nonmoe_end);
-      }
-      // Adaptive expert skipping (extension): confident tokens keep only
-      // their top-1 expert.
-      if (config_.skip_top1_margin > 0.0 && selected.size() >= 2) {
-        std::vector<float> w(selected.size());
-        softmax_subset(tok.scores, selected, w);
-        if (w[0] >= config_.skip_top1_margin) {
-          counters.skipped_experts +=
-              static_cast<long long>(selected.size()) - 1;
-          selected.resize(1);
-        }
-      }
-
-      double layer_end = nonmoe_end;
-      std::vector<int> exclude = selected;  // fallbacks must be fresh experts
-      for (int e : selected) {
-        window[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] += 1.0;
-        if (placement.on_gpu(l, e)) {
-          ++counters.cache_hits;
-          ++counters.gpu_expert_execs;
-          // Experts swapped in mid-decode are usable once their weights
-          // arrive (no-op when decode re-allocation is off).
-          const double eready = std::max(nonmoe_end, swap_ready[sidx(l, e)]);
-          const double exec_end = tl.schedule(sim::Res::GpuStream, eready,
-                                              costs_.expert_gpu(),
-                                              "GPU expert");
-          if (tracing()) {
-            tspan(engines::tracks::kExpertGpu, "GPU expert", tl.last_start(),
-                  exec_end);
-          }
-          layer_end = std::max(layer_end, exec_end);
-          continue;
-        }
-        ++counters.cache_misses;
-        const auto ei = static_cast<std::size_t>(e);
-        if (plan.active && plan.precalc_arrival[ei] >= 0.0) {
-          // Pre-calculated on CPU from the previous layer's hidden states;
-          // normally just wait for the result (usually already arrived).
-          // Under the stale-discard policy a result landing too late (e.g.
-          // the CPU pool was stolen by a co-running app) is dropped in
-          // favour of the best GPU-resident substitute with exact inputs.
-          const double arrival = plan.precalc_arrival[ei];
-          int fb = -1;
-          if (config_.stale_precalc_factor > 0.0 &&
-              arrival > nonmoe_end + config_.stale_precalc_factor *
-                                         costs_.expert_gpu()) {
-            fb = best_gpu_expert(placement, l, tok.scores, exclude);
-          }
-          if (fb >= 0) {
-            ++counters.stale_precalcs;
-            ++counters.degradations;
-            ++counters.gpu_expert_execs;
-            exclude.push_back(fb);
-            if (tracing()) {
-              const std::uint64_t d = tinstant(
-                  engines::tracks::kPrecalc,
-                  "pre-calc discard E" + std::to_string(e), nonmoe_end);
-              tflow(plan.precalc_span[ei], d, "stale");
-            }
-            const double exec_end =
-                tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                            costs_.expert_gpu(), "stale fallback");
-            if (tracing()) {
-              tspan(engines::tracks::kExpertGpu, "stale fallback",
-                    tl.last_start(), exec_end);
-            }
-            layer_end = std::max(layer_end, exec_end);
-          } else {
-            if (tracing()) {
-              const std::uint64_t c = tinstant(
-                  engines::tracks::kPrecalc,
-                  "pre-calc commit E" + std::to_string(e), arrival);
-              tflow(plan.precalc_span[ei], c, "commit");
-            }
-            layer_end = std::max(layer_end, arrival);
-          }
-        } else if (plan.active && plan.substitute[ei] >= 0) {
-          // Graceful degradation planned at prediction time: the GPU
-          // substitute executes with exact current inputs.
-          ++counters.gpu_expert_execs;
-          exclude.push_back(plan.substitute[ei]);
-          const double exec_end =
-              tl.schedule(sim::Res::GpuStream, nonmoe_end, costs_.expert_gpu(),
-                          "substitute expert");
-          if (tracing()) {
-            tspan(engines::tracks::kExpertGpu, "substitute expert",
-                  tl.last_start(), exec_end);
-          }
-          layer_end = std::max(layer_end, exec_end);
-        } else if (plan.active) {
-          // Misprediction: a selected CPU expert was not pre-calculated.
-          // Charged once per plan — the counter's unit is "predicted set
-          // missed a used expert", not "missed expert", so a top-k gate
-          // missing both experts is still one misprediction.
-          if (!plan.mispredicted) {
-            plan.mispredicted = true;
-            ++counters.mispredictions;
-          }
-          int fb = -1;
-          if (config_.mispredict_policy == MispredictPolicy::GracefulFallback) {
-            fb = best_gpu_expert(placement, l, tok.scores, exclude);
-          }
-          if (fb >= 0) {
-            ++counters.degradations;
-            ++counters.gpu_expert_execs;
-            exclude.push_back(fb);
-            const double exec_end =
-                tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                            costs_.expert_gpu(), "fallback expert");
-            if (tracing()) {
-              tspan(engines::tracks::kExpertGpu, "fallback expert",
-                    tl.last_start(), exec_end);
-            }
-            layer_end = std::max(layer_end, exec_end);
-          } else {
-            layer_end = std::max(
-                layer_end, cpu_expert_sync(nonmoe_end, 1, cpu_expert_cost));
-          }
-        } else {
-          // Early layers (or precalc disabled): in-place hybrid execution.
-          layer_end = std::max(
-              layer_end, cpu_expert_sync(nonmoe_end, 1, cpu_expert_cost));
-        }
-      }
-
-      // ---- Plan pre-calculation for layer l+1 using this layer's hidden
-      // states (available at nonmoe_end). ----
-      plan = NextLayerPlan(E);
-      const int nl = l + 1;
-      if (config_.enable_precalc && nl < L &&
-          nl >= config_.min_predict_layer) {
-        const data::TokenRouting& ntok = trace.at(data::Phase::Decode, nl, t);
-        if (!ntok.pred_scores.empty()) {
-          plan.active = true;
-          ++counters.predictions;
-          if (tracing()) {
-            plan.pred_span =
-                tinstant(engines::tracks::kPrediction,
-                         "predict L" + std::to_string(nl), nonmoe_end);
-          }
-          std::vector<int> predicted = topk_indices(ntok.pred_scores, cfg.top_k);
-          // Under adaptive skipping, confident predictions only need their
-          // top-1 expert pre-calculated.
-          if (config_.skip_top1_margin > 0.0 && predicted.size() >= 2) {
-            std::vector<float> w(predicted.size());
-            softmax_subset(ntok.pred_scores, predicted, w);
-            if (w[0] >= config_.skip_top1_margin) predicted.resize(1);
-          }
-
-          std::vector<int> pred_cpu;
-          for (int e : predicted) {
-            if (!placement.on_gpu(nl, e)) pred_cpu.push_back(e);
-          }
-
-          // Graceful degradation: if every predicted expert sits on the CPU,
-          // replace the lowest-scored one with the best GPU-resident expert.
-          if (config_.enable_degradation &&
-              static_cast<int>(pred_cpu.size()) == cfg.top_k &&
-              cfg.top_k >= 2) {
-            int drop = pred_cpu.back();  // topk_indices is score-descending
-            const int sub = best_gpu_expert(placement, nl, ntok.pred_scores,
-                                            predicted);
-            if (sub >= 0) {
-              plan.substitute[static_cast<std::size_t>(drop)] = sub;
-              pred_cpu.pop_back();
-              ++counters.degradations;
-            }
-          }
-
-          // Pre-calculate the remaining predicted CPU experts from this
-          // layer's non-MoE hidden states.
-          for (int e : pred_cpu) {
-            const double out =
-                tl.schedule(sim::Res::PcieD2H, nonmoe_end,
-                            costs_.activations_d2h(1), "precalc acts");
-            const double pstart = tl.last_start();
-            const double exec = tl.schedule(sim::Res::CpuPool, out,
-                                            cpu_expert_cost,
-                                            "precalc CPU expert");
-            ++counters.cpu_expert_execs;
-            const double arrival =
-                tl.schedule(sim::Res::PcieH2D, exec,
-                            costs_.activations_h2d(1), "precalc result");
-            plan.precalc_arrival[static_cast<std::size_t>(e)] = arrival;
-            if (tracing()) {
-              const std::uint64_t ps =
-                  tspan(engines::tracks::kPrecalc,
-                        "pre-calc L" + std::to_string(nl) + " E" +
-                            std::to_string(e),
-                        pstart, arrival);
-              plan.precalc_span[static_cast<std::size_t>(e)] = ps;
-              tflow(plan.pred_span, ps, "pre-calc");
-            }
-          }
-        }
-      }
-
-      ready = layer_end;
-    }
-    if (tracing()) {
-      tspan(engines::tracks::kToken, "token " + std::to_string(t),
-            token_start, ready);
-    }
-
-    // Decode re-allocation (extension): every N tokens, re-run Algorithm 1
-    // over the trailing window so the cache follows within-sequence drift.
-    if (config_.decode_realloc_interval > 0 &&
-        (t + 1) % config_.decode_realloc_interval == 0) {
-      for (int l = 0; l < L; ++l) {
-        const auto swaps = sequence_specific_swaps(
-            window[static_cast<std::size_t>(l)], placement, l,
-            config_.swap_in_out);
-        for (const SwapDecision& s : swaps) {
-          const double done = migrate(ready, "decode swap-in");
-          if (done < 0.0) {
-            ++counters.migration_aborts;
-            continue;
-          }
-          apply_swaps(placement, l, {s});
-          swap_ready[sidx(l, s.expert_in)] = done;
-          ++counters.decode_swaps;
-        }
-        std::fill(window[static_cast<std::size_t>(l)].begin(),
-                  window[static_cast<std::size_t>(l)].end(), 0.0);
-      }
-    }
-  }
-
-  return finalize(name(), trace, tl, prefill_end, ready, counters, stall0);
+  return std::make_unique<DaopSession>(name(), costs_, config_, trace, env,
+                                       fault_model_, tracer_, initial);
 }
 
 std::unique_ptr<engines::Engine> make_daop(const model::OpCosts& costs,

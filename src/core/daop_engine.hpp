@@ -24,9 +24,9 @@ class DaopEngine : public engines::Engine {
 
   std::string name() const override;
 
-  engines::RunResult run(const data::SequenceTrace& trace,
-                         const cache::Placement& initial,
-                         sim::Timeline* tl = nullptr) override;
+  std::unique_ptr<engines::SequenceSession> open_session(
+      const data::SequenceTrace& trace, const cache::Placement& initial,
+      const engines::SessionEnv& env) override;
 
   const DaopConfig& config() const { return config_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "core/allocation.hpp"
+#include "engines/session.hpp"
 #include "sim/energy.hpp"
 #include "tensor/ops.hpp"
 
@@ -16,11 +17,23 @@ void check_batch(std::span<const data::SequenceTrace> traces,
   DAOP_CHECK(!traces.empty());
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
   DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
-  for (const auto& tr : traces) {
+  for (std::size_t b = 0; b < traces.size(); ++b) {
+    const auto& tr = traces[b];
     DAOP_CHECK_EQ(tr.n_layers(), cfg.n_layers);
     DAOP_CHECK_EQ(tr.n_experts, cfg.n_experts);
-    DAOP_CHECK_EQ(tr.prompt_len, traces[0].prompt_len);
-    DAOP_CHECK_EQ(tr.gen_len, traces[0].gen_len);
+    // The batched engines fuse per-layer work across sequences, so every
+    // sequence must share one prompt length and one generation length (see
+    // docs/API.md). Name the offender: a bare equality check is useless when
+    // the batch came from a workload sampler.
+    DAOP_CHECK_MSG(tr.prompt_len == traces[0].prompt_len,
+                   "batched engines require equal-length sequences: sequence "
+                       << b << " has prompt_len " << tr.prompt_len
+                       << " but sequence 0 has prompt_len "
+                       << traces[0].prompt_len);
+    DAOP_CHECK_MSG(tr.gen_len == traces[0].gen_len,
+                   "batched engines require equal-length sequences: sequence "
+                       << b << " has gen_len " << tr.gen_len
+                       << " but sequence 0 has gen_len " << traces[0].gen_len);
   }
 }
 
@@ -64,19 +77,13 @@ BatchResult finalize_batch(const std::string& name,
   return r;
 }
 
-/// Ships `n_tokens` activations out, executes an expert over them on the
-/// CPU, ships results back; returns result-arrival time.
+/// Batched CPU-expert round trip: the shared session helper priced with the
+/// batched CPU execution cost.
 double cpu_expert_batch(sim::Timeline& tl, const model::OpCosts& costs,
                         double start, int n_tokens, EngineCounters& counters) {
-  const double out = tl.schedule(sim::Res::PcieD2H, start,
-                                 costs.activations_d2h(n_tokens),
-                                 "acts to CPU");
-  const double exec = tl.schedule(sim::Res::CpuPool, out,
-                                  costs.expert_cpu_batch(n_tokens),
-                                  "CPU expert");
-  ++counters.cpu_expert_execs;
-  return tl.schedule(sim::Res::PcieH2D, exec, costs.activations_h2d(n_tokens),
-                     "acts to GPU");
+  return cpu_expert_roundtrip(tl, costs, start, n_tokens,
+                              costs.expert_cpu_batch(n_tokens), counters)
+      .result_arrival;
 }
 
 /// Hybrid prefill shared by both batched engines: every expert executes

@@ -1,8 +1,7 @@
 #include "engines/engine.hpp"
 
-#include <algorithm>
-
 #include "common/check.hpp"
+#include "engines/session.hpp"
 
 namespace daop::engines {
 
@@ -22,55 +21,20 @@ void EngineCounters::add(const EngineCounters& o) {
   migration_retries += o.migration_retries;
   migration_aborts += o.migration_aborts;
   stale_precalcs += o.stale_precalcs;
+  pin_refusals += o.pin_refusals;
   hazard_stall_s += o.hazard_stall_s;
 }
 
-RunResult Engine::finalize(const std::string& name,
-                           const data::SequenceTrace& trace,
-                           const sim::Timeline& tl, double prefill_end,
-                           double decode_end, const EngineCounters& counters,
-                           double hazard_stall_baseline_s) const {
-  DAOP_CHECK_GE(decode_end, prefill_end);
-  RunResult r;
-  r.engine = name;
-  r.prompt_tokens = trace.prompt_len;
-  r.generated_tokens = trace.gen_len;
-  r.prefill_s = prefill_end;
-  r.decode_s = decode_end - prefill_end;
-  r.total_s = decode_end;
-  if (r.total_s > 0.0) r.tokens_per_s = trace.gen_len / r.total_s;
-  if (r.decode_s > 0.0) r.decode_tokens_per_s = trace.gen_len / r.decode_s;
-  // Speculative work (prefetches, pre-calculations) may still be draining
-  // when the last token is emitted; it burned energy regardless.
-  r.energy = sim::compute_energy(costs_.cost_model().platform(), tl,
-                                 std::max(decode_end, tl.span()));
-  if (r.energy.total_j > 0.0) {
-    r.tokens_per_kj = trace.gen_len / (r.energy.total_j / 1000.0);
+RunResult Engine::run(const data::SequenceTrace& trace,
+                      const cache::Placement& initial, sim::Timeline* tl) {
+  SessionEnv env;
+  env.timeline = tl;
+  const std::unique_ptr<SequenceSession> session =
+      open_session(trace, initial, env);
+  session->prefill();
+  while (session->decode_step()) {
   }
-  r.counters = counters;
-  // Hazard stall time is accumulated by the timeline (the single place all
-  // engines schedule through), not by engine code. Subtracting the run's
-  // starting baseline keeps the counter per-run even on a reused timeline.
-  r.counters.hazard_stall_s = tl.hazard_stall_s() - hazard_stall_baseline_s;
-  return r;
-}
-
-std::uint64_t Engine::tspan(const char* track, std::string name, double start,
-                            double end) const {
-  if (tracer_ == nullptr) return 0;
-  return tracer_->span(tracer_->track(track), std::move(name), start, end);
-}
-
-std::uint64_t Engine::tinstant(const char* track, std::string name,
-                               double t) const {
-  if (tracer_ == nullptr) return 0;
-  return tracer_->instant(tracer_->track(track), std::move(name), t);
-}
-
-void Engine::tflow(std::uint64_t from, std::uint64_t to,
-                   std::string name) const {
-  if (tracer_ == nullptr || from == 0 || to == 0) return;
-  tracer_->flow(from, to, std::move(name));
+  return session->close();
 }
 
 RunResult aggregate_results(const std::string& name,

@@ -57,6 +57,9 @@ struct EngineCounters {
                                      ///< exceeded or retries exhausted)
   long long stale_precalcs = 0;      ///< pre-calculated results discarded
                                      ///< because they arrived too late
+  long long pin_refusals = 0;        ///< placement swaps refused because the
+                                     ///< eviction victim was pinned by a
+                                     ///< concurrent session
   double hazard_stall_s = 0.0;       ///< total hazard delay injected into
                                      ///< this run's scheduled ops
 
@@ -83,6 +86,9 @@ struct RunResult {
   EngineCounters counters;
 };
 
+class SequenceSession;
+struct SessionEnv;
+
 class Engine {
  public:
   explicit Engine(const model::OpCosts& costs) : costs_(costs) {}
@@ -97,10 +103,18 @@ class Engine {
   /// (typically the §IV-A calibrated placement). When `tl` is non-null the
   /// engine records into it (with interval recording as configured by the
   /// caller, e.g. for gantt rendering); otherwise a private timeline is
-  /// used.
-  virtual RunResult run(const data::SequenceTrace& trace,
-                        const cache::Placement& initial,
-                        sim::Timeline* tl = nullptr) = 0;
+  /// used. Thin wrapper: opens a session and drives it to completion.
+  RunResult run(const data::SequenceTrace& trace,
+                const cache::Placement& initial, sim::Timeline* tl = nullptr);
+
+  /// Opens a resumable session for one sequence (see engines/session.hpp).
+  /// The engine supplies policy; `env` supplies where the session runs
+  /// (timeline, start time, request id, placement arbiter). The session
+  /// captures the engine's fault model and tracer at open time; the engine,
+  /// trace, and env-referenced objects must outlive the session.
+  virtual std::unique_ptr<SequenceSession> open_session(
+      const data::SequenceTrace& trace, const cache::Placement& initial,
+      const SessionEnv& env) = 0;
 
   /// Attaches a hazard-injection fault model (see sim/fault_model.hpp);
   /// every subsequent run() schedules through it. The model must outlive
@@ -118,23 +132,6 @@ class Engine {
   obs::SpanTracer* tracer() const { return tracer_; }
 
  protected:
-  /// Fills the derived timing/energy fields of a result.
-  /// `hazard_stall_baseline_s` is the timeline's accumulated hazard stall at
-  /// the start of this run, so a reused external timeline does not leak a
-  /// previous run's stalls into this result's counters.
-  RunResult finalize(const std::string& name, const data::SequenceTrace& trace,
-                     const sim::Timeline& tl, double prefill_end,
-                     double decode_end, const EngineCounters& counters,
-                     double hazard_stall_baseline_s = 0.0) const;
-
-  // ---- Tracing helpers: exact no-ops without an attached tracer. ----
-  bool tracing() const { return tracer_ != nullptr; }
-  std::uint64_t tspan(const char* track, std::string name, double start,
-                      double end) const;
-  std::uint64_t tinstant(const char* track, std::string name, double t) const;
-  void tflow(std::uint64_t from, std::uint64_t to,
-             std::string name = {}) const;
-
   const model::OpCosts& costs_;
   sim::FaultModel* fault_model_ = nullptr;
   obs::SpanTracer* tracer_ = nullptr;

@@ -4,164 +4,135 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "cache/arbiter.hpp"
 #include "common/check.hpp"
+#include "engines/session.hpp"
 #include "tensor/ops.hpp"
 
 namespace daop::engines {
 namespace {
 
-/// Per-run mutable state shared by prefill and decode scheduling.
-struct FetchState {
-  cache::Placement placement;
-  /// Monotonic use counter per (layer, expert) for LRU eviction.
-  std::vector<long long> last_use;
-  long long use_clock = 0;
-  /// Completion time of an in-flight (or done) transfer per (layer, expert);
-  /// negative when none.
-  std::vector<double> fetch_ready;
-  /// Set while a *prefetch* (speculative fetch issued ahead of need) is
-  /// outstanding and has not yet been credited as a prefetch hit. A single
-  /// prefetch is credited at most once, on its first use; demand fetches
-  /// never set this.
-  std::vector<char> prefetch_pending;
-  /// Tracing: span id of the last fetch per (layer, expert); 0 when none.
-  std::vector<std::uint64_t> fetch_span;
+/// Fetch-based session: policy decides WHAT to fetch/prefetch and WHEN;
+/// the session base supplies the migration/retry and tracing mechanics.
+class FetchSession final : public SequenceSession {
+ public:
+  FetchSession(const model::OpCosts& costs, const FetchPolicy& policy,
+               const data::SequenceTrace& trace, const SessionEnv& env,
+               sim::FaultModel* fault, obs::SpanTracer* tracer,
+               const cache::Placement& initial)
+      : SequenceSession(policy.name, costs, trace, env, fault, tracer),
+        policy_(policy),
+        placement_(initial),
+        mig_time_(costs.cost_model().h2d_time(costs.config().expert_bytes() *
+                                              policy.weight_bytes_factor)),
+        prefill_counts_(this->trace().activation_counts(data::Phase::Prefill)),
+        last_use_(static_cast<std::size_t>(initial.n_layers()) *
+                      initial.n_experts(),
+                  0),
+        fetch_ready_(last_use_.size(), -1.0),
+        prefetch_pending_(last_use_.size(), 0),
+        fetch_span_(last_use_.size(), 0),
+        pattern_prefetched_(last_use_.size(), false) {
+    if (policy_.ignore_initial_cache) {
+      // DeepSpeed-MII has no expert offloading mechanism (§V-C): every
+      // expert streams from host memory on every use. Under a shared
+      // placement this clears residency for the whole device, which is
+      // exactly what running such an engine on the device means.
+      cache::Placement& p = placement();
+      for (int l = 0; l < p.n_layers(); ++l) {
+        for (int e = 0; e < p.n_experts(); ++e) p.move_to_cpu(l, e);
+      }
+    }
+  }
 
-  explicit FetchState(const cache::Placement& initial)
-      : placement(initial),
-        last_use(static_cast<std::size_t>(initial.n_layers()) *
-                     initial.n_experts(),
-                 0),
-        fetch_ready(static_cast<std::size_t>(initial.n_layers()) *
-                        initial.n_experts(),
-                    -1.0),
-        prefetch_pending(fetch_ready.size(), 0),
-        fetch_span(fetch_ready.size(), 0) {}
+ private:
+  /// The shared placement under an arbiter, a private copy otherwise.
+  cache::Placement& placement() {
+    return arbiter() != nullptr ? arbiter()->placement() : placement_;
+  }
 
   std::size_t idx(int l, int e) const {
     return static_cast<std::size_t>(l) *
-               static_cast<std::size_t>(placement.n_experts()) +
+               static_cast<std::size_t>(placement_.n_experts()) +
            static_cast<std::size_t>(e);
   }
 
-  void touch(int l, int e) { last_use[idx(l, e)] = ++use_clock; }
+  void touch(int l, int e) { last_use_[idx(l, e)] = ++use_clock_; }
 
-  /// LRU victim among residents of `layer` that are not in `protect`.
-  int victim(int layer, const std::unordered_set<int>& protect) const {
+  /// LRU victim among residents of `layer` that are not in `protect` and —
+  /// under an arbiter — not pinned by another session. When only pins stand
+  /// between the caller and a victim, the refusal is counted.
+  int victim(int layer, const std::unordered_set<int>& protect) {
     int best = -1;
     long long best_use = 0;
-    for (int e = 0; e < placement.n_experts(); ++e) {
-      if (!placement.on_gpu(layer, e) || protect.count(e) != 0) continue;
-      const long long u = last_use[idx(layer, e)];
+    bool pin_blocked = false;
+    for (int e = 0; e < placement().n_experts(); ++e) {
+      if (!placement().on_gpu(layer, e) || protect.count(e) != 0) continue;
+      if (arbiter() != nullptr &&
+          arbiter()->pinned_by_other(layer, e, request_id())) {
+        pin_blocked = true;
+        continue;
+      }
+      const long long u = last_use_[idx(layer, e)];
       if (best < 0 || u < best_use) {
         best = e;
         best_use = u;
       }
     }
+    if (best < 0 && pin_blocked) ++counters_.pin_refusals;
     return best;
   }
-};
-
-}  // namespace
-
-FetchBasedEngine::FetchBasedEngine(const model::OpCosts& costs,
-                                   FetchPolicy policy)
-    : Engine(costs), policy_(std::move(policy)) {
-  DAOP_CHECK_GT(policy_.weight_bytes_factor, 0.0);
-}
-
-RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
-                                const cache::Placement& initial,
-                                sim::Timeline* external_tl) {
-  sim::Timeline local_tl;
-  sim::Timeline& tl = external_tl ? *external_tl : local_tl;
-  tl.set_fault_model(fault_model_);
-  const double stall0 = tl.hazard_stall_s();
-
-  const model::ModelConfig& cfg = costs_.config();
-  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
-  DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
-  const int L = cfg.n_layers;
-  const double mig_time =
-      costs_.cost_model().h2d_time(cfg.expert_bytes() *
-                                   policy_.weight_bytes_factor);
-
-  FetchState st(initial);
-  if (policy_.ignore_initial_cache) {
-    for (int l = 0; l < L; ++l) {
-      for (int e = 0; e < cfg.n_experts; ++e) st.placement.move_to_cpu(l, e);
-    }
-  }
-  EngineCounters counters;
 
   // Ensures room for `expert` on the GPU, evicting an LRU resident if
   // needed, and marks it resident. Returns false if it could not be cached
-  // (zero capacity) — the expert is then streamed without residency.
-  auto make_resident = [&](int l, int e,
-                           const std::unordered_set<int>& protect) -> bool {
-    if (st.placement.capacity(l) == 0) return false;
-    if (st.placement.gpu_count(l) >= st.placement.capacity(l)) {
-      const int v = st.victim(l, protect);
+  // (zero capacity, or every candidate victim pinned by another session) —
+  // the expert is then streamed without residency.
+  bool make_resident(int l, int e, const std::unordered_set<int>& protect) {
+    if (placement().capacity(l) == 0) return false;
+    if (placement().gpu_count(l) >= placement().capacity(l)) {
+      const int v = victim(l, protect);
       if (v < 0) return false;
-      st.placement.move_to_cpu(l, v);
-      st.fetch_ready[st.idx(l, v)] = -1.0;
+      placement().move_to_cpu(l, v);
+      fetch_ready_[idx(l, v)] = -1.0;
       // An evicted prefetch was never used, so it can no longer be a hit.
-      st.prefetch_pending[st.idx(l, v)] = 0;
+      prefetch_pending_[idx(l, v)] = 0;
     }
-    st.placement.move_to_gpu(l, e);
+    placement().move_to_gpu(l, e);
     return true;
-  };
+  }
 
   // Fetches `e`'s weights, honoring the overlap policy. `issue` is the
   // earliest time routing knowledge allows the fetch; `serial_after` is the
   // previous dependent op for synchronous mode.
-  auto fetch = [&](int l, int e, double issue, double serial_after) -> double {
-    const double ready = policy_.overlap_fetch
-                             ? issue
-                             : std::max(issue, serial_after);
-    double done =
-        tl.schedule(sim::Res::PcieH2D, ready, mig_time, "fetch expert");
-    const double fetch_start = tl.last_start();
-    ++counters.expert_migrations;
-    // Transient expert-load failures (fault plane): a GPU-centric engine
-    // has no CPU execution path to degrade to, so it must re-stream the
-    // weights — bounded retries with exponential backoff, after which the
-    // load is assumed to go through.
-    if (fault_model_ != nullptr && fault_model_->enabled()) {
-      const sim::HazardScenario& sc = fault_model_->scenario();
-      double backoff = sc.retry_backoff_s;
-      int attempts = 0;
-      while (attempts < sc.max_transfer_retries &&
-             fault_model_->expert_load_fails()) {
-        ++attempts;
-        ++counters.migration_retries;
-        done = tl.schedule(sim::Res::PcieH2D, done + backoff, mig_time,
-                           "refetch expert");
-        ++counters.expert_migrations;
-        backoff *= 2.0;
-      }
-    }
-    st.fetch_ready[st.idx(l, e)] = done;
+  double fetch(int l, int e, double issue, double serial_after) {
+    const double ready =
+        policy_.overlap_fetch ? issue : std::max(issue, serial_after);
+    // A GPU-centric engine has no CPU execution path to degrade to, so a
+    // transient load failure means re-streaming the weights: bounded
+    // retries, after which the load is assumed to go through.
+    const int max_retries =
+        fault() != nullptr && fault()->enabled()
+            ? fault()->scenario().max_transfer_retries
+            : 0;
+    const MigrationOutcome m = migrate_with_retry(
+        ready, mig_time_, "fetch expert", "refetch expert",
+        "fetch L" + std::to_string(l) + " E" + std::to_string(e), max_retries,
+        0.0, /*abort_when_exhausted=*/false);
+    fetch_ready_[idx(l, e)] = m.done;
     // A re-stream always supersedes any previous fetch of this expert.
-    st.prefetch_pending[st.idx(l, e)] = 0;
-    if (tracing()) {
-      st.fetch_span[st.idx(l, e)] = tspan(
-          tracks::kMigration, "fetch L" + std::to_string(l) + " E" +
-                                  std::to_string(e),
-          fetch_start, done);
-    }
-    return done;
-  };
+    prefetch_pending_[idx(l, e)] = 0;
+    fetch_span_[idx(l, e)] = m.span;
+    publish_weight_ready(l, e, m.done);
+    return m.done;
+  }
 
-  // ---- Prefill ----
-  double ready = 0.0;
-  const auto prefill_counts = trace.activation_counts(data::Phase::Prefill);
-  {
-    const int np = trace.prompt_len;
-    const auto& counts = prefill_counts;
-    for (int l = 0; l < L; ++l) {
-      const double nonmoe_end = tl.schedule(
-          sim::Res::GpuStream, ready, costs_.nonmoe_gpu_prefill(np),
+  void run_prefill() override {
+    const model::ModelConfig& cfg = costs_.config();
+    const int np = trace().prompt_len;
+    const auto& counts = prefill_counts_;
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      const double nonmoe_end = tl().schedule(
+          sim::Res::GpuStream, ready_, costs_.nonmoe_gpu_prefill(np),
           "prefill non-MoE");
       // Activated experts, most-loaded first so heavy work starts earliest.
       std::vector<int> active;
@@ -183,67 +154,62 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
         const int tok = static_cast<int>(
             counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
         double exec_ready = nonmoe_end;
-        if (!st.placement.on_gpu(l, e)) {
-          ++counters.cache_misses;
+        if (!placement().on_gpu(l, e)) {
+          ++counters_.cache_misses;
           const double done = fetch(l, e, nonmoe_end, prev_exec_end);
           exec_ready = done;
           if (!policy_.reuse_cache || !make_resident(l, e, protect)) {
-            st.fetch_ready[st.idx(l, e)] = -1.0;
+            fetch_ready_[idx(l, e)] = -1.0;
           }
         } else {
-          ++counters.cache_hits;
+          ++counters_.cache_hits;
+          exec_ready = shared_weight_gate(l, e, exec_ready);
         }
         const double exec_end =
-            tl.schedule(sim::Res::GpuStream, exec_ready,
-                        costs_.expert_gpu_prefill(tok), "prefill expert");
-        ++counters.gpu_expert_execs;
+            tl().schedule(sim::Res::GpuStream, exec_ready,
+                          costs_.expert_gpu_prefill(tok), "prefill expert");
+        ++counters_.gpu_expert_execs;
         if (tracing()) {
-          tspan(tracks::kExpertGpu, "prefill expert", tl.last_start(),
+          tspan(tracks::kExpertGpu, "prefill expert", tl().last_start(),
                 exec_end);
         }
-        st.touch(l, e);
+        touch(l, e);
         prev_exec_end = exec_end;
         layer_end = std::max(layer_end, exec_end);
       }
-      ready = layer_end;
+      ready_ = layer_end;
     }
+    prefill_end_ = ready_;
   }
-  const double prefill_end = ready;
-  if (tracing()) tspan(tracks::kToken, "prefill", 0.0, prefill_end);
 
-  // ---- Decode ----
-  // Sequence-pattern prefetches (MoE-Infinity) are issued once per
-  // (layer, expert): the pattern is static for the sequence, so re-issuing
-  // it every token would only thrash the cache.
-  std::vector<bool> pattern_prefetched(
-      static_cast<std::size_t>(L) * cfg.n_experts, false);
-  for (int t = 0; t < trace.gen_len; ++t) {
-    const int ctx = trace.prompt_len + t;
-    const double token_start = ready;
-    for (int l = 0; l < L; ++l) {
-      const double nonmoe_end = tl.schedule(
-          sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
-      const std::vector<int> selected = trace.selected(data::Phase::Decode, l, t);
+  void run_decode_token(int t) override {
+    const model::ModelConfig& cfg = costs_.config();
+    const int ctx = trace().prompt_len + t;
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      const double nonmoe_end = tl().schedule(
+          sim::Res::GpuStream, ready_, costs_.nonmoe_gpu(ctx), "non-MoE");
+      const std::vector<int> selected =
+          trace().selected(data::Phase::Decode, l, t);
       std::unordered_set<int> protect(selected.begin(), selected.end());
       if (tracing()) {
         tinstant(tracks::kGate, "gate L" + std::to_string(l), nonmoe_end);
       }
 
       // Issue next-layer prefetches as soon as this layer's gate resolves.
-      if (policy_.prefetch_next_layer && l + 1 < L) {
+      if (policy_.prefetch_next_layer && l + 1 < cfg.n_layers) {
         std::vector<int> guess;
         std::uint64_t pred_span = 0;
         if (policy_.prefetch_uses_sequence_pattern) {
           // MoE-Infinity: prefetch the next layer's sequence-level dominant
           // experts (prefill activation pattern).
           std::vector<float> scores(
-              prefill_counts[static_cast<std::size_t>(l + 1)].begin(),
-              prefill_counts[static_cast<std::size_t>(l + 1)].end());
+              prefill_counts_[static_cast<std::size_t>(l + 1)].begin(),
+              prefill_counts_[static_cast<std::size_t>(l + 1)].end());
           guess = topk_indices(scores, cfg.top_k);
         } else if (policy_.prefetch_uses_prediction) {
-          guess = trace.predicted(l + 1, t);
+          guess = trace().predicted(l + 1, t);
           if (!guess.empty()) {
-            ++counters.predictions;
+            ++counters_.predictions;
             if (tracing()) {
               pred_span = tinstant(tracks::kPrediction,
                                    "predict L" + std::to_string(l + 1),
@@ -254,17 +220,17 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
           guess = selected;  // assume expert reuse across layers
         }
         for (int e : guess) {
-          const std::size_t i = st.idx(l + 1, e);
-          if (st.placement.on_gpu(l + 1, e) || st.fetch_ready[i] >= 0.0) {
+          const std::size_t i = idx(l + 1, e);
+          if (placement().on_gpu(l + 1, e) || fetch_ready_[i] >= 0.0) {
             continue;
           }
           if (policy_.prefetch_uses_sequence_pattern) {
-            if (pattern_prefetched[i]) continue;
-            pattern_prefetched[i] = true;
+            if (pattern_prefetched_[i]) continue;
+            pattern_prefetched_[i] = true;
           }
           fetch(l + 1, e, nonmoe_end, nonmoe_end);
-          st.prefetch_pending[i] = 1;
-          tflow(pred_span, st.fetch_span[i], "prefetch");
+          prefetch_pending_[i] = 1;
+          tflow(pred_span, fetch_span_[i], "prefetch");
           if (policy_.reuse_cache) {
             make_resident(l + 1, e, std::unordered_set<int>(guess.begin(),
                                                             guess.end()));
@@ -276,57 +242,94 @@ RunResult FetchBasedEngine::run(const data::SequenceTrace& trace,
       double prev_exec_end = nonmoe_end;
       for (int e : selected) {
         double exec_ready = nonmoe_end;
-        const std::size_t i = st.idx(l, e);
+        const std::size_t i = idx(l, e);
         bool consumed_prefetch = false;
-        if (st.placement.on_gpu(l, e)) {
-          ++counters.cache_hits;
-          consumed_prefetch = st.prefetch_pending[i] != 0;
-          // May still be in-flight from a prefetch.
-          if (st.fetch_ready[i] > exec_ready) {
-            exec_ready = st.fetch_ready[i];
+        if (placement().on_gpu(l, e)) {
+          ++counters_.cache_hits;
+          pin_shared(l, e);
+          consumed_prefetch = prefetch_pending_[i] != 0;
+          // May still be in-flight from a prefetch (possibly another
+          // session's, under a shared placement).
+          if (fetch_ready_[i] > exec_ready) {
+            exec_ready = fetch_ready_[i];
           }
+          exec_ready = shared_weight_gate(l, e, exec_ready);
         } else {
-          ++counters.cache_misses;
-          if (st.fetch_ready[i] >= 0.0) {
+          ++counters_.cache_misses;
+          if (fetch_ready_[i] >= 0.0) {
             // An earlier fetch is in flight (or landed without a free
             // slot); consume it instead of re-streaming the weights.
-            exec_ready = std::max(nonmoe_end, st.fetch_ready[i]);
-            consumed_prefetch = st.prefetch_pending[i] != 0;
+            exec_ready = std::max(nonmoe_end, fetch_ready_[i]);
+            consumed_prefetch = prefetch_pending_[i] != 0;
           } else {
             exec_ready = fetch(l, e, nonmoe_end, prev_exec_end);
           }
           // Streamed weights are discarded after use unless a cache slot
           // absorbs them.
           if (!policy_.reuse_cache || !make_resident(l, e, protect)) {
-            st.fetch_ready[i] = -1.0;
+            fetch_ready_[i] = -1.0;
           }
         }
         if (consumed_prefetch) {
           // Credit each speculative prefetch at most once, on first use.
-          st.prefetch_pending[i] = 0;
-          ++counters.prefetch_hits;
+          prefetch_pending_[i] = 0;
+          ++counters_.prefetch_hits;
         }
-        const double exec_end = tl.schedule(
+        const double exec_end = tl().schedule(
             sim::Res::GpuStream, exec_ready, costs_.expert_gpu(), "expert");
         if (tracing()) {
           const std::uint64_t x = tspan(tracks::kExpertGpu, "expert",
-                                        tl.last_start(), exec_end);
-          if (consumed_prefetch) tflow(st.fetch_span[i], x, "prefetched");
+                                        tl().last_start(), exec_end);
+          if (consumed_prefetch) tflow(fetch_span_[i], x, "prefetched");
         }
-        ++counters.gpu_expert_execs;
-        st.touch(l, e);
+        ++counters_.gpu_expert_execs;
+        touch(l, e);
         prev_exec_end = exec_end;
         layer_end = std::max(layer_end, exec_end);
       }
-      ready = layer_end;
-    }
-    if (tracing()) {
-      tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready);
+      ready_ = layer_end;
     }
   }
 
-  return finalize(policy_.name, trace, tl, prefill_end, ready, counters,
-                  stall0);
+  const FetchPolicy& policy_;
+  cache::Placement placement_;
+  const double mig_time_;
+  const std::vector<std::vector<double>> prefill_counts_;
+  /// Monotonic use counter per (layer, expert) for LRU eviction.
+  std::vector<long long> last_use_;
+  long long use_clock_ = 0;
+  /// Completion time of an in-flight (or done) transfer per (layer,
+  /// expert); negative when none.
+  std::vector<double> fetch_ready_;
+  /// Set while a *prefetch* (speculative fetch issued ahead of need) is
+  /// outstanding and has not yet been credited as a prefetch hit. A single
+  /// prefetch is credited at most once, on its first use; demand fetches
+  /// never set this.
+  std::vector<char> prefetch_pending_;
+  /// Tracing: span id of the last fetch per (layer, expert); 0 when none.
+  std::vector<std::uint64_t> fetch_span_;
+  /// Sequence-pattern prefetches (MoE-Infinity) are issued once per
+  /// (layer, expert): the pattern is static for the sequence, so
+  /// re-issuing it every token would only thrash the cache.
+  std::vector<bool> pattern_prefetched_;
+};
+
+}  // namespace
+
+FetchBasedEngine::FetchBasedEngine(const model::OpCosts& costs,
+                                   FetchPolicy policy)
+    : Engine(costs), policy_(std::move(policy)) {
+  DAOP_CHECK_GT(policy_.weight_bytes_factor, 0.0);
+}
+
+std::unique_ptr<SequenceSession> FetchBasedEngine::open_session(
+    const data::SequenceTrace& trace, const cache::Placement& initial,
+    const SessionEnv& env) {
+  const model::ModelConfig& cfg = costs_.config();
+  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
+  DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
+  return std::make_unique<FetchSession>(costs_, policy_, trace, env,
+                                        fault_model_, tracer_, initial);
 }
 
 std::unique_ptr<Engine> make_moe_ondemand(const model::OpCosts& costs) {

@@ -49,9 +49,9 @@ class FetchBasedEngine : public Engine {
 
   std::string name() const override { return policy_.name; }
 
-  RunResult run(const data::SequenceTrace& trace,
-                const cache::Placement& initial,
-                sim::Timeline* tl = nullptr) override;
+  std::unique_ptr<SequenceSession> open_session(
+      const data::SequenceTrace& trace, const cache::Placement& initial,
+      const SessionEnv& env) override;
 
  private:
   FetchPolicy policy_;

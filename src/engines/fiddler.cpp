@@ -2,113 +2,112 @@
 
 #include <algorithm>
 
+#include "cache/arbiter.hpp"
 #include "common/check.hpp"
+#include "engines/session.hpp"
 
 namespace daop::engines {
+namespace {
 
-RunResult FiddlerEngine::run(const data::SequenceTrace& trace,
-                             const cache::Placement& initial,
-                             sim::Timeline* external_tl) {
-  sim::Timeline local_tl;
-  sim::Timeline& tl = external_tl ? *external_tl : local_tl;
-  tl.set_fault_model(fault_model_);
-  const double stall0 = tl.hazard_stall_s();
+/// Fiddler is pure policy-free hybrid execution: the calibrated placement is
+/// static, selected experts run wherever they live. All mechanics come from
+/// the session base.
+class FiddlerSession final : public SequenceSession {
+ public:
+  FiddlerSession(const model::OpCosts& costs, const data::SequenceTrace& trace,
+                 const SessionEnv& env, sim::FaultModel* fault,
+                 obs::SpanTracer* tracer, const cache::Placement& initial)
+      : SequenceSession("Fiddler", costs, trace, env, fault, tracer),
+        placement_(initial) {}
 
-  const model::ModelConfig& cfg = costs_.config();
-  DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
-  const int L = cfg.n_layers;
-  EngineCounters counters;
+ private:
+  /// The shared placement under an arbiter, a private copy otherwise.
+  const cache::Placement& placement() const {
+    return arbiter() != nullptr ? arbiter()->placement() : placement_;
+  }
 
-  // Runs one CPU-resident expert: ship activations out, execute, ship the
-  // result back. Returns the time the result is available on the GPU.
-  auto cpu_expert = [&](double start, int n_tokens, double exec_cost) {
-    const double out = tl.schedule(sim::Res::PcieD2H, start,
-                                   costs_.activations_d2h(n_tokens),
-                                   "acts to CPU");
-    const double exec =
-        tl.schedule(sim::Res::CpuPool, out, exec_cost, "CPU expert");
-    ++counters.cpu_expert_execs;
-    if (tracing()) {
-      tspan(tracks::kExpertCpu, "CPU expert", tl.last_start(), exec);
-    }
-    return tl.schedule(sim::Res::PcieH2D, exec,
-                       costs_.activations_h2d(n_tokens), "acts to GPU");
-  };
-
-  // ---- Prefill: experts execute wherever they live ----
-  double ready = 0.0;
-  {
-    const int np = trace.prompt_len;
-    const auto counts = trace.activation_counts(data::Phase::Prefill);
-    for (int l = 0; l < L; ++l) {
-      const double nonmoe_end = tl.schedule(
-          sim::Res::GpuStream, ready, costs_.nonmoe_gpu_prefill(np),
+  void run_prefill() override {
+    const model::ModelConfig& cfg = costs_.config();
+    const int np = trace().prompt_len;
+    const auto counts = trace().activation_counts(data::Phase::Prefill);
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      const double nonmoe_end = tl().schedule(
+          sim::Res::GpuStream, ready_, costs_.nonmoe_gpu_prefill(np),
           "prefill non-MoE");
       double layer_end = nonmoe_end;
       for (int e = 0; e < cfg.n_experts; ++e) {
         const int tok = static_cast<int>(
             counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]);
         if (tok == 0) continue;
-        if (initial.on_gpu(l, e)) {
-          ++counters.cache_hits;
-          ++counters.gpu_expert_execs;
+        if (placement().on_gpu(l, e)) {
+          ++counters_.cache_hits;
+          ++counters_.gpu_expert_execs;
+          const double eready = shared_weight_gate(l, e, nonmoe_end);
           const double exec_end =
-              tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                          costs_.expert_gpu_prefill(tok), "prefill expert");
+              tl().schedule(sim::Res::GpuStream, eready,
+                            costs_.expert_gpu_prefill(tok), "prefill expert");
           if (tracing()) {
-            tspan(tracks::kExpertGpu, "prefill expert", tl.last_start(),
+            tspan(tracks::kExpertGpu, "prefill expert", tl().last_start(),
                   exec_end);
           }
           layer_end = std::max(layer_end, exec_end);
         } else {
-          ++counters.cache_misses;
+          ++counters_.cache_misses;
           layer_end = std::max(
               layer_end,
               cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
         }
       }
-      ready = layer_end;
+      ready_ = layer_end;
     }
+    prefill_end_ = ready_;
   }
-  const double prefill_end = ready;
-  if (tracing()) tspan(tracks::kToken, "prefill", 0.0, prefill_end);
 
-  // ---- Decode: per-layer synchronous hybrid execution ----
-  for (int t = 0; t < trace.gen_len; ++t) {
-    const int ctx = trace.prompt_len + t;
-    const double token_start = ready;
-    for (int l = 0; l < L; ++l) {
-      const double nonmoe_end = tl.schedule(
-          sim::Res::GpuStream, ready, costs_.nonmoe_gpu(ctx), "non-MoE");
+  void run_decode_token(int t) override {
+    const model::ModelConfig& cfg = costs_.config();
+    const int ctx = trace().prompt_len + t;
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      const double nonmoe_end = tl().schedule(
+          sim::Res::GpuStream, ready_, costs_.nonmoe_gpu(ctx), "non-MoE");
       if (tracing()) {
         tinstant(tracks::kGate, "gate L" + std::to_string(l), nonmoe_end);
       }
       double layer_end = nonmoe_end;
-      for (int e : trace.selected(data::Phase::Decode, l, t)) {
-        if (initial.on_gpu(l, e)) {
-          ++counters.cache_hits;
-          ++counters.gpu_expert_execs;
-          const double exec_end = tl.schedule(sim::Res::GpuStream, nonmoe_end,
-                                              costs_.expert_gpu(),
-                                              "GPU expert");
+      for (int e : trace().selected(data::Phase::Decode, l, t)) {
+        if (placement().on_gpu(l, e)) {
+          ++counters_.cache_hits;
+          ++counters_.gpu_expert_execs;
+          pin_shared(l, e);
+          const double eready = shared_weight_gate(l, e, nonmoe_end);
+          const double exec_end = tl().schedule(sim::Res::GpuStream, eready,
+                                                costs_.expert_gpu(),
+                                                "GPU expert");
           if (tracing()) {
-            tspan(tracks::kExpertGpu, "GPU expert", tl.last_start(), exec_end);
+            tspan(tracks::kExpertGpu, "GPU expert", tl().last_start(),
+                  exec_end);
           }
           layer_end = std::max(layer_end, exec_end);
         } else {
-          ++counters.cache_misses;
-          layer_end =
-              std::max(layer_end, cpu_expert(nonmoe_end, 1, costs_.expert_cpu()));
+          ++counters_.cache_misses;
+          layer_end = std::max(layer_end,
+                               cpu_expert(nonmoe_end, 1, costs_.expert_cpu()));
         }
       }
-      ready = layer_end;
-    }
-    if (tracing()) {
-      tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready);
+      ready_ = layer_end;
     }
   }
 
-  return finalize(name(), trace, tl, prefill_end, ready, counters, stall0);
+  cache::Placement placement_;
+};
+
+}  // namespace
+
+std::unique_ptr<SequenceSession> FiddlerEngine::open_session(
+    const data::SequenceTrace& trace, const cache::Placement& initial,
+    const SessionEnv& env) {
+  DAOP_CHECK_EQ(initial.n_layers(), costs_.config().n_layers);
+  return std::make_unique<FiddlerSession>(costs_, trace, env, fault_model_,
+                                          tracer_, initial);
 }
 
 std::unique_ptr<Engine> make_fiddler(const model::OpCosts& costs) {

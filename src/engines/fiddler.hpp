@@ -15,9 +15,9 @@ class FiddlerEngine : public Engine {
 
   std::string name() const override { return "Fiddler"; }
 
-  RunResult run(const data::SequenceTrace& trace,
-                const cache::Placement& initial,
-                sim::Timeline* tl = nullptr) override;
+  std::unique_ptr<SequenceSession> open_session(
+      const data::SequenceTrace& trace, const cache::Placement& initial,
+      const SessionEnv& env) override;
 };
 
 std::unique_ptr<Engine> make_fiddler(const model::OpCosts& costs);

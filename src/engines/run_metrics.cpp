@@ -66,6 +66,11 @@ void record_counter_metrics(obs::MetricsRegistry& reg,
               "Pre-calculated results discarded for arriving too late.",
               labels)
       .inc(static_cast<double>(c.stale_precalcs));
+  reg.counter("daop_pin_refusals_total",
+              "Placement swaps/evictions refused because the victim was "
+              "pinned by a concurrent session.",
+              labels)
+      .inc(static_cast<double>(c.pin_refusals));
   reg.counter("daop_hazard_stall_seconds_total",
               "Total hazard delay injected into scheduled ops.", labels)
       .inc(c.hazard_stall_s);

@@ -1,0 +1,230 @@
+#include "engines/session.hpp"
+
+#include <algorithm>
+
+#include "cache/arbiter.hpp"
+#include "common/check.hpp"
+
+namespace daop::engines {
+
+CpuExpertTimes cpu_expert_roundtrip(sim::Timeline& tl,
+                                    const model::OpCosts& costs, double start,
+                                    int n_tokens, double exec_cost,
+                                    EngineCounters& counters,
+                                    const CpuExpertTags& tags) {
+  CpuExpertTimes t;
+  const double out = tl.schedule(sim::Res::PcieD2H, start,
+                                 costs.activations_d2h(n_tokens),
+                                 tags.acts_out);
+  t.acts_out_start = tl.last_start();
+  t.cpu_end = tl.schedule(sim::Res::CpuPool, out, exec_cost, tags.exec);
+  t.cpu_start = tl.last_start();
+  ++counters.cpu_expert_execs;
+  t.result_arrival = tl.schedule(sim::Res::PcieH2D, t.cpu_end,
+                                 costs.activations_h2d(n_tokens),
+                                 tags.acts_back);
+  return t;
+}
+
+SequenceSession::SequenceSession(std::string engine_name,
+                                 const model::OpCosts& costs,
+                                 const data::SequenceTrace& trace,
+                                 const SessionEnv& env, sim::FaultModel* fault,
+                                 obs::SpanTracer* tracer)
+    : costs_(costs),
+      name_(std::move(engine_name)),
+      trace_(trace),
+      owned_tl_(env.timeline != nullptr ? nullptr
+                                        : std::make_unique<sim::Timeline>()),
+      tl_(env.timeline != nullptr ? env.timeline : owned_tl_.get()),
+      start_time_(env.start_time),
+      request_id_(env.request_id),
+      arbiter_(env.arbiter),
+      shared_(env.shared),
+      fault_(fault),
+      tracer_(tracer) {
+  DAOP_CHECK_GE(start_time_, 0.0);
+  tl_->set_fault_model(fault_);
+  stall0_ = tl_->hazard_stall_s();
+  ready_ = start_time_;
+}
+
+SequenceSession::~SequenceSession() = default;
+
+void SequenceSession::prefill() {
+  DAOP_CHECK_MSG(phase_ == Phase::kOpened,
+                 "prefill() must be called exactly once, before decode");
+  run_prefill();
+  DAOP_CHECK_GE(prefill_end_, start_time_);
+  DAOP_CHECK_GE(ready_, prefill_end_);
+  phase_ = Phase::kDecoding;
+  if (tracing()) {
+    tspan(tracks::kToken, "prefill", start_time_, prefill_end_);
+  }
+}
+
+bool SequenceSession::decode_step() {
+  DAOP_CHECK_MSG(phase_ == Phase::kDecoding,
+                 (phase_ == Phase::kOpened ? "call prefill() first"
+                                           : "session is closed"));
+  if (next_token_ >= trace_.gen_len) return false;
+  // The previous token is done computing by now; its experts stop being
+  // this session's active working set and become fair eviction candidates.
+  release_step_pins();
+  const int t = next_token_;
+  const double token_start = ready_;
+  run_decode_token(t);
+  if (tracing()) {
+    tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready_);
+  }
+  post_token(t);
+  ++next_token_;
+  return true;
+}
+
+RunResult SequenceSession::close() {
+  DAOP_CHECK_MSG(phase_ == Phase::kDecoding,
+                 (phase_ == Phase::kOpened ? "close() before prefill()"
+                                           : "session already closed"));
+  phase_ = Phase::kClosed;
+  if (arbiter_ != nullptr) arbiter_->unpin_session(request_id_);
+  const double decode_end = ready_;
+  DAOP_CHECK_GE(decode_end, prefill_end_);
+
+  RunResult r;
+  r.engine = name_;
+  r.prompt_tokens = trace_.prompt_len;
+  r.generated_tokens = next_token_;
+  r.prefill_s = prefill_end_ - start_time_;
+  r.decode_s = decode_end - prefill_end_;
+  r.total_s = decode_end - start_time_;
+  if (r.total_s > 0.0) r.tokens_per_s = r.generated_tokens / r.total_s;
+  if (r.decode_s > 0.0) {
+    r.decode_tokens_per_s = r.generated_tokens / r.decode_s;
+  }
+  if (!shared_) {
+    // Speculative work (prefetches, pre-calculations) may still be draining
+    // when the last token is emitted; it burned energy regardless.
+    r.energy = sim::compute_energy(costs_.cost_model().platform(), *tl_,
+                                   std::max(decode_end, tl_->span()));
+    if (r.energy.total_j > 0.0) {
+      r.tokens_per_kj = r.generated_tokens / (r.energy.total_j / 1000.0);
+    }
+  }
+  r.counters = counters_;
+  // Hazard stall time is accumulated by the timeline (the single place all
+  // engines schedule through). On a private timeline, subtracting the
+  // session's starting baseline keeps the counter per-run; on a shared
+  // timeline stalls are not attributable to one session, so the scheduler
+  // accounts them once for the whole run.
+  r.counters.hazard_stall_s =
+      shared_ ? 0.0 : tl_->hazard_stall_s() - stall0_;
+  return r;
+}
+
+SequenceSession::MigrationOutcome SequenceSession::migrate_with_retry(
+    double issue, double cost, const char* tag, const char* retry_tag,
+    const std::string& span_name, int max_retries, double deadline_factor,
+    bool abort_when_exhausted) {
+  MigrationOutcome out;
+  out.done = tl().schedule(sim::Res::PcieH2D, issue, cost, tag);
+  out.start = tl().last_start();
+  ++counters_.expert_migrations;
+  // PCIe queueing counts against the deadline (measured from `issue`), so a
+  // congested link aborts swaps instead of stalling decode.
+  const double deadline =
+      deadline_factor > 0.0 ? issue + deadline_factor * cost : 0.0;
+  if (fault_ != nullptr && fault_->enabled()) {
+    double backoff = fault_->scenario().retry_backoff_s;
+    int attempts = 0;
+    for (;;) {
+      if (!abort_when_exhausted && attempts >= max_retries) break;
+      if (!fault_->expert_load_fails()) break;
+      if (abort_when_exhausted &&
+          (attempts >= max_retries ||
+           (deadline > 0.0 && out.done > deadline))) {
+        out.span = tspan(tracks::kMigration, span_name + " (aborted)",
+                         out.start, out.done);
+        out.aborted = true;
+        return out;
+      }
+      ++attempts;
+      ++counters_.migration_retries;
+      out.done = tl().schedule(sim::Res::PcieH2D, out.done + backoff, cost,
+                               retry_tag);
+      ++counters_.expert_migrations;
+      backoff *= 2.0;
+    }
+  }
+  if (abort_when_exhausted && deadline > 0.0 && out.done > deadline) {
+    out.span = tspan(tracks::kMigration, span_name + " (aborted)", out.start,
+                     out.done);
+    out.aborted = true;
+    return out;
+  }
+  out.span = tspan(tracks::kMigration, span_name, out.start, out.done);
+  return out;
+}
+
+double SequenceSession::cpu_expert(double start, int n_tokens,
+                                   double exec_cost) {
+  const CpuExpertTimes t = cpu_expert_roundtrip(tl(), costs_, start, n_tokens,
+                                                exec_cost, counters_);
+  if (tracing()) {
+    tspan(tracks::kExpertCpu, "CPU expert", t.cpu_start, t.cpu_end);
+  }
+  return t.result_arrival;
+}
+
+void SequenceSession::pin_shared(int layer, int expert) {
+  if (arbiter_ == nullptr) return;
+  arbiter_->pin(layer, expert, request_id_);
+  step_pins_.emplace_back(layer, expert);
+}
+
+void SequenceSession::release_step_pins() {
+  if (arbiter_ != nullptr) {
+    for (const auto& [layer, expert] : step_pins_) {
+      arbiter_->unpin(layer, expert, request_id_);
+    }
+  }
+  step_pins_.clear();
+}
+
+double SequenceSession::shared_weight_gate(int layer, int expert,
+                                           double t) const {
+  if (arbiter_ == nullptr) return t;
+  return std::max(t, arbiter_->weight_ready(layer, expert));
+}
+
+void SequenceSession::publish_weight_ready(int layer, int expert, double t) {
+  if (arbiter_ != nullptr) arbiter_->set_weight_ready(layer, expert, t);
+}
+
+std::uint64_t SequenceSession::tspan(const char* track, std::string name,
+                                     double start, double end) {
+  if (tracer_ == nullptr) return 0;
+  if (request_id_ < 0) {
+    return tracer_->span(tracer_->track(track), std::move(name), start, end);
+  }
+  const obs::RequestScope scope(tracer_, request_id_);
+  return tracer_->span(tracer_->track(track), std::move(name), start, end);
+}
+
+std::uint64_t SequenceSession::tinstant(const char* track, std::string name,
+                                        double t) {
+  if (tracer_ == nullptr) return 0;
+  if (request_id_ < 0) {
+    return tracer_->instant(tracer_->track(track), std::move(name), t);
+  }
+  const obs::RequestScope scope(tracer_, request_id_);
+  return tracer_->instant(tracer_->track(track), std::move(name), t);
+}
+
+void SequenceSession::tflow(std::uint64_t from, std::uint64_t to,
+                            std::string name) {
+  if (tracer_ == nullptr || from == 0 || to == 0) return;
+  tracer_->flow(from, to, std::move(name));
+}
+
+}  // namespace daop::engines

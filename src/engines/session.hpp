@@ -1,0 +1,215 @@
+// Resumable per-sequence engine sessions.
+//
+// A SequenceSession is one sequence's scheduling state machine:
+//
+//   open (engine->open_session) -> prefill() -> decode_step()* -> close()
+//
+// Engine::run() drives a session to completion in one call — the classic
+// single-sequence path — while a serving scheduler can interleave
+// decode_step() calls across many open sessions on one shared timeline
+// (continuous batching). The base class owns the mechanics every engine
+// shares: timeline/fault wiring, migration-with-retry disciplines, the
+// CPU-expert round trip, token/prefill span bookkeeping, counters, and the
+// RunResult arithmetic. Engine subclasses supply only policy by overriding
+// run_prefill() / run_decode_token().
+//
+// Determinism contract: driving a session to completion through the base
+// lifecycle reproduces the pre-session monolithic run() loops bit-for-bit
+// (times, energy, counters, trace bytes) — enforced by
+// tests/engines/session_determinism_test.cpp against committed goldens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engines/engine.hpp"
+
+namespace daop::cache {
+class PlacementArbiter;
+}  // namespace daop::cache
+
+namespace daop::engines {
+
+/// Where and how a session runs. Default-constructed: private timeline,
+/// t = 0, no request id — exactly Engine::run()'s single-sequence setting.
+struct SessionEnv {
+  /// Timeline to schedule onto; nullptr gives the session a private one.
+  sim::Timeline* timeline = nullptr;
+  /// Simulation time the sequence starts at (admission time under a
+  /// scheduler). All RunResult times are reported relative to this.
+  double start_time = 0.0;
+  /// Serving request id stamped onto every span this session records;
+  /// -1 leaves the tracer's ambient request scope untouched.
+  long long request_id = -1;
+  /// Shared-placement arbiter for multi-session serving; nullptr means the
+  /// session works on its own private copy of the initial placement.
+  cache::PlacementArbiter* arbiter = nullptr;
+  /// True when `timeline` is shared with other sessions. A shared session
+  /// reports no per-run energy and no hazard-stall attribution (both are
+  /// properties of the whole timeline, accounted once by the scheduler).
+  bool shared = false;
+};
+
+/// Timing of one CPU-resident expert round trip (activations D2H, CPU
+/// execution, result H2D).
+struct CpuExpertTimes {
+  double acts_out_start = 0.0;  ///< activations D2H transfer start
+  double cpu_start = 0.0;       ///< CPU execution start
+  double cpu_end = 0.0;         ///< CPU execution end
+  double result_arrival = 0.0;  ///< result available on the GPU
+};
+
+/// Timeline interval tags for a CPU-expert round trip. The defaults are the
+/// synchronous-execution tags; DAOP's speculative pre-calculation uses its
+/// own so exported traces distinguish the two kinds of CPU work.
+struct CpuExpertTags {
+  const char* acts_out = "acts to CPU";
+  const char* exec = "CPU expert";
+  const char* acts_back = "acts to GPU";
+};
+
+/// Ships `n_tokens` activations to the CPU, executes an expert over them
+/// (`exec_cost` seconds), and ships the result back; bumps
+/// `counters.cpu_expert_execs`. Shared by the per-sequence sessions and the
+/// batched engines so every CPU-expert round trip prices identically.
+CpuExpertTimes cpu_expert_roundtrip(sim::Timeline& tl,
+                                    const model::OpCosts& costs, double start,
+                                    int n_tokens, double exec_cost,
+                                    EngineCounters& counters,
+                                    const CpuExpertTags& tags = {});
+
+class SequenceSession {
+ public:
+  SequenceSession(std::string engine_name, const model::OpCosts& costs,
+                  const data::SequenceTrace& trace, const SessionEnv& env,
+                  sim::FaultModel* fault, obs::SpanTracer* tracer);
+  virtual ~SequenceSession();
+
+  SequenceSession(const SequenceSession&) = delete;
+  SequenceSession& operator=(const SequenceSession&) = delete;
+
+  /// Schedules the prompt. Must be called exactly once, before any
+  /// decode_step(). On return ready_time() is when decode may start.
+  void prefill();
+
+  /// Schedules one decode token. Returns false (without scheduling) once
+  /// the sequence has generated all of its tokens.
+  bool decode_step();
+
+  /// Finalizes and returns the run's result. The session cannot be used
+  /// afterwards.
+  RunResult close();
+
+  const std::string& engine_name() const { return name_; }
+  const data::SequenceTrace& trace() const { return trace_; }
+  long long request_id() const { return request_id_; }
+  /// Tokens generated so far.
+  int tokens_generated() const { return next_token_; }
+  /// True once every decode token has been scheduled.
+  bool decode_done() const { return next_token_ >= trace_.gen_len; }
+  /// Time the session's next step would start at: start_time before
+  /// prefill, the running decode frontier afterwards.
+  double ready_time() const { return ready_; }
+  double prefill_end() const { return prefill_end_; }
+  double start_time() const { return start_time_; }
+  const EngineCounters& counters() const { return counters_; }
+
+ protected:
+  /// Schedules the whole prompt. Must set prefill_end_ (end of prompt
+  /// compute) and ready_ (earliest decode start, >= prefill_end_ when
+  /// weights are still in flight).
+  virtual void run_prefill() = 0;
+  /// Schedules decode token `t` (0-based), advancing ready_.
+  virtual void run_decode_token(int t) = 0;
+  /// Runs after token `t`'s span is recorded (e.g. DAOP's periodic decode
+  /// re-allocation, whose migrations happen between tokens).
+  virtual void post_token(int t) { (void)t; }
+
+  sim::Timeline& tl() { return *tl_; }
+  sim::FaultModel* fault() const { return fault_; }
+  cache::PlacementArbiter* arbiter() const { return arbiter_; }
+  bool shared() const { return shared_; }
+
+  /// One expert-weight migration over PCIe under a retry discipline.
+  struct MigrationOutcome {
+    double done = 0.0;        ///< weight-arrival time (last attempt's end)
+    double start = 0.0;       ///< first attempt's transfer start
+    std::uint64_t span = 0;   ///< Migration-track span id (0 untraced)
+    bool aborted = false;     ///< abandoned (deadline / retries exhausted)
+  };
+
+  /// Schedules the transfer at `issue` and, when a fault model is active,
+  /// replays transient expert-load failures with exponential backoff.
+  ///
+  /// `abort_when_exhausted` selects between the two retry disciplines the
+  /// engines use — they consume fault-model randomness in different orders,
+  /// and that order is part of each engine's deterministic behavior:
+  ///  - true (DAOP): draw the failure first, then abort if the retry budget
+  ///    (`max_retries`) is spent or the running finish time exceeds
+  ///    `issue + deadline_factor * cost` (deadline_factor 0 = no deadline).
+  ///    The Migration span is traced as "`span_name` (aborted)".
+  ///  - false (fetch engines): stop drawing once `max_retries` attempts were
+  ///    made and assume the final load goes through; never aborts.
+  MigrationOutcome migrate_with_retry(double issue, double cost,
+                                      const char* tag, const char* retry_tag,
+                                      const std::string& span_name,
+                                      int max_retries, double deadline_factor,
+                                      bool abort_when_exhausted);
+
+  /// Traced CPU-expert round trip; returns the result-arrival time.
+  double cpu_expert(double start, int n_tokens, double exec_cost);
+
+  // ---- Shared-placement conveniences: exact no-ops without an arbiter
+  // (the single-sequence path), so private-session behavior is untouched.
+  /// Pins (layer, expert) as part of this session's ACTIVE working set: the
+  /// experts its current step computes with. Pins are held while other
+  /// sessions interleave and released when this session's next step begins
+  /// (and unconditionally in close()), so concurrent migrations can never
+  /// evict an in-use expert but the shared cache never freezes solid.
+  void pin_shared(int layer, int expert);
+  /// Latest of `t` and the cross-session weight-arrival gate.
+  double shared_weight_gate(int layer, int expert, double t) const;
+  /// Publishes a weight-arrival time for other sessions to gate on.
+  void publish_weight_ready(int layer, int expert, double t);
+
+  // ---- Tracing: exact no-ops without a tracer; spans carry this
+  // session's request id when one was assigned. ----
+  bool tracing() const { return tracer_ != nullptr; }
+  std::uint64_t tspan(const char* track, std::string name, double start,
+                      double end);
+  std::uint64_t tinstant(const char* track, std::string name, double t);
+  void tflow(std::uint64_t from, std::uint64_t to, std::string name = {});
+
+  const model::OpCosts& costs_;
+  EngineCounters counters_;
+  /// Scheduling frontier: when the next layer/token may start.
+  double ready_ = 0.0;
+  double prefill_end_ = 0.0;
+
+ private:
+  enum class Phase { kOpened, kDecoding, kClosed };
+
+  /// Drops the previous step's working-set pins (see pin_shared).
+  void release_step_pins();
+
+  std::string name_;
+  data::SequenceTrace trace_;
+  std::unique_ptr<sim::Timeline> owned_tl_;
+  sim::Timeline* tl_;
+  double start_time_;
+  long long request_id_;
+  cache::PlacementArbiter* arbiter_;
+  bool shared_;
+  sim::FaultModel* fault_;
+  obs::SpanTracer* tracer_;
+  double stall0_ = 0.0;
+  Phase phase_ = Phase::kOpened;
+  int next_token_ = 0;
+  /// (layer, expert) pins taken by the current step, for release_step_pins.
+  std::vector<std::pair<int, int>> step_pins_;
+};
+
+}  // namespace daop::engines

@@ -1,0 +1,128 @@
+#include "eval/continuous_batching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace daop::eval {
+
+ContinuousBatchingScheduler::ContinuousBatchingScheduler(
+    engines::Engine& engine, sim::Timeline& timeline,
+    const cache::Placement& initial, const Options& options)
+    : engine_(engine),
+      tl_(timeline),
+      arbiter_(initial),
+      options_(options),
+      free_slots_(static_cast<std::size_t>(options.max_concurrent), 0.0) {
+  DAOP_CHECK_GE(options_.max_concurrent, 1);
+  DAOP_CHECK_GE(options_.request_timeout_s, 0.0);
+  DAOP_CHECK_GE(options_.max_request_retries, 0);
+  DAOP_CHECK_GE(options_.retry_backoff_s, 0.0);
+}
+
+void ContinuousBatchingScheduler::enqueue(Request request) {
+  DAOP_CHECK_GE(request.arrival, 0.0);
+  if (!pending_.empty()) {
+    DAOP_CHECK_GE(request.arrival, pending_.back().request.arrival);
+  }
+  Pending p;
+  p.eff_arrival = request.arrival;
+  p.request = std::move(request);
+  pending_.push_back(std::move(p));
+}
+
+std::vector<ContinuousBatchingScheduler::Outcome>
+ContinuousBatchingScheduler::run() {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t total = pending_.size() + outcomes_.size();
+
+  while (!pending_.empty() || !active_.empty()) {
+    // Candidate admission: the FIFO head starts at the later of its
+    // (re-)arrival and the earliest free slot.
+    double t_admit = kInf;
+    std::size_t slot = 0;
+    if (!pending_.empty() && !free_slots_.empty()) {
+      slot = static_cast<std::size_t>(
+          std::min_element(free_slots_.begin(), free_slots_.end()) -
+          free_slots_.begin());
+      t_admit = std::max(pending_.front().eff_arrival, free_slots_[slot]);
+    }
+    // Candidate decode step: the least-advanced in-flight session. Ties go
+    // to the earliest-admitted (lowest request id) — active_ is kept in
+    // admission order, so the first strict minimum wins.
+    std::size_t si = active_.size();
+    double t_step = kInf;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const double r = active_[i].session->ready_time();
+      if (r < t_step) {
+        t_step = r;
+        si = i;
+      }
+    }
+
+    if (t_admit <= t_step) {
+      Pending& head = pending_.front();
+      if (options_.request_timeout_s > 0.0 &&
+          t_admit - head.eff_arrival > options_.request_timeout_s) {
+        if (head.attempts < options_.max_request_retries) {
+          ++head.attempts;
+          head.eff_arrival +=
+              options_.request_timeout_s + options_.retry_backoff_s;
+          continue;
+        }
+        Outcome o;
+        o.id = head.request.id;
+        o.arrival = head.request.arrival;
+        o.retries = head.attempts;
+        outcomes_.push_back(std::move(o));
+        pending_.pop_front();
+        continue;
+      }
+      engines::SessionEnv env;
+      env.timeline = &tl_;
+      env.start_time = t_admit;
+      env.request_id = head.request.id;
+      env.arbiter = &arbiter_;
+      env.shared = true;
+      Active a;
+      a.id = head.request.id;
+      a.arrival = head.request.arrival;
+      a.start = t_admit;
+      a.retries = head.attempts;
+      a.session =
+          engine_.open_session(head.request.trace, arbiter_.placement(), env);
+      a.session->prefill();
+      free_slots_.erase(free_slots_.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+      active_.push_back(std::move(a));
+      pending_.pop_front();
+      continue;
+    }
+
+    Active& a = active_[si];
+    if (a.session->decode_step()) continue;
+    // All tokens scheduled: close the session, free its slot at the
+    // completion time, and record the outcome.
+    engines::RunResult r = a.session->close();
+    Outcome o;
+    o.id = a.id;
+    o.arrival = a.arrival;
+    o.served = true;
+    o.start = a.start;
+    o.end = a.start + r.total_s;
+    o.retries = a.retries;
+    o.result = std::move(r);
+    free_slots_.push_back(o.end);
+    outcomes_.push_back(std::move(o));
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(si));
+  }
+
+  DAOP_CHECK_EQ(outcomes_.size(), total);
+  std::sort(outcomes_.begin(), outcomes_.end(),
+            [](const Outcome& x, const Outcome& y) { return x.id < y.id; });
+  return std::move(outcomes_);
+}
+
+}  // namespace daop::eval

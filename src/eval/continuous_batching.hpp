@@ -1,0 +1,110 @@
+// Continuous-batching serving scheduler (iteration-level scheduling).
+//
+// The sequential server runs each request to completion on a private
+// timeline, so concurrent requests never contend for PCIe or the CPU pool
+// and decode bubbles can never be filled by another request's work. This
+// scheduler instead admits Poisson arrivals up to a concurrency bound onto
+// ONE shared sim::Timeline and interleaves decode steps across the in-flight
+// engines::SequenceSessions: at every scheduling decision it either admits
+// the head of the FIFO queue (when a slot is free and the admission time is
+// no later than every in-flight session's frontier) or advances the
+// least-advanced session by one token. All sessions schedule against one
+// cache::PlacementArbiter-owned expert placement — the cache is a device
+// resource, not a per-request one — with reference-counted pins so one
+// request's migration can never evict an expert a concurrent request is
+// computing with (see cache/arbiter.hpp).
+//
+// Deterministic and single-threaded like the rest of the simulation:
+// "concurrent" sessions are interleaved by this scheduler, never by threads.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/arbiter.hpp"
+#include "data/routing_trace.hpp"
+#include "engines/engine.hpp"
+#include "engines/session.hpp"
+
+namespace daop::eval {
+
+class ContinuousBatchingScheduler {
+ public:
+  struct Options {
+    /// Maximum simultaneously in-flight sessions (admission bound).
+    int max_concurrent = 4;
+    /// Client-side queue-wait timeout / retry / backoff, with the same
+    /// semantics as the sequential server (ServingOptions): a request whose
+    /// admission would start more than `request_timeout_s` after its
+    /// (re-)arrival is abandoned and retries after a backoff, up to
+    /// `max_request_retries` re-queues; then it is dropped without ever
+    /// occupying a slot. 0 = clients wait forever.
+    double request_timeout_s = 0.0;
+    int max_request_retries = 0;
+    double retry_backoff_s = 0.5;
+  };
+
+  struct Request {
+    long long id = 0;
+    double arrival = 0.0;  ///< client arrival time (serving clock)
+    data::SequenceTrace trace;
+  };
+
+  /// One request's client-observed outcome. Exactly one of served/dropped
+  /// holds for every enqueued request (conservation is DAOP_CHECKed).
+  struct Outcome {
+    long long id = 0;
+    double arrival = 0.0;
+    bool served = false;
+    double start = 0.0;         ///< admission (service start) time
+    double end = 0.0;           ///< completion time (served only)
+    long long retries = 0;      ///< client re-queues before admission/drop
+    engines::RunResult result;  ///< session result (served only); times are
+                                ///< relative to `start`
+  };
+
+  /// The engine, timeline, and initial placement must outlive the
+  /// scheduler. The scheduler copies `initial` into its arbiter; every
+  /// session it opens schedules on `timeline` and arbitrates that copy.
+  ContinuousBatchingScheduler(engines::Engine& engine, sim::Timeline& timeline,
+                              const cache::Placement& initial,
+                              const Options& options);
+
+  /// Enqueues one request. Requests must be enqueued in nondecreasing
+  /// arrival order (FIFO admission is by queue order).
+  void enqueue(Request request);
+
+  /// Drives every enqueued request to served or dropped and returns the
+  /// outcomes sorted by request id.
+  std::vector<Outcome> run();
+
+  const cache::PlacementArbiter& arbiter() const { return arbiter_; }
+
+ private:
+  struct Pending {
+    Request request;
+    double eff_arrival = 0.0;  ///< arrival, pushed forward by retries
+    int attempts = 0;
+  };
+  struct Active {
+    long long id = 0;
+    double arrival = 0.0;
+    double start = 0.0;
+    long long retries = 0;
+    std::unique_ptr<engines::SequenceSession> session;
+  };
+
+  engines::Engine& engine_;
+  sim::Timeline& tl_;
+  cache::PlacementArbiter arbiter_;
+  Options options_;
+  std::deque<Pending> pending_;
+  std::vector<Active> active_;
+  /// Times at which currently-unoccupied slots became free (size is always
+  /// max_concurrent - active_.size()).
+  std::vector<double> free_slots_;
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace daop::eval

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "data/trace_generator.hpp"
 #include "engines/run_metrics.hpp"
+#include "eval/continuous_batching.hpp"
 #include "model/op_costs.hpp"
 
 namespace daop::eval {
@@ -28,6 +29,7 @@ ServingResult run_serving_eval(EngineKind kind,
   DAOP_CHECK_GE(options.retry_backoff_s, 0.0);
   DAOP_CHECK_GE(options.slo_ttft_s, 0.0);
   DAOP_CHECK_GE(options.slo_latency_s, 0.0);
+  DAOP_CHECK_GE(options.max_concurrent, 1);
 
   const sim::CostModel cm(platform);
   const model::OpCosts costs(model_cfg, cm);
@@ -61,87 +63,136 @@ ServingResult run_serving_eval(EngineKind kind,
   obs::HistogramData ttft_hist(obs::default_latency_buckets());
   obs::HistogramData tpot_hist(obs::default_latency_buckets());
   obs::HistogramData latency_hist(obs::default_latency_buckets());
+  obs::HistogramData wait_hist(obs::default_latency_buckets());
   double makespan = 0.0;
 
   ServingResult out;
-  for (int i = 0; i < options.n_requests; ++i) {
-    // Poisson arrivals: exponential inter-arrival gaps.
-    arrival += -std::log(std::max(rng.uniform(), 1e-12)) /
-               options.arrival_rate_rps;
-    const int prompt = rng.uniform_int(options.min_prompt, options.max_prompt);
-    const int gen_len = rng.uniform_int(options.min_gen, options.max_gen);
 
-    // Client-side timeout loop: a request whose queue wait exceeds the
-    // timeout is abandoned at (re-arrival + timeout) and retries after a
-    // backoff, up to max_request_retries re-queues; then it is dropped
-    // without ever occupying the server.
-    double eff_arrival = arrival;
-    bool dropped = false;
-    int attempts = 0;
-    for (;;) {
-      const double start = std::max(eff_arrival, server_free);
-      if (options.request_timeout_s > 0.0 &&
-          start - eff_arrival > options.request_timeout_s) {
-        if (attempts < options.max_request_retries) {
-          ++attempts;
-          ++out.request_retries;
-          eff_arrival +=
-              options.request_timeout_s + options.retry_backoff_s;
-          continue;
+  // Shared per-served-request bookkeeping: both serving modes record the
+  // same client-observed metrics with the same formulas, so sequential and
+  // continuous-batching results are directly comparable.
+  auto record_served = [&](long long id, double req_arrival, double start,
+                           double end, const engines::RunResult& r) {
+    busy += r.total_s;
+    tokens += r.generated_tokens;
+    makespan = std::max(makespan, end);
+    ++out.served;
+    // Client-observed metrics count from the ORIGINAL arrival, so retry
+    // waiting shows up in the latency distribution.
+    const double w = start - req_arrival;
+    const double first_tok = w + r.prefill_s;
+    const double lat = end - req_arrival;
+    const double per_tok =
+        r.generated_tokens > 0 ? r.decode_s / r.generated_tokens : 0.0;
+    wait.push_back(w);
+    ttft.push_back(first_tok);
+    latency.push_back(lat);
+    tpot.push_back(per_tok);
+    ttft_hist.observe(first_tok);
+    tpot_hist.observe(per_tok);
+    latency_hist.observe(lat);
+    wait_hist.observe(w);
+    if ((options.slo_ttft_s > 0.0 && first_tok > options.slo_ttft_s) ||
+        (options.slo_latency_s > 0.0 && lat > options.slo_latency_s)) {
+      ++out.slo_violations;
+    }
+    out.counters.add(r.counters);
+    if (options.tracer != nullptr) {
+      obs::SpanTracer& tr = *options.tracer;
+      const obs::RequestScope scope(&tr, id);
+      const std::uint32_t q_track = tr.track("Queue");
+      const std::uint32_t req_track = tr.track("Request");
+      tr.span(q_track, "queue wait", req_arrival, start);
+      tr.span(req_track, "request " + std::to_string(id), start, end);
+      tr.instant(req_track, "first token", start + r.prefill_s);
+    }
+  };
+
+  if (options.max_concurrent > 1) {
+    // ---- Continuous batching: shared timeline, arbitrated placement ----
+    ContinuousBatchingScheduler::Options sched_opt;
+    sched_opt.max_concurrent = options.max_concurrent;
+    sched_opt.request_timeout_s = options.request_timeout_s;
+    sched_opt.max_request_retries = options.max_request_retries;
+    sched_opt.retry_backoff_s = options.retry_backoff_s;
+    sim::Timeline tl;
+    ContinuousBatchingScheduler sched(*engine, tl, initial, sched_opt);
+    // Identical RNG draw order to the sequential mode (gap, prompt, gen per
+    // request), so both modes serve the same request plan on one seed.
+    for (int i = 0; i < options.n_requests; ++i) {
+      arrival += -std::log(std::max(rng.uniform(), 1e-12)) /
+                 options.arrival_rate_rps;
+      const int prompt =
+          rng.uniform_int(options.min_prompt, options.max_prompt);
+      const int gen_len = rng.uniform_int(options.min_gen, options.max_gen);
+      ContinuousBatchingScheduler::Request req;
+      req.id = i;
+      req.arrival = arrival;
+      req.trace = gen.generate(i, prompt, gen_len);
+      sched.enqueue(std::move(req));
+    }
+    for (const auto& o : sched.run()) {
+      out.request_retries += o.retries;
+      if (!o.served) {
+        // A request the operator failed to serve is an SLO violation too.
+        ++out.dropped;
+        ++out.slo_violations;
+        continue;
+      }
+      record_served(o.id, o.arrival, o.start, o.end, o.result);
+    }
+    // Shared-timeline sessions report no per-session hazard attribution;
+    // the stall total belongs to the whole run and is accounted once here.
+    out.counters.hazard_stall_s = tl.hazard_stall_s();
+  } else {
+    // ---- Sequential FCFS: each request runs alone on a private timeline ----
+    for (int i = 0; i < options.n_requests; ++i) {
+      // Poisson arrivals: exponential inter-arrival gaps.
+      arrival += -std::log(std::max(rng.uniform(), 1e-12)) /
+                 options.arrival_rate_rps;
+      const int prompt =
+          rng.uniform_int(options.min_prompt, options.max_prompt);
+      const int gen_len = rng.uniform_int(options.min_gen, options.max_gen);
+
+      // Client-side timeout loop: a request whose queue wait exceeds the
+      // timeout is abandoned at (re-arrival + timeout) and retries after a
+      // backoff, up to max_request_retries re-queues; then it is dropped
+      // without ever occupying the server.
+      double eff_arrival = arrival;
+      bool dropped = false;
+      int attempts = 0;
+      for (;;) {
+        const double start = std::max(eff_arrival, server_free);
+        if (options.request_timeout_s > 0.0 &&
+            start - eff_arrival > options.request_timeout_s) {
+          if (attempts < options.max_request_retries) {
+            ++attempts;
+            ++out.request_retries;
+            eff_arrival +=
+                options.request_timeout_s + options.retry_backoff_s;
+            continue;
+          }
+          dropped = true;
+          break;
         }
-        dropped = true;
+        const data::SequenceTrace trace = gen.generate(i, prompt, gen_len);
+        const engines::RunResult r = [&] {
+          // Engine-local spans start at t=0; shift them onto the serving
+          // clock and stamp them with this request's id. RAII scope so a
+          // throwing engine cannot leak the id/offset into later spans.
+          const obs::RequestScope scope(options.tracer, i, start);
+          return engine->run(trace, initial);
+        }();
+        const double end = start + r.total_s;
+        server_free = end;
+        record_served(i, arrival, start, end, r);
         break;
       }
-      const data::SequenceTrace trace = gen.generate(i, prompt, gen_len);
-      if (options.tracer != nullptr) {
-        // Engine-local spans start at t=0; shift them onto the serving
-        // clock and stamp them with this request's id.
-        options.tracer->set_request(i);
-        options.tracer->set_time_offset(start);
-      }
-      const engines::RunResult r = engine->run(trace, initial);
-      const double end = start + r.total_s;
-      server_free = end;
-      busy += r.total_s;
-      tokens += r.generated_tokens;
-      makespan = end;
-      ++out.served;
-
-      // Client-observed metrics count from the ORIGINAL arrival, so retry
-      // waiting shows up in the latency distribution.
-      const double w = start - arrival;
-      const double first_tok = w + r.prefill_s;
-      const double lat = end - arrival;
-      const double per_tok =
-          r.generated_tokens > 0 ? r.decode_s / r.generated_tokens : 0.0;
-      wait.push_back(w);
-      ttft.push_back(first_tok);
-      latency.push_back(lat);
-      tpot.push_back(per_tok);
-      ttft_hist.observe(first_tok);
-      tpot_hist.observe(per_tok);
-      latency_hist.observe(lat);
-      if (options.tracer != nullptr) {
-        obs::SpanTracer& tr = *options.tracer;
-        tr.set_time_offset(0.0);
-        const std::uint32_t q_track = tr.track("Queue");
-        const std::uint32_t req_track = tr.track("Request");
-        tr.span(q_track, "queue wait", arrival, start);
-        tr.span(req_track, "request " + std::to_string(i), start, end);
-        tr.instant(req_track, "first token", start + r.prefill_s);
-        tr.set_request(-1);
-      }
-      if ((options.slo_ttft_s > 0.0 && first_tok > options.slo_ttft_s) ||
-          (options.slo_latency_s > 0.0 && lat > options.slo_latency_s)) {
+      if (dropped) {
+        // A request the operator failed to serve is an SLO violation too.
+        ++out.dropped;
         ++out.slo_violations;
       }
-      out.counters.add(r.counters);
-      break;
-    }
-    if (dropped) {
-      // A request the operator failed to serve is an SLO violation too.
-      ++out.dropped;
-      ++out.slo_violations;
     }
   }
 
@@ -193,8 +244,6 @@ ServingResult run_serving_eval(EngineKind kind,
     reg.histogram("daop_serving_latency_seconds",
                   "Arrival to request completion.", buckets, labels)
         .merge(latency_hist);
-    obs::HistogramData wait_hist(buckets);
-    for (double v : wait) wait_hist.observe(v);
     reg.histogram("daop_serving_queue_wait_seconds",
                   "Arrival to service start.", buckets, labels)
         .merge(wait_hist);

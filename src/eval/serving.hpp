@@ -30,6 +30,15 @@ struct ServingOptions {
   std::uint64_t seed = 99;
   core::DaopConfig daop_config;
 
+  /// Maximum simultaneously in-flight requests. 1 (the default) is the
+  /// sequential FCFS server — bit-identical to the pre-scheduler harness.
+  /// >= 2 switches to the continuous-batching scheduler
+  /// (eval/continuous_batching.hpp): in-flight sessions share one timeline
+  /// and one arbitrated expert placement, and decode steps interleave at
+  /// iteration level. Same request plan, timeout and SLO semantics either
+  /// way, so the two modes are directly comparable on one seed.
+  int max_concurrent = 1;
+
   /// Hazard environment injected into every served request (default: calm
   /// device — bit-identical to serving without a fault plane).
   sim::HazardScenario hazards;

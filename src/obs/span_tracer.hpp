@@ -74,4 +74,36 @@ class SpanTracer {
   double offset_ = 0.0;
 };
 
+/// RAII request scope: applies a request id (and optionally a time offset)
+/// to a tracer for the duration of a block, restoring the previous values on
+/// exit — including via exception, so a thrown or aborted request cannot
+/// leak its id/offset into spans recorded afterwards. A null tracer makes
+/// the scope an exact no-op.
+class RequestScope {
+ public:
+  RequestScope(SpanTracer* tracer, long long request) : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    prev_request_ = tracer_->request();
+    prev_offset_ = tracer_->time_offset();
+    tracer_->set_request(request);
+  }
+  RequestScope(SpanTracer* tracer, long long request, double time_offset)
+      : RequestScope(tracer, request) {
+    if (tracer_ != nullptr) tracer_->set_time_offset(time_offset);
+  }
+  ~RequestScope() {
+    if (tracer_ == nullptr) return;
+    tracer_->set_request(prev_request_);
+    tracer_->set_time_offset(prev_offset_);
+  }
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  long long prev_request_ = -1;
+  double prev_offset_ = 0.0;
+};
+
 }  // namespace daop::obs

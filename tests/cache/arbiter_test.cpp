@@ -1,0 +1,116 @@
+// PlacementArbiter semantics: pin-refused swaps/evictions, ref-counted
+// nesting, session cleanup and the monotonic weight-arrival gate. These are
+// the rules that make continuous batching safe — one session's migration
+// must never evict an expert a concurrent session is computing with.
+#include "cache/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace daop::cache {
+namespace {
+
+// 2 layers x 4 experts, 2 GPU slots per layer holding experts {0, 1}.
+Placement small_placement() {
+  Placement pl(2, 4);
+  for (int l = 0; l < 2; ++l) {
+    pl.set_capacity(l, 2);
+    pl.move_to_gpu(l, 0);
+    pl.move_to_gpu(l, 1);
+  }
+  return pl;
+}
+
+TEST(PlacementArbiter, PinsBlockOtherSessionsSwaps) {
+  PlacementArbiter arb(small_placement());
+  arb.pin(0, 1, /*session=*/1);
+
+  // Session 2 cannot swap out the expert session 1 is computing with.
+  EXPECT_FALSE(arb.try_swap(0, /*expert_in=*/3, /*expert_out=*/1,
+                            /*session=*/2));
+  EXPECT_TRUE(arb.placement().on_gpu(0, 1));
+  EXPECT_FALSE(arb.placement().on_gpu(0, 3));
+
+  // A session's own pins never block its request.
+  EXPECT_TRUE(arb.try_swap(0, 3, 1, /*session=*/1));
+  EXPECT_FALSE(arb.placement().on_gpu(0, 1));
+  EXPECT_TRUE(arb.placement().on_gpu(0, 3));
+
+  // Pins are per (layer, expert): the same expert in another layer is free.
+  arb.pin(0, 0, /*session=*/1);
+  EXPECT_TRUE(arb.try_swap(1, 2, 0, /*session=*/2));
+}
+
+TEST(PlacementArbiter, PinsAreRefCounted) {
+  PlacementArbiter arb(small_placement());
+  arb.pin(0, 0, 1);
+  arb.pin(0, 0, 1);
+  EXPECT_EQ(arb.pin_count(0, 0), 2);
+
+  arb.unpin(0, 0, 1);
+  EXPECT_EQ(arb.pin_count(0, 0), 1);
+  EXPECT_TRUE(arb.pinned_by_other(0, 0, /*session=*/2));
+  EXPECT_FALSE(arb.try_swap(0, 2, 0, /*session=*/2));
+
+  arb.unpin(0, 0, 1);
+  EXPECT_EQ(arb.pin_count(0, 0), 0);
+  EXPECT_FALSE(arb.pinned_by_other(0, 0, 2));
+  EXPECT_TRUE(arb.try_swap(0, 2, 0, /*session=*/2));
+}
+
+TEST(PlacementArbiter, PinnedByOtherIgnoresOwnPins) {
+  PlacementArbiter arb(small_placement());
+  arb.pin(0, 0, 7);
+  EXPECT_FALSE(arb.pinned_by_other(0, 0, 7));
+  EXPECT_TRUE(arb.pinned_by_other(0, 0, 8));
+  // Two sessions pinning: now even the first holder sees "other".
+  arb.pin(0, 0, 8);
+  EXPECT_TRUE(arb.pinned_by_other(0, 0, 7));
+  EXPECT_EQ(arb.pin_count(0, 0), 2);
+}
+
+TEST(PlacementArbiter, UnpinSessionDropsAllItsPins) {
+  PlacementArbiter arb(small_placement());
+  arb.pin(0, 0, 1);
+  arb.pin(0, 0, 1);
+  arb.pin(0, 1, 1);
+  arb.pin(1, 0, 2);
+
+  arb.unpin_session(1);
+  EXPECT_EQ(arb.pin_count(0, 0), 0);
+  EXPECT_EQ(arb.pin_count(0, 1), 0);
+  // Other sessions' pins survive.
+  EXPECT_EQ(arb.pin_count(1, 0), 1);
+  EXPECT_TRUE(arb.try_swap(0, 3, 0, /*session=*/2));
+  EXPECT_FALSE(arb.try_swap(1, 3, 0, /*session=*/1));
+}
+
+TEST(PlacementArbiter, TryEvictRespectsPins) {
+  PlacementArbiter arb(small_placement());
+  arb.pin(0, 1, 1);
+  EXPECT_FALSE(arb.try_evict(0, 1, /*session=*/2));
+  EXPECT_TRUE(arb.placement().on_gpu(0, 1));
+
+  EXPECT_TRUE(arb.try_evict(0, 1, /*session=*/1));
+  EXPECT_FALSE(arb.placement().on_gpu(0, 1));
+  EXPECT_TRUE(arb.try_evict(0, 0, /*session=*/2));
+  EXPECT_EQ(arb.placement().gpu_count(0), 0);
+}
+
+TEST(PlacementArbiter, WeightReadyGateIsMonotonic) {
+  PlacementArbiter arb(small_placement());
+  // Never-in-flight experts gate at 0 (usable immediately).
+  EXPECT_DOUBLE_EQ(arb.weight_ready(0, 2), 0.0);
+
+  arb.set_weight_ready(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(arb.weight_ready(0, 2), 5.0);
+  // Publishing an earlier arrival never rolls the gate back.
+  arb.set_weight_ready(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(arb.weight_ready(0, 2), 5.0);
+  arb.set_weight_ready(0, 2, 7.5);
+  EXPECT_DOUBLE_EQ(arb.weight_ready(0, 2), 7.5);
+  // Gates are per (layer, expert).
+  EXPECT_DOUBLE_EQ(arb.weight_ready(1, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace daop::cache

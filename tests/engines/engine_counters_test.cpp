@@ -1,0 +1,74 @@
+// EngineCounters::add must aggregate EVERY field — a counter silently
+// dropped by the aggregation path would corrupt serving / multi-sequence
+// totals without failing any behavioural test. Each field gets a distinct
+// sentinel so a swapped pair is also caught, and a sizeof guard forces this
+// test to be revisited whenever a field is added.
+#include <gtest/gtest.h>
+
+#include "engines/engine.hpp"
+
+namespace daop::engines {
+namespace {
+
+EngineCounters distinct_sentinels(long long base) {
+  EngineCounters c;
+  c.expert_migrations = base + 1;
+  c.gpu_expert_execs = base + 2;
+  c.cpu_expert_execs = base + 3;
+  c.cache_hits = base + 4;
+  c.cache_misses = base + 5;
+  c.prefetch_hits = base + 6;
+  c.predictions = base + 7;
+  c.mispredictions = base + 8;
+  c.degradations = base + 9;
+  c.prefill_swaps = base + 10;
+  c.decode_swaps = base + 11;
+  c.skipped_experts = base + 12;
+  c.migration_retries = base + 13;
+  c.migration_aborts = base + 14;
+  c.stale_precalcs = base + 15;
+  c.pin_refusals = base + 16;
+  c.hazard_stall_s = static_cast<double>(base) + 16.5;
+  return c;
+}
+
+// If this fails a field was added to EngineCounters: extend
+// distinct_sentinels() and the per-field checks below, then bump the size.
+static_assert(sizeof(EngineCounters) == 16 * sizeof(long long) +
+                                            sizeof(double),
+              "EngineCounters changed shape; update this test");
+
+TEST(EngineCounters, AddAggregatesEveryField) {
+  EngineCounters acc = distinct_sentinels(1000);
+  const EngineCounters other = distinct_sentinels(2000);
+  acc.add(other);
+  EXPECT_EQ(acc.expert_migrations, 3002);
+  EXPECT_EQ(acc.gpu_expert_execs, 3004);
+  EXPECT_EQ(acc.cpu_expert_execs, 3006);
+  EXPECT_EQ(acc.cache_hits, 3008);
+  EXPECT_EQ(acc.cache_misses, 3010);
+  EXPECT_EQ(acc.prefetch_hits, 3012);
+  EXPECT_EQ(acc.predictions, 3014);
+  EXPECT_EQ(acc.mispredictions, 3016);
+  EXPECT_EQ(acc.degradations, 3018);
+  EXPECT_EQ(acc.prefill_swaps, 3020);
+  EXPECT_EQ(acc.decode_swaps, 3022);
+  EXPECT_EQ(acc.skipped_experts, 3024);
+  EXPECT_EQ(acc.migration_retries, 3026);
+  EXPECT_EQ(acc.migration_aborts, 3028);
+  EXPECT_EQ(acc.stale_precalcs, 3030);
+  EXPECT_EQ(acc.pin_refusals, 3032);
+  EXPECT_DOUBLE_EQ(acc.hazard_stall_s, 3033.0);
+}
+
+TEST(EngineCounters, AddOntoDefaultIsIdentity) {
+  EngineCounters acc;
+  const EngineCounters other = distinct_sentinels(5000);
+  acc.add(other);
+  EXPECT_EQ(acc.expert_migrations, other.expert_migrations);
+  EXPECT_EQ(acc.pin_refusals, other.pin_refusals);
+  EXPECT_DOUBLE_EQ(acc.hazard_stall_s, other.hazard_stall_s);
+}
+
+}  // namespace
+}  // namespace daop::engines

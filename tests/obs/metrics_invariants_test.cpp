@@ -193,6 +193,7 @@ TEST_P(CounterInvariants, AggregationPreservesEveryCounter) {
   EXPECT_EQ(agg.counters.migration_retries, expect.migration_retries);
   EXPECT_EQ(agg.counters.migration_aborts, expect.migration_aborts);
   EXPECT_EQ(agg.counters.stale_precalcs, expect.stale_precalcs);
+  EXPECT_EQ(agg.counters.pin_refusals, expect.pin_refusals);
   EXPECT_DOUBLE_EQ(agg.counters.hazard_stall_s, expect.hazard_stall_s);
 }
 
