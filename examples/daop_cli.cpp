@@ -66,7 +66,14 @@ int usage() {
       "serve only: --rate RPS --requests N --max-concurrent K (K>=2 enables\n"
       "            continuous batching) --timeout S --request-retries N\n"
       "            --retry-backoff S --slo-ttft S --slo-latency S\n"
-      "            --in/--out fixed lengths --out-json PATH (request spans)\n"
+      "            --in/--out fixed lengths --out-json PATH (request spans\n"
+      "            + per-request outcome log)\n"
+      "overload:   --admission fifo|lifo-shed|deadline-edf --queue-cap N\n"
+      "            --deadline S (first-token budget; sheds hopeless\n"
+      "            requests) --service-estimate S --preempt\n"
+      "            --priority-every N --priority-deadline S (every Nth\n"
+      "            request is deadline-critical) --degrade\n"
+      "            --degrade-window S (hazard-adaptive degradation ladder)\n"
       "metrics:    --metrics-out PATH --metrics-format prom|json\n"
       "            (speed, compare, serve, timeline)\n");
   return 2;
@@ -220,6 +227,17 @@ int cmd_serve(const FlagParser& flags) {
   opt.slo_ttft_s = flags.get_double("slo-ttft", 0.0);
   opt.slo_latency_s = flags.get_double("slo-latency", 0.0);
   opt.max_concurrent = flags.get_int("max-concurrent", 1);
+  opt.overload.admission =
+      eval::parse_admission_policy(flags.get("admission", "fifo"));
+  opt.overload.queue_capacity = flags.get_int("queue-cap", 0);
+  opt.overload.deadline_s = flags.get_double("deadline", 0.0);
+  opt.overload.service_estimate_s = flags.get_double("service-estimate", 0.0);
+  opt.overload.preempt = flags.get_bool("preempt");
+  opt.overload.degrade.enabled = flags.get_bool("degrade");
+  const double degrade_window = flags.get_double("degrade-window", 0.0);
+  if (degrade_window > 0.0) opt.overload.degrade.window_s = degrade_window;
+  opt.priority_every = flags.get_int("priority-every", 0);
+  opt.priority_deadline_s = flags.get_double("priority-deadline", 0.0);
   const int fixed_in = flags.get_int("in", 0);
   if (fixed_in > 0) opt.min_prompt = opt.max_prompt = fixed_in;
   const int fixed_out = flags.get_int("out", 0);
@@ -270,12 +288,42 @@ int cmd_serve(const FlagParser& flags) {
         r.counters.migration_retries, r.counters.migration_aborts,
         r.counters.stale_precalcs);
   }
+  if (opt.overload.enabled()) {
+    std::printf(
+        "admission: %s   shed: %d (queue_full %lld, deadline %lld, "
+        "degraded %lld)   preemptions: %lld\n",
+        eval::admission_policy_name(opt.overload.admission), r.shed,
+        r.shed_queue_full, r.shed_deadline, r.shed_degraded, r.preemptions);
+    if (opt.overload.degrade.enabled) {
+      std::printf(
+          "degradation: steps down/up %lld/%lld   peak level %d   "
+          "final level %d\n",
+          r.degrade_steps_down, r.degrade_steps_up, r.degrade_peak_level,
+          r.degrade_final_level);
+    }
+  }
   if (!trace_json.empty()) {
+    // Per-request outcome log, embedded as an extra top-level member so
+    // overload behaviour (retries, drop/shed reasons, preemptions) is
+    // inspectable offline next to the spans.
+    std::string requests_json = "\"daopRequests\":[";
+    for (std::size_t i = 0; i < r.request_log.size(); ++i) {
+      const auto& e = r.request_log[i];
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"id\":%lld,\"arrival\":%.6f,\"outcome\":\"%s\","
+                    "\"retries\":%lld,\"preempted\":%lld}",
+                    i ? "," : "", e.id, e.arrival, e.outcome.c_str(),
+                    e.retries, e.preempted);
+      requests_json += buf;
+    }
+    requests_json += "]";
     // Serving spans (queue wait, per-request service, engine spans shifted
     // onto the serving clock) live on the tracer's tracks; there is no
     // single recorded timeline across requests to merge in.
     const sim::Timeline no_timeline;
-    if (sim::write_chrome_trace(no_timeline, trace_json, &tracer)) {
+    if (sim::write_chrome_trace(no_timeline, trace_json, &tracer,
+                                requests_json)) {
       std::printf("chrome trace written to %s (open in chrome://tracing)\n",
                   trace_json.c_str());
     } else {

@@ -47,6 +47,14 @@ int PlacementArbiter::pin_count(int layer, int expert) const {
   return n;
 }
 
+int PlacementArbiter::total_pin_count() const {
+  int n = 0;
+  for (const auto& holders : pins_) {
+    for (const auto& [session, count] : holders) n += count;
+  }
+  return n;
+}
+
 bool PlacementArbiter::pinned_by_other(int layer, int expert,
                                        long long session) const {
   for (const auto& [holder, count] : pins_[idx(layer, expert)]) {

@@ -44,6 +44,10 @@ class PlacementArbiter {
 
   /// Total pin count on (layer, expert) across all sessions.
   int pin_count(int layer, int expert) const;
+  /// Total pin count across every (layer, expert) and every session — the
+  /// scheduler DAOP_CHECKs this returns to zero at shutdown (no session may
+  /// leak pins through preemption or close).
+  int total_pin_count() const;
   /// True when any session other than `session` pins (layer, expert).
   bool pinned_by_other(int layer, int expert, long long session) const;
 

@@ -438,7 +438,10 @@ class DaopSession final : public engines::SequenceSession {
     }
   }
 
-  const DaopConfig& config_;
+  /// By value: open_session may hand each session a per-session variant of
+  /// the engine config (degradation directives disable pre-calc /
+  /// migrations for one session without touching the engine).
+  const DaopConfig config_;
   cache::Placement placement_;
   const int L_;
   const int E_;
@@ -476,8 +479,16 @@ std::unique_ptr<engines::SequenceSession> DaopEngine::open_session(
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
   DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
-  return std::make_unique<DaopSession>(name(), costs_, config_, trace, env,
-                                       fault_model_, tracer_, initial);
+  // Degradation directives (overload plane) narrow THIS session's policy;
+  // the engine config — and the engine's reported name — are unchanged.
+  DaopConfig session_cfg = config_;
+  if (env.degrade_no_speculation) session_cfg.enable_precalc = false;
+  if (env.degrade_no_migrations) {
+    session_cfg.enable_seq_allocation = false;
+    session_cfg.decode_realloc_interval = 0;
+  }
+  return std::make_unique<DaopSession>(name(), costs_, session_cfg, trace,
+                                       env, fault_model_, tracer_, initial);
 }
 
 std::unique_ptr<engines::Engine> make_daop(const model::OpCosts& costs,

@@ -22,6 +22,9 @@ void EngineCounters::add(const EngineCounters& o) {
   migration_aborts += o.migration_aborts;
   stale_precalcs += o.stale_precalcs;
   pin_refusals += o.pin_refusals;
+  preemptions += o.preemptions;
+  preempt_resumes += o.preempt_resumes;
+  degraded_sessions += o.degraded_sessions;
   hazard_stall_s += o.hazard_stall_s;
 }
 

@@ -60,6 +60,14 @@ struct EngineCounters {
   long long pin_refusals = 0;        ///< placement swaps refused because the
                                      ///< eviction victim was pinned by a
                                      ///< concurrent session
+
+  // ---- Overload-control telemetry (eval/overload.hpp) ----
+  long long preemptions = 0;         ///< times this session was parked for a
+                                     ///< deadline-critical request
+  long long preempt_resumes = 0;     ///< times it resumed from a park
+  long long degraded_sessions = 0;   ///< sessions opened under a degradation
+                                     ///< directive (no-speculation and/or
+                                     ///< no-migrations)
   double hazard_stall_s = 0.0;       ///< total hazard delay injected into
                                      ///< this run's scheduled ops
 

@@ -291,7 +291,10 @@ class FetchSession final : public SequenceSession {
     }
   }
 
-  const FetchPolicy& policy_;
+  /// By value: open_session may hand each session a per-session variant of
+  /// the policy (degradation directives disable prefetching for one session
+  /// without touching the engine).
+  const FetchPolicy policy_;
   cache::Placement placement_;
   const double mig_time_;
   const std::vector<std::vector<double>> prefill_counts_;
@@ -328,7 +331,11 @@ std::unique_ptr<SequenceSession> FetchBasedEngine::open_session(
   const model::ModelConfig& cfg = costs_.config();
   DAOP_CHECK_EQ(initial.n_layers(), cfg.n_layers);
   DAOP_CHECK_EQ(initial.n_experts(), cfg.n_experts);
-  return std::make_unique<FetchSession>(costs_, policy_, trace, env,
+  // Degradation directives (overload plane) narrow THIS session's policy;
+  // demand fetches are load-bearing and stay on regardless.
+  FetchPolicy session_policy = policy_;
+  if (env.degrade_no_speculation) session_policy.prefetch_next_layer = false;
+  return std::make_unique<FetchSession>(costs_, session_policy, trace, env,
                                         fault_model_, tracer_, initial);
 }
 

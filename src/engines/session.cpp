@@ -47,6 +47,9 @@ SequenceSession::SequenceSession(std::string engine_name,
   tl_->set_fault_model(fault_);
   stall0_ = tl_->hazard_stall_s();
   ready_ = start_time_;
+  if (env.degrade_no_speculation || env.degrade_no_migrations) {
+    ++counters_.degraded_sessions;
+  }
 }
 
 SequenceSession::~SequenceSession() = default;
@@ -67,6 +70,7 @@ bool SequenceSession::decode_step() {
   DAOP_CHECK_MSG(phase_ == Phase::kDecoding,
                  (phase_ == Phase::kOpened ? "call prefill() first"
                                            : "session is closed"));
+  DAOP_CHECK_MSG(!parked_, "decode_step() on a parked session");
   if (next_token_ >= trace_.gen_len) return false;
   // The previous token is done computing by now; its experts stop being
   // this session's active working set and become fair eviction candidates.
@@ -82,10 +86,35 @@ bool SequenceSession::decode_step() {
   return true;
 }
 
+void SequenceSession::park(double now) {
+  DAOP_CHECK_MSG(phase_ == Phase::kDecoding, "park() outside decode");
+  DAOP_CHECK_MSG(!parked_, "park() on an already-parked session");
+  DAOP_CHECK_GE(now, 0.0);
+  // The last scheduled step completes regardless (work already on the
+  // timeline cannot be unscheduled), but its experts stop being this
+  // session's active working set: drop the pins so the preempting session's
+  // migrations are not refused against a parked victim.
+  release_step_pins();
+  parked_ = true;
+  ++counters_.preemptions;
+  if (tracing()) tinstant(tracks::kToken, "preempted (parked)", now);
+}
+
+void SequenceSession::resume(double now) {
+  DAOP_CHECK_MSG(parked_, "resume() on a session that is not parked");
+  parked_ = false;
+  // Decode continues once the slot is ours again AND the session's own
+  // frontier has passed — whichever is later.
+  ready_ = std::max(ready_, now);
+  ++counters_.preempt_resumes;
+  if (tracing()) tinstant(tracks::kToken, "resumed", ready_);
+}
+
 RunResult SequenceSession::close() {
   DAOP_CHECK_MSG(phase_ == Phase::kDecoding,
                  (phase_ == Phase::kOpened ? "close() before prefill()"
                                            : "session already closed"));
+  DAOP_CHECK_MSG(!parked_, "close() on a parked session (resume it first)");
   phase_ = Phase::kClosed;
   if (arbiter_ != nullptr) arbiter_->unpin_session(request_id_);
   const double decode_end = ready_;

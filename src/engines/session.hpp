@@ -51,6 +51,17 @@ struct SessionEnv {
   /// reports no per-run energy and no hazard-stall attribution (both are
   /// properties of the whole timeline, accounted once by the scheduler).
   bool shared = false;
+
+  // ---- Degradation directives (overload-control plane, eval/overload.hpp).
+  // Set by the serving scheduler when its DegradationController has stepped
+  // down the ladder; engines honor them at open_session time by disabling
+  // the corresponding policy features for this session only. Both default
+  // off — a default SessionEnv opens a full-policy session.
+  /// Disable speculative work: DAOP pre-calculation, fetch-engine prefetch.
+  bool degrade_no_speculation = false;
+  /// Disable placement migrations beyond demand fetches: Algorithm-1
+  /// prefill swaps and decode re-allocation.
+  bool degrade_no_migrations = false;
 };
 
 /// Timing of one CPU-resident expert round trip (activations D2H, CPU
@@ -96,12 +107,25 @@ class SequenceSession {
   void prefill();
 
   /// Schedules one decode token. Returns false (without scheduling) once
-  /// the sequence has generated all of its tokens.
+  /// the sequence has generated all of its tokens. Must not be called while
+  /// the session is parked.
   bool decode_step();
 
   /// Finalizes and returns the run's result. The session cannot be used
   /// afterwards.
   RunResult close();
+
+  /// Preempts the session mid-decode at time `now` (>= nothing in
+  /// particular — the scheduler parks at the session's own frontier): the
+  /// previous step's arbiter pins are released so the shared cache
+  /// unfreezes, and decode_step() is forbidden until resume(). Only valid
+  /// while decoding; a parked session holds no pins.
+  void park(double now);
+  /// Resumes a parked session: decode may continue no earlier than `now`
+  /// (the frontier is pushed to max(ready_time, now) — the preempting
+  /// session's work occupied the slot in between).
+  void resume(double now);
+  bool parked() const { return parked_; }
 
   const std::string& engine_name() const { return name_; }
   const data::SequenceTrace& trace() const { return trace_; }
@@ -207,6 +231,7 @@ class SequenceSession {
   obs::SpanTracer* tracer_;
   double stall0_ = 0.0;
   Phase phase_ = Phase::kOpened;
+  bool parked_ = false;
   int next_token_ = 0;
   /// (layer, expert) pins taken by the current step, for release_step_pins.
   std::vector<std::pair<int, int>> step_pins_;

@@ -26,6 +26,7 @@
 #include "data/routing_trace.hpp"
 #include "engines/engine.hpp"
 #include "engines/session.hpp"
+#include "eval/overload.hpp"
 
 namespace daop::eval {
 
@@ -43,23 +44,43 @@ class ContinuousBatchingScheduler {
     double request_timeout_s = 0.0;
     int max_request_retries = 0;
     double retry_backoff_s = 0.5;
+    /// Overload-control plane (eval/overload.hpp). Default-constructed it
+    /// is disabled and the scheduler runs its original loop, bit-identical
+    /// to the pre-overload code; any non-default option switches to the
+    /// overload-aware loop (admission policies, bounded queue, deadline
+    /// shedding, preemption, hazard-adaptive degradation).
+    OverloadOptions overload;
+    /// Receives scheduler-level overload instants (sheds, degradation
+    /// ladder steps); session-level spans come from the engine's own
+    /// tracer. nullptr (the default) disables them.
+    obs::SpanTracer* tracer = nullptr;
   };
 
   struct Request {
     long long id = 0;
     double arrival = 0.0;  ///< client arrival time (serving clock)
+    /// Per-request deadline budget override for the overload plane: this
+    /// request's first token is due `deadline_s` after `arrival`. 0 uses
+    /// OverloadOptions::deadline_s. A TIGHTER budget than the in-flight
+    /// sessions' makes the request deadline-critical (it is served first
+    /// under `deadline-edf`, preempting if allowed).
+    double deadline_s = 0.0;
     data::SequenceTrace trace;
   };
 
-  /// One request's client-observed outcome. Exactly one of served/dropped
-  /// holds for every enqueued request (conservation is DAOP_CHECKed).
+  /// One request's client-observed outcome. Exactly one of
+  /// served/dropped/shed holds for every enqueued request (conservation is
+  /// DAOP_CHECKed).
   struct Outcome {
     long long id = 0;
     double arrival = 0.0;
     bool served = false;
+    bool shed = false;          ///< rejected by admission control
+    ShedReason shed_reason = ShedReason::kQueueFull;  ///< valid when shed
     double start = 0.0;         ///< admission (service start) time
     double end = 0.0;           ///< completion time (served only)
     long long retries = 0;      ///< client re-queues before admission/drop
+    long long preemptions = 0;  ///< times this request's session was parked
     engines::RunResult result;  ///< session result (served only); times are
                                 ///< relative to `start`
   };
@@ -75,11 +96,14 @@ class ContinuousBatchingScheduler {
   /// arrival order (FIFO admission is by queue order).
   void enqueue(Request request);
 
-  /// Drives every enqueued request to served or dropped and returns the
-  /// outcomes sorted by request id.
+  /// Drives every enqueued request to served, dropped, or shed and returns
+  /// the outcomes sorted by request id.
   std::vector<Outcome> run();
 
   const cache::PlacementArbiter& arbiter() const { return arbiter_; }
+  /// Overload telemetry for the completed run (all-zero when the overload
+  /// plane is disabled).
+  const OverloadStats& overload_stats() const { return overload_stats_; }
 
  private:
   struct Pending {
@@ -91,9 +115,19 @@ class ContinuousBatchingScheduler {
     long long id = 0;
     double arrival = 0.0;
     double start = 0.0;
+    double deadline = 0.0;  ///< absolute first-token deadline (0 = none)
     long long retries = 0;
+    long long preemptions = 0;
     std::unique_ptr<engines::SequenceSession> session;
   };
+
+  /// The original loop, preserved verbatim: runs when the overload plane is
+  /// disabled so default-option serving stays bit-identical to the
+  /// pre-overload goldens.
+  std::vector<Outcome> run_legacy();
+  /// Overload-aware loop: admission policies, bounded queue, deadline
+  /// shedding, preemption/resume, degradation ladder.
+  std::vector<Outcome> run_overload();
 
   engines::Engine& engine_;
   sim::Timeline& tl_;
@@ -101,10 +135,15 @@ class ContinuousBatchingScheduler {
   Options options_;
   std::deque<Pending> pending_;
   std::vector<Active> active_;
+  /// Preempted sessions waiting for a slot to resume in (overload loop
+  /// only), in park order.
+  std::deque<Active> parked_;
   /// Times at which currently-unoccupied slots became free (size is always
-  /// max_concurrent - active_.size()).
+  /// max_concurrent - active_.size(); a parked session holds no slot — its
+  /// preemptor does).
   std::vector<double> free_slots_;
   std::vector<Outcome> outcomes_;
+  OverloadStats overload_stats_;
 };
 
 }  // namespace daop::eval

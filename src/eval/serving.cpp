@@ -30,6 +30,16 @@ ServingResult run_serving_eval(EngineKind kind,
   DAOP_CHECK_GE(options.slo_ttft_s, 0.0);
   DAOP_CHECK_GE(options.slo_latency_s, 0.0);
   DAOP_CHECK_GE(options.max_concurrent, 1);
+  options.overload.validate();
+  DAOP_CHECK_MSG(!options.overload.enabled() || options.max_concurrent >= 2,
+                 "the overload plane layers on the continuous-batching "
+                 "scheduler; it needs max_concurrent >= 2");
+  DAOP_CHECK_GE(options.priority_every, 0);
+  DAOP_CHECK_GE(options.priority_deadline_s, 0.0);
+  if (options.priority_every > 0) {
+    DAOP_CHECK_MSG(options.priority_deadline_s > 0.0,
+                   "priority_every needs a priority_deadline_s budget");
+  }
 
   const sim::CostModel cm(platform);
   const model::OpCosts costs(model_cfg, cm);
@@ -115,6 +125,8 @@ ServingResult run_serving_eval(EngineKind kind,
     sched_opt.request_timeout_s = options.request_timeout_s;
     sched_opt.max_request_retries = options.max_request_retries;
     sched_opt.retry_backoff_s = options.retry_backoff_s;
+    sched_opt.overload = options.overload;
+    sched_opt.tracer = options.tracer;
     sim::Timeline tl;
     ContinuousBatchingScheduler sched(*engine, tl, initial, sched_opt);
     // Identical RNG draw order to the sequential mode (gap, prompt, gen per
@@ -128,19 +140,56 @@ ServingResult run_serving_eval(EngineKind kind,
       ContinuousBatchingScheduler::Request req;
       req.id = i;
       req.arrival = arrival;
+      if (options.priority_every > 0 &&
+          (i + 1) % options.priority_every == 0) {
+        req.deadline_s = options.priority_deadline_s;
+      }
       req.trace = gen.generate(i, prompt, gen_len);
       sched.enqueue(std::move(req));
     }
     for (const auto& o : sched.run()) {
       out.request_retries += o.retries;
-      if (!o.served) {
+      out.preemptions += o.preemptions;
+      ServingResult::RequestLogEntry log;
+      log.id = o.id;
+      log.arrival = o.arrival;
+      log.retries = o.retries;
+      log.preempted = o.preemptions;
+      if (o.shed) {
+        // Rejected by admission control: the operator chose not to serve
+        // it, which is an SLO violation like any other unserved request.
+        log.outcome = std::string("shed:") + shed_reason_name(o.shed_reason);
+        ++out.shed;
+        ++out.slo_violations;
+        switch (o.shed_reason) {
+          case ShedReason::kQueueFull:
+            ++out.shed_queue_full;
+            break;
+          case ShedReason::kDeadline:
+            ++out.shed_deadline;
+            break;
+          case ShedReason::kDegraded:
+            ++out.shed_degraded;
+            break;
+        }
+      } else if (!o.served) {
         // A request the operator failed to serve is an SLO violation too.
+        log.outcome = "dropped";
         ++out.dropped;
         ++out.slo_violations;
-        continue;
+      } else {
+        log.outcome = "served";
+        record_served(o.id, o.arrival, o.start, o.end, o.result);
       }
-      record_served(o.id, o.arrival, o.start, o.end, o.result);
+      out.request_log.push_back(std::move(log));
     }
+    const OverloadStats& ov_stats = sched.overload_stats();
+    out.degrade_steps_down = ov_stats.degrade_steps_down;
+    out.degrade_steps_up = ov_stats.degrade_steps_up;
+    out.degrade_peak_level = ov_stats.degrade_peak_level;
+    out.degrade_final_level = ov_stats.degrade_final_level;
+    // Conservation: admission control may refuse work but never lose it.
+    DAOP_CHECK_EQ(out.served + out.dropped + out.shed, options.n_requests);
     // Shared-timeline sessions report no per-session hazard attribution;
     // the stall total belongs to the whole run and is accounted once here.
     out.counters.hazard_stall_s = tl.hazard_stall_s();
@@ -193,6 +242,12 @@ ServingResult run_serving_eval(EngineKind kind,
         ++out.dropped;
         ++out.slo_violations;
       }
+      ServingResult::RequestLogEntry log;
+      log.id = i;
+      log.arrival = arrival;
+      log.outcome = dropped ? "dropped" : "served";
+      log.retries = attempts;
+      out.request_log.push_back(std::move(log));
     }
   }
 
@@ -257,6 +312,43 @@ ServingResult run_serving_eval(EngineKind kind,
               "Fraction of the makespan the server spent serving.", labels)
         .set(out.busy_fraction);
     engines::record_counter_metrics(reg, out.counters, labels);
+    // Overload-plane families only exist when the plane is on, so the
+    // default-option metrics text stays bit-identical to the pre-overload
+    // harness (tests/golden/serving_runs.golden hashes it).
+    if (options.overload.enabled()) {
+      const auto shed_counter = [&](const char* reason, long long n) {
+        reg.counter("daop_requests_shed_total",
+                    "Requests rejected by admission control, by reason.",
+                    obs::Labels{{"engine", out.engine}, {"reason", reason}})
+            .inc(static_cast<double>(n));
+      };
+      shed_counter("queue_full", out.shed_queue_full);
+      shed_counter("deadline", out.shed_deadline);
+      shed_counter("degraded", out.shed_degraded);
+      reg.counter("daop_session_preemptions_total",
+                  "Sessions parked for deadline-critical requests.", labels)
+          .inc(static_cast<double>(out.counters.preemptions));
+      reg.counter("daop_session_preempt_resumes_total",
+                  "Parked sessions resumed.", labels)
+          .inc(static_cast<double>(out.counters.preempt_resumes));
+      reg.counter("daop_degraded_sessions_total",
+                  "Sessions opened under a degradation directive.", labels)
+          .inc(static_cast<double>(out.counters.degraded_sessions));
+      reg.counter("daop_degrade_steps_total",
+                  "Degradation-ladder transitions by direction.",
+                  obs::Labels{{"engine", out.engine}, {"direction", "down"}})
+          .inc(static_cast<double>(out.degrade_steps_down));
+      reg.counter("daop_degrade_steps_total",
+                  "Degradation-ladder transitions by direction.",
+                  obs::Labels{{"engine", out.engine}, {"direction", "up"}})
+          .inc(static_cast<double>(out.degrade_steps_up));
+      reg.gauge("daop_degrade_level",
+                "Degradation-ladder level at end of run.", labels)
+          .set(static_cast<double>(out.degrade_final_level));
+      reg.gauge("daop_degrade_peak_level",
+                "Deepest degradation-ladder level reached.", labels)
+          .set(static_cast<double>(out.degrade_peak_level));
+    }
   }
   return out;
 }

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/stats.hpp"
+#include "eval/overload.hpp"
 #include "eval/speed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
@@ -58,6 +61,20 @@ struct ServingOptions {
   double slo_ttft_s = 0.0;
   double slo_latency_s = 0.0;
 
+  /// Overload-control plane (eval/overload.hpp): admission policy, bounded
+  /// queue, deadline shedding, preemption, hazard-adaptive degradation.
+  /// Default-constructed it is disabled and serving is bit-identical to the
+  /// pre-overload harness. Requires max_concurrent >= 2 (it layers on the
+  /// continuous-batching scheduler).
+  OverloadOptions overload;
+  /// Deadline-critical request mix: every `priority_every`-th request
+  /// (indices priority_every-1, 2*priority_every-1, ...) carries the
+  /// tighter `priority_deadline_s` first-token budget instead of
+  /// overload.deadline_s — the interactive traffic class that exercises
+  /// `deadline-edf` ordering and preemption. 0 = uniform deadlines.
+  int priority_every = 0;
+  double priority_deadline_s = 0.0;
+
   // ---- Observability (both default off) ----
   // Attaching either is strictly passive: the simulated schedule, queue
   // decisions and all timing results stay bit-identical.
@@ -91,12 +108,39 @@ struct ServingResult {
   int served = 0;                 ///< requests that completed service
   int dropped = 0;                ///< abandoned after exhausting retries
   long long request_retries = 0;  ///< client re-queues after timeouts
-  /// Served requests breaching an SLO threshold, plus dropped requests.
+  /// Served requests breaching an SLO threshold, plus dropped and shed
+  /// requests.
   int slo_violations = 0;
   double slo_violation_rate = 0.0;  ///< slo_violations / requests
   /// Engine counters summed over served requests (migration retries,
   /// aborts, stale pre-calcs, hazard stall time, ...).
   engines::EngineCounters counters;
+
+  // ---- Overload-control telemetry (all zero when the plane is off) ----
+  int shed = 0;  ///< rejected by admission control (conservation:
+                 ///< served + dropped + shed == requests, DAOP_CHECKed)
+  long long shed_queue_full = 0;
+  long long shed_deadline = 0;
+  long long shed_degraded = 0;
+  long long preemptions = 0;  ///< sessions parked for deadline-critical work
+  long long degrade_steps_down = 0;
+  long long degrade_steps_up = 0;
+  int degrade_peak_level = 0;
+  int degrade_final_level = 0;
+
+  /// Per-request outcome log, in request-id order, for offline inspection
+  /// (`daop_cli serve --out-json` embeds it as `daopRequests`). Populated
+  /// by both serving modes.
+  struct RequestLogEntry {
+    long long id = 0;
+    double arrival = 0.0;
+    /// "served", "dropped" (client timeout), or "shed:<reason>" with reason
+    /// one of queue_full / deadline / degraded.
+    std::string outcome;
+    long long retries = 0;
+    long long preempted = 0;  ///< times this request's session was parked
+  };
+  std::vector<RequestLogEntry> request_log;
 };
 
 /// Simulates `options.n_requests` requests through a FCFS queue served by

@@ -1,5 +1,6 @@
 #include "sim/fault_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -65,6 +66,21 @@ HazardScenario make_hazard_scenario(const std::string& kind,
                                     double intensity) {
   DAOP_CHECK_MSG(intensity >= 0.0 && intensity <= 1.0,
                  "hazard intensity must be in [0,1], got " << intensity);
+  // Validate the kind before the calm-intensity early return so a typo'd
+  // preset never silently runs a calm-device experiment.
+  {
+    const std::vector<std::string>& kinds = hazard_scenario_kinds();
+    if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end()) {
+      std::string valid;
+      for (const std::string& k : kinds) {
+        if (!valid.empty()) valid += ", ";
+        valid += k;
+      }
+      DAOP_CHECK_MSG(false, "unknown hazard scenario '"
+                                << kind << "' (valid kinds: " << valid
+                                << ")");
+    }
+  }
   HazardScenario sc;
   if (kind == "none" || intensity == 0.0) return sc;
   const bool all = kind == "all";
@@ -93,9 +109,7 @@ HazardScenario make_hazard_scenario(const std::string& kind,
     known = true;
     sc.expert_load_fail_prob = 0.5 * intensity;
   }
-  DAOP_CHECK_MSG(known, "unknown hazard scenario '" << kind
-                                                    << "' (see "
-                                                       "hazard_scenario_kinds)");
+  DAOP_CHECK_MSG(known, "unreachable: kind was validated above");
   sc.validate();
   return sc;
 }

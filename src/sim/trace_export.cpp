@@ -99,7 +99,8 @@ void append_flow_events(std::string& out, bool& first,
 }  // namespace
 
 std::string to_chrome_trace_json(const Timeline& tl,
-                                 const obs::SpanTracer* tracer) {
+                                 const obs::SpanTracer* tracer,
+                                 const std::string& extra_top_level) {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   for (const auto& iv : tl.intervals()) {
@@ -142,15 +143,21 @@ std::string to_chrome_trace_json(const Timeline& tl,
       out += buf;
     }
   }
-  out += "}}\n";
+  out += "}";
+  if (!extra_top_level.empty()) {
+    out += ",";
+    out += extra_top_level;
+  }
+  out += "}\n";
   return out;
 }
 
 bool write_chrome_trace(const Timeline& tl, const std::string& path,
-                        const obs::SpanTracer* tracer) {
+                        const obs::SpanTracer* tracer,
+                        const std::string& extra_top_level) {
   std::ofstream f(path);
   if (!f) return false;
-  f << to_chrome_trace_json(tl, tracer);
+  f << to_chrome_trace_json(tl, tracer, extra_top_level);
   return static_cast<bool>(f);
 }
 

@@ -29,11 +29,17 @@ inline constexpr int kSpanTidBase = 100;
 /// Serializes the recorded intervals as Chrome Trace Event JSON (the
 /// timeline must have been run with set_record_intervals(true)). A non-null
 /// `tracer` contributes additional span tracks, instants and flow arrows.
+/// `extra_top_level`, when non-empty, is a pre-rendered `"key":value`
+/// fragment appended as an additional top-level member (Chrome tracing
+/// ignores unknown members; `daop_cli serve` uses it for the per-request
+/// outcome log). Empty (the default) keeps the output byte-identical.
 std::string to_chrome_trace_json(const Timeline& tl,
-                                 const obs::SpanTracer* tracer = nullptr);
+                                 const obs::SpanTracer* tracer = nullptr,
+                                 const std::string& extra_top_level = {});
 
 /// Writes the JSON to `path`; returns false on I/O failure.
 bool write_chrome_trace(const Timeline& tl, const std::string& path,
-                        const obs::SpanTracer* tracer = nullptr);
+                        const obs::SpanTracer* tracer = nullptr,
+                        const std::string& extra_top_level = {});
 
 }  // namespace daop::sim

@@ -28,13 +28,16 @@ EngineCounters distinct_sentinels(long long base) {
   c.migration_aborts = base + 14;
   c.stale_precalcs = base + 15;
   c.pin_refusals = base + 16;
-  c.hazard_stall_s = static_cast<double>(base) + 16.5;
+  c.preemptions = base + 17;
+  c.preempt_resumes = base + 18;
+  c.degraded_sessions = base + 19;
+  c.hazard_stall_s = static_cast<double>(base) + 19.5;
   return c;
 }
 
 // If this fails a field was added to EngineCounters: extend
 // distinct_sentinels() and the per-field checks below, then bump the size.
-static_assert(sizeof(EngineCounters) == 16 * sizeof(long long) +
+static_assert(sizeof(EngineCounters) == 19 * sizeof(long long) +
                                             sizeof(double),
               "EngineCounters changed shape; update this test");
 
@@ -58,7 +61,10 @@ TEST(EngineCounters, AddAggregatesEveryField) {
   EXPECT_EQ(acc.migration_aborts, 3028);
   EXPECT_EQ(acc.stale_precalcs, 3030);
   EXPECT_EQ(acc.pin_refusals, 3032);
-  EXPECT_DOUBLE_EQ(acc.hazard_stall_s, 3033.0);
+  EXPECT_EQ(acc.preemptions, 3034);
+  EXPECT_EQ(acc.preempt_resumes, 3036);
+  EXPECT_EQ(acc.degraded_sessions, 3038);
+  EXPECT_DOUBLE_EQ(acc.hazard_stall_s, 3039.0);
 }
 
 TEST(EngineCounters, AddOntoDefaultIsIdentity) {
@@ -67,6 +73,8 @@ TEST(EngineCounters, AddOntoDefaultIsIdentity) {
   acc.add(other);
   EXPECT_EQ(acc.expert_migrations, other.expert_migrations);
   EXPECT_EQ(acc.pin_refusals, other.pin_refusals);
+  EXPECT_EQ(acc.preemptions, other.preemptions);
+  EXPECT_EQ(acc.degraded_sessions, other.degraded_sessions);
   EXPECT_DOUBLE_EQ(acc.hazard_stall_s, other.hazard_stall_s);
 }
 

@@ -1,0 +1,156 @@
+// Strict-passivity regression for the serving harness: with every
+// overload-control option at its default, run_serving_eval must produce
+// bit-identical output — request times, counters, the Prometheus metrics
+// text, and the exported request-span trace bytes — versus the committed
+// golden snapshots captured from the pre-overload (PR 3) serving code, for
+// both the sequential and the continuous-batching scheduler. Any
+// scheduling-order or metric-emission change — however plausible-looking —
+// fails this test.
+//
+// Regenerate (only after an INTENTIONAL serving-behaviour change) with:
+//   DAOP_UPDATE_GOLDENS=1 ./serving_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../testing/helpers.hpp"
+#include "eval/serving.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+#include "sim/trace_export.hpp"
+
+#ifndef DAOP_GOLDEN_DIR
+#error "DAOP_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace daop::eval {
+namespace {
+
+/// Hexfloat rendering: two doubles render identically iff they are
+/// bit-identical (modulo -0.0/NaN, which serving never produces here).
+std::string hexf(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hash_str(const std::string& s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(s)));
+  return buf;
+}
+
+std::string serving_snapshot(EngineKind kind, int max_concurrent,
+                             std::uint64_t seed) {
+  ServingOptions opt;
+  opt.arrival_rate_rps = 1.0;
+  opt.n_requests = 8;
+  opt.min_prompt = 16;
+  opt.max_prompt = 32;
+  opt.min_gen = 12;
+  opt.max_gen = 24;
+  opt.calibration_seqs = 4;
+  opt.seed = seed;
+  opt.max_concurrent = max_concurrent;
+  obs::MetricsRegistry reg;
+  opt.metrics = &reg;
+  obs::SpanTracer tracer;
+  opt.tracer = &tracer;
+
+  const ServingResult r = run_serving_eval(
+      kind, daop::testing::small_mixtral(), sim::a6000_i9_platform(),
+      data::sharegpt_calibration(), opt);
+
+  std::ostringstream os;
+  os << "[" << engine_kind_name(kind) << " | max_concurrent "
+     << max_concurrent << " | seed " << seed << "]\n";
+  os << "served=" << r.served << " dropped=" << r.dropped
+     << " retries=" << r.request_retries << "\n";
+  os << "ttft=" << hexf(r.ttft_s.mean) << " " << hexf(r.ttft_s.p99) << "\n";
+  os << "latency=" << hexf(r.latency_s.mean) << " " << hexf(r.latency_s.p99)
+     << "\n";
+  os << "queue_wait=" << hexf(r.queue_wait_s.mean) << "\n";
+  os << "tpot=" << hexf(r.tpot_s.mean) << "\n";
+  os << "throughput=" << hexf(r.throughput_tps) << "\n";
+  os << "makespan=" << hexf(r.makespan_s) << "\n";
+  os << "busy=" << hexf(r.busy_fraction) << "\n";
+  const engines::EngineCounters& c = r.counters;
+  os << "counters=" << c.expert_migrations << "," << c.gpu_expert_execs << ","
+     << c.cpu_expert_execs << "," << c.cache_hits << "," << c.cache_misses
+     << "," << c.prefetch_hits << "," << c.predictions << ","
+     << c.mispredictions << "," << c.degradations << "," << c.prefill_swaps
+     << "," << c.decode_swaps << "," << c.skipped_experts << ","
+     << c.migration_retries << "," << c.migration_aborts << ","
+     << c.stale_precalcs << "," << c.pin_refusals << ","
+     << hexf(c.hazard_stall_s) << "\n";
+  // The serving trace has no recorded timeline; the export is exactly what
+  // `daop_cli serve --out-json` writes (tracer tracks only).
+  const sim::Timeline no_timeline;
+  os << "trace_fnv1a="
+     << hash_str(sim::to_chrome_trace_json(no_timeline, &tracer)) << "\n";
+  os << "metrics_fnv1a=" << hash_str(reg.to_prometheus()) << "\n";
+  return os.str();
+}
+
+std::string all_snapshots() {
+  std::string out;
+  for (const EngineKind kind : {EngineKind::Daop, EngineKind::Fiddler}) {
+    for (const int mc : {1, 4}) {
+      out += serving_snapshot(kind, mc, 99);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+const char* kGoldenPath = DAOP_GOLDEN_DIR "/serving_runs.golden";
+
+TEST(ServingGolden, DefaultOptionsMatchPreOverloadGoldens) {
+  const std::string actual = all_snapshots();
+  if (std::getenv("DAOP_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream f(kGoldenPath);
+    ASSERT_TRUE(f.good()) << "cannot write " << kGoldenPath;
+    f << actual;
+    GTEST_SKIP() << "goldens regenerated at " << kGoldenPath;
+  }
+  std::ifstream f(kGoldenPath);
+  ASSERT_TRUE(f.good()) << "missing golden file " << kGoldenPath
+                        << " (regenerate with DAOP_UPDATE_GOLDENS=1)";
+  std::ostringstream expected;
+  expected << f.rdbuf();
+  // Compare block by block so a failure names the first diverging run.
+  std::istringstream ea(expected.str());
+  std::istringstream aa(actual);
+  std::string eline;
+  std::string aline;
+  std::string block = "<header>";
+  int line_no = 0;
+  while (std::getline(ea, eline)) {
+    ++line_no;
+    if (!eline.empty() && eline.front() == '[') block = eline;
+    ASSERT_TRUE(static_cast<bool>(std::getline(aa, aline)))
+        << "snapshot truncated in " << block;
+    ASSERT_EQ(eline, aline) << "first divergence in " << block << " (line "
+                            << line_no << ")";
+  }
+  EXPECT_FALSE(static_cast<bool>(std::getline(aa, aline)))
+      << "snapshot has extra content after " << block;
+}
+
+}  // namespace
+}  // namespace daop::eval

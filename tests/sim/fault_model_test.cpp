@@ -103,6 +103,24 @@ TEST(HazardScenario, UnknownKindAndBadIntensityThrow) {
   EXPECT_THROW(make_hazard_scenario("meteor-strike", 0.5), CheckError);
   EXPECT_THROW(make_hazard_scenario("pcie", -0.1), CheckError);
   EXPECT_THROW(make_hazard_scenario("pcie", 1.5), CheckError);
+  // A typo'd kind must be rejected even at intensity 0 (the calm early
+  // return must not mask it into a silent no-hazard run).
+  EXPECT_THROW(make_hazard_scenario("meteor-strike", 0.0), CheckError);
+}
+
+TEST(HazardScenario, UnknownKindErrorListsValidKinds) {
+  try {
+    make_hazard_scenario("meteor-strike", 0.5);
+    FAIL() << "expected CheckError for unknown hazard kind";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("meteor-strike"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid kinds"), std::string::npos) << msg;
+    for (const auto& kind : hazard_scenario_kinds()) {
+      EXPECT_NE(msg.find(kind), std::string::npos)
+          << "missing kind '" << kind << "' in: " << msg;
+    }
+  }
 }
 
 TEST(FaultModel, SameSeedSamePerturbationSequence) {
