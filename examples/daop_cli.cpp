@@ -34,6 +34,7 @@
 #include "eval/speed.hpp"
 #include "model/config.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span_tracer.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
@@ -75,7 +76,10 @@ int usage() {
       "            request is deadline-critical) --degrade\n"
       "            --degrade-window S (hazard-adaptive degradation ladder)\n"
       "metrics:    --metrics-out PATH --metrics-format prom|json\n"
-      "            (speed, compare, serve, timeline)\n");
+      "            (speed, compare, serve, timeline)\n"
+      "profiling:  --profile-out PATH --profile-format json|text\n"
+      "            critical-path attribution report (speed, compare,\n"
+      "            serve, timeline)\n");
   return 2;
 }
 
@@ -96,6 +100,27 @@ int write_metrics(const FlagParser& flags, const obs::MetricsRegistry& reg) {
   }
   std::printf("metrics written to %s (%zu families, %s)\n", path.c_str(),
               reg.family_count(), format.c_str());
+  return 0;
+}
+
+/// Writes the critical-path attribution report to --profile-out when given
+/// (deterministic JSON by default, aligned text tables with
+/// --profile-format text). Returns 0 on success or when no output was
+/// requested, 1 on I/O failure.
+int write_profile(const FlagParser& flags, const obs::Profiler& prof) {
+  const std::string path = flags.get("profile-out", "");
+  const std::string format = flags.get("profile-format", "json");
+  if (path.empty()) return 0;
+  DAOP_CHECK_MSG(format == "json" || format == "text",
+                 "unknown --profile-format '" << format << "'");
+  std::ofstream f(path);
+  if (f) f << (format == "text" ? prof.to_text() : prof.to_json());
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("profile written to %s (%zu runs, %s)\n", path.c_str(),
+              prof.runs().size(), format.c_str());
   return 0;
 }
 
@@ -175,6 +200,8 @@ int cmd_speed(const FlagParser& flags) {
   opt.hazards = hazards_from(flags);
   obs::MetricsRegistry reg;
   opt.metrics = &reg;
+  obs::Profiler prof;
+  if (flags.has("profile-out")) opt.profiler = &prof;
   const auto kind = pick_engine(flags.get("engine", "daop"));
   const auto r = eval::run_speed_eval(
       kind, pick_model(flags.get("model", "mixtral")),
@@ -210,7 +237,9 @@ int cmd_speed(const FlagParser& flags) {
     t.add_row({"hazard stall (s)", fmt_f(r.counters.hazard_stall_s, 3)});
   }
   std::printf("%s", t.render().c_str());
-  return write_metrics(flags, reg);
+  const int rc = write_metrics(flags, reg);
+  const int rc_prof = write_profile(flags, prof);
+  return rc != 0 ? rc : rc_prof;
 }
 
 int cmd_serve(const FlagParser& flags) {
@@ -247,6 +276,8 @@ int cmd_serve(const FlagParser& flags) {
   obs::SpanTracer tracer;
   const std::string trace_json = flags.get("out-json", "");
   if (!trace_json.empty()) opt.tracer = &tracer;
+  obs::Profiler prof;
+  if (flags.has("profile-out")) opt.profiler = &prof;
   const auto r = eval::run_serving_eval(
       pick_engine(flags.get("engine", "daop")),
       pick_model(flags.get("model", "mixtral")),
@@ -331,7 +362,9 @@ int cmd_serve(const FlagParser& flags) {
       return 1;
     }
   }
-  return write_metrics(flags, reg);
+  const int rc = write_metrics(flags, reg);
+  const int rc_prof = write_profile(flags, prof);
+  return rc != 0 ? rc : rc_prof;
 }
 
 int cmd_accuracy(const FlagParser& flags) {
@@ -408,6 +441,8 @@ int cmd_timeline(const FlagParser& flags) {
   if (fault.enabled()) engine->set_fault_model(&fault);
   obs::SpanTracer tracer;
   engine->set_tracer(&tracer);
+  obs::Profiler prof;
+  if (flags.has("profile-out")) engine->set_profiler(&prof);
   sim::Timeline tl;
   tl.set_record_intervals(true);
   const auto r = engine->run(trace, placement, &tl);
@@ -430,7 +465,9 @@ int cmd_timeline(const FlagParser& flags) {
   }
   obs::MetricsRegistry reg;
   engines::record_run_metrics(reg, r);
-  return write_metrics(flags, reg);
+  const int rc = write_metrics(flags, reg);
+  const int rc_prof = write_profile(flags, prof);
+  return rc != 0 ? rc : rc_prof;
 }
 
 int cmd_dump(const FlagParser& flags) {
@@ -464,6 +501,8 @@ int cmd_compare(const FlagParser& flags) {
   const bool extended = flags.get_bool("extended");
   obs::MetricsRegistry reg;
   opt.metrics = &reg;
+  obs::Profiler prof;
+  if (flags.has("profile-out")) opt.profiler = &prof;
 
   TextTable t({"engine", "tokens/s", "tokens/kJ", "hit rate"});
   for (auto kind : extended ? eval::extended_baseline_engines()
@@ -478,7 +517,9 @@ int cmd_compare(const FlagParser& flags) {
               cfg.name.c_str(), platform.name.c_str(), workload.name.c_str(),
               fmt_pct(opt.ecr).c_str(), opt.prompt_len, opt.gen_len);
   std::printf("%s", t.render().c_str());
-  return write_metrics(flags, reg);
+  const int rc = write_metrics(flags, reg);
+  const int rc_prof = write_profile(flags, prof);
+  return rc != 0 ? rc : rc_prof;
 }
 
 int cmd_replay(const FlagParser& flags) {

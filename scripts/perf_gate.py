@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over daop_cli --profile-out reports.
+
+Compares the `aggregate` section of a fresh critical-path profile
+(`daop_cli ... --profile-out fresh.json`) against a checked-in baseline
+(bench/baselines/*.json) with per-metric tolerances, and fails (exit 1)
+on drift in either direction — a slowdown OR an unexplained speedup both
+mean the baseline no longer describes the code.
+
+Usage:
+  perf_gate.py --baseline bench/baselines/speed_c4.json --fresh /tmp/p.json
+  perf_gate.py --baseline ... --fresh ... --update   # refresh the baseline
+  perf_gate.py --self-test                           # gate the gate
+
+Baseline schema (daop-perf-baseline/1):
+  {
+    "schema": "daop-perf-baseline/1",
+    "command": "<how to regenerate the fresh profile>",
+    "tolerances": {
+      "default": {"rel": 0.02, "abs": 1e-9},
+      "overrides": {"counters.*": {"rel": 0.0, "abs": 0.0}, ...}
+    },
+    "metrics": { "<dotted.metric.path>": <number>, ... }
+  }
+
+Metrics are the flattened numeric leaves of the profile's `aggregate`
+object (e.g. `attribution.categories.cpu_expert.exposed_s`,
+`counters.gpu_expert_execs`). A metric passes when
+|fresh - base| <= max(abs, rel * |base|). Overrides are fnmatch glob
+patterns over the dotted path; the most specific (longest) matching
+pattern wins. Counters are integers from a deterministic simulation, so
+the stock baselines pin them exactly; hazard_stall_s (a float ride-along
+in the counters block) keeps the default float tolerance.
+"""
+
+import argparse
+import fnmatch
+import json
+import math
+import os
+import sys
+import tempfile
+
+BASELINE_SCHEMA = "daop-perf-baseline/1"
+PROFILE_SCHEMA = "daop-profile/1"
+
+DEFAULT_TOLERANCES = {
+    "default": {"rel": 0.02, "abs": 1e-9},
+    "overrides": {
+        "runs": {"rel": 0.0, "abs": 0.0},
+        "counters.*": {"rel": 0.0, "abs": 0.0},
+        "counters.hazard_stall_s": {"rel": 0.02, "abs": 1e-9},
+    },
+}
+
+
+def flatten(obj, prefix=""):
+    """Flattens nested dicts to {dotted.path: number}; skips non-numbers."""
+    out = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value, path))
+    elif isinstance(obj, bool):
+        pass  # bool is an int subclass; not a perf metric
+    elif isinstance(obj, (int, float)):
+        out[prefix] = obj
+    return out
+
+
+def extract_metrics(profile):
+    """Pulls the flattened aggregate metrics out of a daop-profile report."""
+    if profile.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            f"not a {PROFILE_SCHEMA} report (schema="
+            f"{profile.get('schema')!r}); pass daop_cli --profile-out output"
+        )
+    if "aggregate" not in profile:
+        raise ValueError("profile has no 'aggregate' section")
+    return flatten(profile["aggregate"])
+
+
+def tolerance_for(metric, tolerances):
+    """Returns the (rel, abs) tolerance for a dotted metric path."""
+    default = tolerances.get("default", DEFAULT_TOLERANCES["default"])
+    best, best_len = default, -1
+    for pattern, tol in tolerances.get("overrides", {}).items():
+        if fnmatch.fnmatchcase(metric, pattern) and len(pattern) > best_len:
+            best, best_len = tol, len(pattern)
+    return float(best.get("rel", 0.0)), float(best.get("abs", 0.0))
+
+
+def compare_metrics(base_metrics, fresh_metrics, tolerances):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    for metric in sorted(base_metrics):
+        base = base_metrics[metric]
+        if metric not in fresh_metrics:
+            failures.append(f"{metric}: missing from fresh profile")
+            continue
+        fresh = fresh_metrics[metric]
+        rel, abs_tol = tolerance_for(metric, tolerances)
+        allowed = max(abs_tol, rel * abs(base))
+        delta = fresh - base
+        if math.isnan(fresh) or abs(delta) > allowed:
+            pct = (delta / base * 100.0) if base != 0 else float("inf")
+            failures.append(
+                f"{metric}: baseline {base:.12g}, fresh {fresh:.12g} "
+                f"(delta {delta:+.3g} / {pct:+.2f}%, allowed +/-{allowed:.3g})"
+            )
+    for metric in sorted(fresh_metrics):
+        if metric not in base_metrics:
+            failures.append(
+                f"{metric}: new metric not in baseline (run --update)"
+            )
+    return failures
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def write_baseline(path, command, metrics, tolerances):
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "command": command,
+        "tolerances": tolerances,
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+
+def run_gate(args):
+    fresh_metrics = extract_metrics(load_json(args.fresh))
+
+    if args.update:
+        command, tolerances = args.command or "", DEFAULT_TOLERANCES
+        if os.path.exists(args.baseline):
+            old = load_json(args.baseline)
+            command = args.command or old.get("command", "")
+            tolerances = old.get("tolerances", DEFAULT_TOLERANCES)
+        write_baseline(args.baseline, command, fresh_metrics, tolerances)
+        print(
+            f"baseline updated: {args.baseline} "
+            f"({len(fresh_metrics)} metrics)"
+        )
+        return 0
+
+    base = load_json(args.baseline)
+    if base.get("schema") != BASELINE_SCHEMA:
+        print(
+            f"error: {args.baseline} is not a {BASELINE_SCHEMA} file",
+            file=sys.stderr,
+        )
+        return 2
+    tolerances = base.get("tolerances", DEFAULT_TOLERANCES)
+    failures = compare_metrics(base.get("metrics", {}), fresh_metrics,
+                               tolerances)
+    if failures:
+        print(f"PERF GATE FAILED: {args.baseline} ({len(failures)} metrics)")
+        for line in failures:
+            print(f"  {line}")
+        if base.get("command"):
+            print(f"regenerate with: {base['command']}")
+        print(f"then refresh via: perf_gate.py --baseline {args.baseline} "
+              f"--fresh <fresh.json> --update")
+        return 1
+    print(
+        f"perf gate OK: {args.baseline} "
+        f"({len(base.get('metrics', {}))} metrics within tolerance)"
+    )
+    return 0
+
+
+def self_test():
+    """Unit-tests the gate, including that it demonstrably fails on drift."""
+    profile = {
+        "schema": PROFILE_SCHEMA,
+        "runs": [{"ignored": True}],
+        "aggregate": {
+            "runs": 2,
+            "makespan_s": 1.25,
+            "attribution": {
+                "idle_s": 0.05,
+                "categories": {
+                    "gpu_expert": {"busy_s": 0.4, "exposed_s": 0.4,
+                                   "hidden_s": 0.0},
+                    "cpu_expert": {"busy_s": 0.6, "exposed_s": 0.2,
+                                   "hidden_s": 0.4},
+                },
+            },
+            "counters": {"gpu_expert_execs": 128, "hazard_stall_s": 0.001},
+        },
+    }
+    metrics = extract_metrics(profile)
+    assert metrics["makespan_s"] == 1.25
+    assert metrics["attribution.categories.cpu_expert.hidden_s"] == 0.4
+    assert metrics["counters.gpu_expert_execs"] == 128
+    assert "runs" in metrics  # aggregate.runs counts profiled runs
+
+    tol = DEFAULT_TOLERANCES
+    # Identical metrics pass.
+    assert compare_metrics(metrics, dict(metrics), tol) == []
+    # Drift within the default 2% relative tolerance passes for floats...
+    drift_ok = dict(metrics)
+    drift_ok["makespan_s"] *= 1.019
+    assert compare_metrics(metrics, drift_ok, tol) == []
+    # ...but a 3% makespan regression FAILS (the gate's whole point).
+    drift_bad = dict(metrics)
+    drift_bad["makespan_s"] *= 1.03
+    failures = compare_metrics(metrics, drift_bad, tol)
+    assert len(failures) == 1 and failures[0].startswith("makespan_s:"), \
+        failures
+    # An unexplained speedup fails too — the baseline is stale either way.
+    drift_fast = dict(metrics)
+    drift_fast["attribution.categories.cpu_expert.exposed_s"] *= 0.9
+    assert len(compare_metrics(metrics, drift_fast, tol)) == 1
+    # Counters are gated exactly: off-by-one fails.
+    drift_counter = dict(metrics)
+    drift_counter["counters.gpu_expert_execs"] += 1
+    failures = compare_metrics(metrics, drift_counter, tol)
+    assert len(failures) == 1 and "gpu_expert_execs" in failures[0]
+    # ...while hazard_stall_s keeps the float tolerance (override precedence).
+    drift_stall = dict(metrics)
+    drift_stall["counters.hazard_stall_s"] *= 1.01
+    assert compare_metrics(metrics, drift_stall, tol) == []
+    # Missing and novel metrics both fail.
+    assert any("missing" in f for f in
+               compare_metrics(metrics, {}, tol))
+    extra = dict(metrics)
+    extra["counters.new_counter"] = 1
+    assert any("not in baseline" in f for f in
+               compare_metrics(metrics, extra, tol))
+    # NaN never passes.
+    drift_nan = dict(metrics)
+    drift_nan["makespan_s"] = float("nan")
+    assert len(compare_metrics(metrics, drift_nan, tol)) == 1
+
+    # End-to-end through temp files: update writes a baseline the same
+    # profile then passes against, and a drifted profile fails against.
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh_path = os.path.join(tmp, "fresh.json")
+        base_path = os.path.join(tmp, "base.json")
+        with open(fresh_path, "w", encoding="utf-8") as f:
+            json.dump(profile, f)
+        args = argparse.Namespace(baseline=base_path, fresh=fresh_path,
+                                  update=True, command="demo cmd")
+        assert run_gate(args) == 0
+        saved = load_json(base_path)
+        assert saved["schema"] == BASELINE_SCHEMA
+        assert saved["command"] == "demo cmd"
+        args.update = False
+        assert run_gate(args) == 0
+        drifted = json.loads(json.dumps(profile))
+        drifted["aggregate"]["makespan_s"] *= 1.5
+        with open(fresh_path, "w", encoding="utf-8") as f:
+            json.dump(drifted, f)
+        assert run_gate(args) == 1
+
+    print("perf_gate.py self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="baseline JSON path")
+    parser.add_argument("--fresh",
+                        help="fresh daop_cli --profile-out JSON path")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the fresh profile")
+    parser.add_argument("--command", default=None,
+                        help="with --update: record how to regenerate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit tests and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        parser.error("--baseline and --fresh are required (or --self-test)")
+    try:
+        return run_gate(args)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,9 +61,10 @@ class DaopSession final : public engines::SequenceSession {
   DaopSession(std::string engine_name, const model::OpCosts& costs,
               const DaopConfig& config, const data::SequenceTrace& trace,
               const engines::SessionEnv& env, sim::FaultModel* fault,
-              obs::SpanTracer* tracer, const cache::Placement& initial)
+              obs::SpanTracer* tracer, obs::Profiler* profiler,
+              const cache::Placement& initial)
       : SequenceSession(std::move(engine_name), costs, trace, env, fault,
-                        tracer),
+                        tracer, profiler),
         config_(config),
         placement_(initial),
         L_(costs.config().n_layers),
@@ -182,12 +183,14 @@ class DaopSession final : public engines::SequenceSession {
             tspan(engines::tracks::kExpertGpu, "prefill expert",
                   tl().last_start(), exec_end);
           }
+          note_expert_exec(l, e, /*on_gpu=*/true, tl().last_start(), exec_end);
           layer_end = std::max(layer_end, exec_end);
         } else {
           ++counters_.cache_misses;
           layer_end = std::max(
               layer_end,
-              cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
+              cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok), l,
+                         e));
         }
       }
       ready_ = layer_end;
@@ -244,6 +247,7 @@ class DaopSession final : public engines::SequenceSession {
             tspan(engines::tracks::kExpertGpu, "GPU expert",
                   tl().last_start(), exec_end);
           }
+          note_expert_exec(l, e, /*on_gpu=*/true, tl().last_start(), exec_end);
           layer_end = std::max(layer_end, exec_end);
           continue;
         }
@@ -280,6 +284,8 @@ class DaopSession final : public engines::SequenceSession {
               tspan(engines::tracks::kExpertGpu, "stale fallback",
                     tl().last_start(), exec_end);
             }
+            note_expert_exec(l, fb, /*on_gpu=*/true, tl().last_start(),
+                             exec_end);
             layer_end = std::max(layer_end, exec_end);
           } else {
             if (tracing()) {
@@ -302,6 +308,8 @@ class DaopSession final : public engines::SequenceSession {
             tspan(engines::tracks::kExpertGpu, "substitute expert",
                   tl().last_start(), exec_end);
           }
+          note_expert_exec(l, plan.substitute[ei], /*on_gpu=*/true,
+                           tl().last_start(), exec_end);
           layer_end = std::max(layer_end, exec_end);
         } else if (plan.active) {
           // Misprediction: a selected CPU expert was not pre-calculated.
@@ -328,15 +336,17 @@ class DaopSession final : public engines::SequenceSession {
               tspan(engines::tracks::kExpertGpu, "fallback expert",
                     tl().last_start(), exec_end);
             }
+            note_expert_exec(l, fb, /*on_gpu=*/true, tl().last_start(),
+                             exec_end);
             layer_end = std::max(layer_end, exec_end);
           } else {
             layer_end = std::max(
-                layer_end, cpu_expert(nonmoe_end, 1, cpu_expert_cost_));
+                layer_end, cpu_expert(nonmoe_end, 1, cpu_expert_cost_, l, e));
           }
         } else {
           // Early layers (or precalc disabled): in-place hybrid execution.
-          layer_end = std::max(layer_end,
-                               cpu_expert(nonmoe_end, 1, cpu_expert_cost_));
+          layer_end = std::max(
+              layer_end, cpu_expert(nonmoe_end, 1, cpu_expert_cost_, l, e));
         }
       }
 
@@ -393,6 +403,8 @@ class DaopSession final : public engines::SequenceSession {
             const engines::CpuExpertTimes ct = engines::cpu_expert_roundtrip(
                 tl(), costs_, nonmoe_end, 1, cpu_expert_cost_, counters_,
                 {"precalc acts", "precalc CPU expert", "precalc result"});
+            note_expert_exec(nl, e, /*on_gpu=*/false, ct.cpu_start,
+                             ct.cpu_end);
             const double arrival = ct.result_arrival;
             plan.precalc_arrival[static_cast<std::size_t>(e)] = arrival;
             if (tracing()) {
@@ -488,7 +500,8 @@ std::unique_ptr<engines::SequenceSession> DaopEngine::open_session(
     session_cfg.decode_realloc_interval = 0;
   }
   return std::make_unique<DaopSession>(name(), costs_, session_cfg, trace,
-                                       env, fault_model_, tracer_, initial);
+                                       env, fault_model_, tracer_, profiler_,
+                                       initial);
 }
 
 std::unique_ptr<engines::Engine> make_daop(const model::OpCosts& costs,

@@ -29,9 +29,11 @@ void EngineCounters::add(const EngineCounters& o) {
 }
 
 RunResult Engine::run(const data::SequenceTrace& trace,
-                      const cache::Placement& initial, sim::Timeline* tl) {
+                      const cache::Placement& initial, sim::Timeline* tl,
+                      long long request_id) {
   SessionEnv env;
   env.timeline = tl;
+  env.request_id = request_id;
   const std::unique_ptr<SequenceSession> session =
       open_session(trace, initial, env);
   session->prefill();

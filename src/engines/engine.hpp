@@ -20,6 +20,10 @@
 #include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
 
+namespace daop::obs {
+class Profiler;
+}  // namespace daop::obs
+
 namespace daop::engines {
 
 /// Canonical span-track names shared by all engines, so traces from
@@ -112,8 +116,11 @@ class Engine {
   /// engine records into it (with interval recording as configured by the
   /// caller, e.g. for gantt rendering); otherwise a private timeline is
   /// used. Thin wrapper: opens a session and drives it to completion.
+  /// `request_id` (when >= 0) labels the run in session spans and profiler
+  /// records — purely observational, never a scheduling input.
   RunResult run(const data::SequenceTrace& trace,
-                const cache::Placement& initial, sim::Timeline* tl = nullptr);
+                const cache::Placement& initial, sim::Timeline* tl = nullptr,
+                long long request_id = -1);
 
   /// Opens a resumable session for one sequence (see engines/session.hpp).
   /// The engine supplies policy; `env` supplies where the session runs
@@ -139,10 +146,20 @@ class Engine {
   void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
   obs::SpanTracer* tracer() const { return tracer_; }
 
+  /// Attaches a critical-path profiler (obs/profiler.hpp); each subsequent
+  /// non-shared session records its attribution/heatmap profile into it at
+  /// close(). Like tracing this is strictly passive — the only effect on
+  /// the run is that the session timeline records intervals, which never
+  /// changes a scheduling decision (a profiled run is bit-identical to an
+  /// unprofiled one). nullptr (the default) disables profiling.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
  protected:
   const model::OpCosts& costs_;
   sim::FaultModel* fault_model_ = nullptr;
   obs::SpanTracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 /// Averages results over multiple sequences (rates are recomputed from the

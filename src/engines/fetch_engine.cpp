@@ -19,8 +19,9 @@ class FetchSession final : public SequenceSession {
   FetchSession(const model::OpCosts& costs, const FetchPolicy& policy,
                const data::SequenceTrace& trace, const SessionEnv& env,
                sim::FaultModel* fault, obs::SpanTracer* tracer,
-               const cache::Placement& initial)
-      : SequenceSession(policy.name, costs, trace, env, fault, tracer),
+               obs::Profiler* profiler, const cache::Placement& initial)
+      : SequenceSession(policy.name, costs, trace, env, fault, tracer,
+                        profiler),
         policy_(policy),
         placement_(initial),
         mig_time_(costs.cost_model().h2d_time(costs.config().expert_bytes() *
@@ -173,6 +174,7 @@ class FetchSession final : public SequenceSession {
           tspan(tracks::kExpertGpu, "prefill expert", tl().last_start(),
                 exec_end);
         }
+        note_expert_exec(l, e, /*on_gpu=*/true, tl().last_start(), exec_end);
         touch(l, e);
         prev_exec_end = exec_end;
         layer_end = std::max(layer_end, exec_end);
@@ -282,6 +284,7 @@ class FetchSession final : public SequenceSession {
                                         tl().last_start(), exec_end);
           if (consumed_prefetch) tflow(fetch_span_[i], x, "prefetched");
         }
+        note_expert_exec(l, e, /*on_gpu=*/true, tl().last_start(), exec_end);
         ++counters_.gpu_expert_execs;
         touch(l, e);
         prev_exec_end = exec_end;
@@ -336,7 +339,8 @@ std::unique_ptr<SequenceSession> FetchBasedEngine::open_session(
   FetchPolicy session_policy = policy_;
   if (env.degrade_no_speculation) session_policy.prefetch_next_layer = false;
   return std::make_unique<FetchSession>(costs_, session_policy, trace, env,
-                                        fault_model_, tracer_, initial);
+                                        fault_model_, tracer_, profiler_,
+                                        initial);
 }
 
 std::unique_ptr<Engine> make_moe_ondemand(const model::OpCosts& costs) {

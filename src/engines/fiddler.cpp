@@ -16,8 +16,9 @@ class FiddlerSession final : public SequenceSession {
  public:
   FiddlerSession(const model::OpCosts& costs, const data::SequenceTrace& trace,
                  const SessionEnv& env, sim::FaultModel* fault,
-                 obs::SpanTracer* tracer, const cache::Placement& initial)
-      : SequenceSession("Fiddler", costs, trace, env, fault, tracer),
+                 obs::SpanTracer* tracer, obs::Profiler* profiler,
+                 const cache::Placement& initial)
+      : SequenceSession("Fiddler", costs, trace, env, fault, tracer, profiler),
         placement_(initial) {}
 
  private:
@@ -50,12 +51,14 @@ class FiddlerSession final : public SequenceSession {
             tspan(tracks::kExpertGpu, "prefill expert", tl().last_start(),
                   exec_end);
           }
+          note_expert_exec(l, e, /*on_gpu=*/true, tl().last_start(), exec_end);
           layer_end = std::max(layer_end, exec_end);
         } else {
           ++counters_.cache_misses;
           layer_end = std::max(
               layer_end,
-              cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok)));
+              cpu_expert(nonmoe_end, tok, costs_.expert_cpu_prefill(tok), l,
+                         e));
         }
       }
       ready_ = layer_end;
@@ -86,11 +89,12 @@ class FiddlerSession final : public SequenceSession {
             tspan(tracks::kExpertGpu, "GPU expert", tl().last_start(),
                   exec_end);
           }
+          note_expert_exec(l, e, /*on_gpu=*/true, tl().last_start(), exec_end);
           layer_end = std::max(layer_end, exec_end);
         } else {
           ++counters_.cache_misses;
-          layer_end = std::max(layer_end,
-                               cpu_expert(nonmoe_end, 1, costs_.expert_cpu()));
+          layer_end = std::max(
+              layer_end, cpu_expert(nonmoe_end, 1, costs_.expert_cpu(), l, e));
         }
       }
       ready_ = layer_end;
@@ -107,7 +111,7 @@ std::unique_ptr<SequenceSession> FiddlerEngine::open_session(
     const SessionEnv& env) {
   DAOP_CHECK_EQ(initial.n_layers(), costs_.config().n_layers);
   return std::make_unique<FiddlerSession>(costs_, trace, env, fault_model_,
-                                          tracer_, initial);
+                                          tracer_, profiler_, initial);
 }
 
 std::unique_ptr<Engine> make_fiddler(const model::OpCosts& costs) {

@@ -76,6 +76,32 @@ void record_counter_metrics(obs::MetricsRegistry& reg,
       .inc(c.hazard_stall_s);
 }
 
+std::vector<std::pair<std::string, double>> counter_profile_metrics(
+    const EngineCounters& c) {
+  return {
+      {"expert_migrations", static_cast<double>(c.expert_migrations)},
+      {"gpu_expert_execs", static_cast<double>(c.gpu_expert_execs)},
+      {"cpu_expert_execs", static_cast<double>(c.cpu_expert_execs)},
+      {"cache_hits", static_cast<double>(c.cache_hits)},
+      {"cache_misses", static_cast<double>(c.cache_misses)},
+      {"prefetch_hits", static_cast<double>(c.prefetch_hits)},
+      {"predictions", static_cast<double>(c.predictions)},
+      {"mispredictions", static_cast<double>(c.mispredictions)},
+      {"degradations", static_cast<double>(c.degradations)},
+      {"prefill_swaps", static_cast<double>(c.prefill_swaps)},
+      {"decode_swaps", static_cast<double>(c.decode_swaps)},
+      {"skipped_experts", static_cast<double>(c.skipped_experts)},
+      {"migration_retries", static_cast<double>(c.migration_retries)},
+      {"migration_aborts", static_cast<double>(c.migration_aborts)},
+      {"stale_precalcs", static_cast<double>(c.stale_precalcs)},
+      {"pin_refusals", static_cast<double>(c.pin_refusals)},
+      {"preemptions", static_cast<double>(c.preemptions)},
+      {"preempt_resumes", static_cast<double>(c.preempt_resumes)},
+      {"degraded_sessions", static_cast<double>(c.degraded_sessions)},
+      {"hazard_stall_s", c.hazard_stall_s},
+  };
+}
+
 void record_run_metrics(obs::MetricsRegistry& reg, const RunResult& r,
                         const obs::Labels& labels) {
   reg.counter("daop_engine_runs_total", "Sequences simulated.", labels).inc();

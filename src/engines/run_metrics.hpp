@@ -5,6 +5,9 @@
 // simulated schedule.
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "engines/engine.hpp"
 #include "obs/metrics.hpp"
 
@@ -23,5 +26,14 @@ void record_run_metrics(obs::MetricsRegistry& reg, const RunResult& r);
 /// aggregate counters without a per-sequence RunResult).
 void record_counter_metrics(obs::MetricsRegistry& reg,
                             const EngineCounters& c, const obs::Labels& labels);
+
+/// Flattens EngineCounters into (name, value) pairs for the profiler's
+/// report — one entry per struct field, in declaration order, so a profile's
+/// counters section is complete by construction. Completeness (every field
+/// of the struct appears exactly once, consistent with add()) is enforced by
+/// tests/engines/engine_counters_test.cpp; a new counter that bypasses this
+/// list fails that test.
+std::vector<std::pair<std::string, double>> counter_profile_metrics(
+    const EngineCounters& c);
 
 }  // namespace daop::engines

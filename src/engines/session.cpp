@@ -4,6 +4,7 @@
 
 #include "cache/arbiter.hpp"
 #include "common/check.hpp"
+#include "engines/run_metrics.hpp"
 
 namespace daop::engines {
 
@@ -30,7 +31,8 @@ SequenceSession::SequenceSession(std::string engine_name,
                                  const model::OpCosts& costs,
                                  const data::SequenceTrace& trace,
                                  const SessionEnv& env, sim::FaultModel* fault,
-                                 obs::SpanTracer* tracer)
+                                 obs::SpanTracer* tracer,
+                                 obs::Profiler* profiler)
     : costs_(costs),
       name_(std::move(engine_name)),
       trace_(trace),
@@ -42,11 +44,16 @@ SequenceSession::SequenceSession(std::string engine_name,
       arbiter_(env.arbiter),
       shared_(env.shared),
       fault_(fault),
-      tracer_(tracer) {
+      tracer_(tracer),
+      profiler_(profiler) {
   DAOP_CHECK_GE(start_time_, 0.0);
   tl_->set_fault_model(fault_);
   stall0_ = tl_->hazard_stall_s();
   ready_ = start_time_;
+  // Attribution needs the timeline's interval record. Turning recording on
+  // is the profiler's only touch on the run and never changes a scheduling
+  // decision (timing-neutrality is locked down by obs_determinism_test).
+  if (profiling()) tl_->set_record_intervals(true);
   if (env.degrade_no_speculation || env.degrade_no_migrations) {
     ++counters_.degraded_sessions;
   }
@@ -78,6 +85,7 @@ bool SequenceSession::decode_step() {
   const int t = next_token_;
   const double token_start = ready_;
   run_decode_token(t);
+  if (profiling()) step_windows_.emplace_back(token_start, ready_);
   if (tracing()) {
     tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready_);
   }
@@ -148,6 +156,12 @@ RunResult SequenceSession::close() {
   // accounts them once for the whole run.
   r.counters.hazard_stall_s =
       shared_ ? 0.0 : tl_->hazard_stall_s() - stall0_;
+  if (profiling()) {
+    profiler_->record_run(name_, request_id_, tl_->intervals(),
+                          tl_->hazard_intervals(), start_time_, prefill_end_,
+                          decode_end, step_windows_, expert_execs_,
+                          counter_profile_metrics(r.counters));
+  }
   return r;
 }
 
@@ -196,11 +210,14 @@ SequenceSession::MigrationOutcome SequenceSession::migrate_with_retry(
 }
 
 double SequenceSession::cpu_expert(double start, int n_tokens,
-                                   double exec_cost) {
+                                   double exec_cost, int layer, int expert) {
   const CpuExpertTimes t = cpu_expert_roundtrip(tl(), costs_, start, n_tokens,
                                                 exec_cost, counters_);
   if (tracing()) {
     tspan(tracks::kExpertCpu, "CPU expert", t.cpu_start, t.cpu_end);
+  }
+  if (layer >= 0) {
+    note_expert_exec(layer, expert, /*on_gpu=*/false, t.cpu_start, t.cpu_end);
   }
   return t.result_arrival;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "engines/engine.hpp"
+#include "obs/profiler.hpp"
 
 namespace daop::cache {
 class PlacementArbiter;
@@ -96,7 +97,8 @@ class SequenceSession {
  public:
   SequenceSession(std::string engine_name, const model::OpCosts& costs,
                   const data::SequenceTrace& trace, const SessionEnv& env,
-                  sim::FaultModel* fault, obs::SpanTracer* tracer);
+                  sim::FaultModel* fault, obs::SpanTracer* tracer,
+                  obs::Profiler* profiler = nullptr);
   virtual ~SequenceSession();
 
   SequenceSession(const SequenceSession&) = delete;
@@ -183,8 +185,11 @@ class SequenceSession {
                                       int max_retries, double deadline_factor,
                                       bool abort_when_exhausted);
 
-  /// Traced CPU-expert round trip; returns the result-arrival time.
-  double cpu_expert(double start, int n_tokens, double exec_cost);
+  /// Traced CPU-expert round trip; returns the result-arrival time. When
+  /// `layer`/`expert` are given (>= 0) the execution also feeds the
+  /// profiler's utilization heatmap.
+  double cpu_expert(double start, int n_tokens, double exec_cost,
+                    int layer = -1, int expert = -1);
 
   // ---- Shared-placement conveniences: exact no-ops without an arbiter
   // (the single-sequence path), so private-session behavior is untouched.
@@ -206,6 +211,20 @@ class SequenceSession {
                       double end);
   std::uint64_t tinstant(const char* track, std::string name, double t);
   void tflow(std::uint64_t from, std::uint64_t to, std::string name = {});
+
+  // ---- Profiling: exact no-ops without a profiler. Shared-timeline
+  // sessions never record per-run profiles (the window belongs to the whole
+  // schedule; the serving scheduler profiles it once). ----
+  bool profiling() const { return profiler_ != nullptr && !shared_; }
+  /// Notes an already-scheduled expert execution for the per-layer ×
+  /// per-expert utilization heatmap. Passive: `start`/`end` are times the
+  /// schedule already produced.
+  void note_expert_exec(int layer, int expert, bool on_gpu, double start,
+                        double end) {
+    if (profiling()) {
+      expert_execs_.push_back({layer, expert, on_gpu, start, end});
+    }
+  }
 
   const model::OpCosts& costs_;
   EngineCounters counters_;
@@ -229,6 +248,11 @@ class SequenceSession {
   bool shared_;
   sim::FaultModel* fault_;
   obs::SpanTracer* tracer_;
+  obs::Profiler* profiler_;
+  /// Decode-token windows and expert executions collected for the profiler
+  /// (empty unless profiling()).
+  std::vector<std::pair<double, double>> step_windows_;
+  std::vector<obs::ExpertExec> expert_execs_;
   double stall0_ = 0.0;
   Phase phase_ = Phase::kOpened;
   bool parked_ = false;

@@ -59,6 +59,11 @@ ServingResult run_serving_eval(EngineKind kind,
   sim::FaultModel fault(options.hazards, options.seed ^ 0xFA017ULL);
   if (fault.enabled()) engine->set_fault_model(&fault);
   if (options.tracer != nullptr) engine->set_tracer(options.tracer);
+  // Sequential serving runs each request on a private timeline, so the
+  // engine-attached profiler records one profile per served request. The
+  // continuous-batching branch profiles its shared timeline once instead
+  // (sessions on a shared timeline skip per-run recording by contract).
+  if (options.profiler != nullptr) engine->set_profiler(options.profiler);
 
   Rng rng(options.seed ^ 0x5e7511e5ULL);
   double arrival = 0.0;
@@ -128,6 +133,9 @@ ServingResult run_serving_eval(EngineKind kind,
     sched_opt.overload = options.overload;
     sched_opt.tracer = options.tracer;
     sim::Timeline tl;
+    // Attribution needs the shared timeline's interval record; recording is
+    // passive and never changes a scheduling decision.
+    if (options.profiler != nullptr) tl.set_record_intervals(true);
     ContinuousBatchingScheduler sched(*engine, tl, initial, sched_opt);
     // Identical RNG draw order to the sequential mode (gap, prompt, gen per
     // request), so both modes serve the same request plan on one seed.
@@ -193,6 +201,11 @@ ServingResult run_serving_eval(EngineKind kind,
     // Shared-timeline sessions report no per-session hazard attribution;
     // the stall total belongs to the whole run and is accounted once here.
     out.counters.hazard_stall_s = tl.hazard_stall_s();
+    if (options.profiler != nullptr) {
+      options.profiler->record_window(
+          engine->name() + " [continuous batching]", tl.intervals(),
+          tl.hazard_intervals(), 0.0, std::max(makespan, tl.span()));
+    }
   } else {
     // ---- Sequential FCFS: each request runs alone on a private timeline ----
     for (int i = 0; i < options.n_requests; ++i) {
@@ -230,7 +243,7 @@ ServingResult run_serving_eval(EngineKind kind,
           // clock and stamp them with this request's id. RAII scope so a
           // throwing engine cannot leak the id/offset into later spans.
           const obs::RequestScope scope(options.tracer, i, start);
-          return engine->run(trace, initial);
+          return engine->run(trace, initial, nullptr, i);
         }();
         const double end = start + r.total_s;
         server_free = end;

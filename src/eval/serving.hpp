@@ -16,6 +16,7 @@
 #include "eval/overload.hpp"
 #include "eval/speed.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span_tracer.hpp"
 
 namespace daop::eval {
@@ -84,6 +85,11 @@ struct ServingOptions {
   /// Receives per-request spans (queue wait, request service, first-token
   /// instant) plus the engine's own spans shifted onto the serving clock.
   obs::SpanTracer* tracer = nullptr;
+  /// Receives critical-path attribution profiles (obs/profiler.hpp). In the
+  /// sequential mode every served request records its own per-run profile;
+  /// in continuous-batching mode the shared timeline's whole window is
+  /// profiled once (per-request phases are not attributable to one session).
+  obs::Profiler* profiler = nullptr;
 };
 
 struct ServingResult {

@@ -100,6 +100,7 @@ std::vector<engines::RunResult> run_speed_eval_per_sequence(
   // deterministic hazard environment) and must outlive every run.
   sim::FaultModel fault(options.hazards, options.seed ^ 0xFA017ULL);
   if (fault.enabled()) engine->set_fault_model(&fault);
+  if (options.profiler != nullptr) engine->set_profiler(options.profiler);
   std::vector<engines::RunResult> results;
   results.reserve(static_cast<std::size_t>(options.n_seqs));
   for (int s = 0; s < options.n_seqs; ++s) {

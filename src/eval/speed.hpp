@@ -12,6 +12,7 @@
 #include "data/workload.hpp"
 #include "engines/engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/device.hpp"
 #include "sim/fault_model.hpp"
 
@@ -56,6 +57,9 @@ struct SpeedEvalOptions {
   /// (labeled by engine). Strictly passive — timing results are bit-identical
   /// with or without a registry. nullptr (the default) disables.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional critical-path profiler: each sequence records its attribution
+  /// profile into it at close. Strictly passive like the registry.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Runs `kind` over `n_seqs` sequences of `workload` and aggregates.

@@ -1,0 +1,168 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace daop::obs {
+namespace {
+
+bool tag_contains(const std::string& tag, const char* needle) {
+  return tag.find(needle) != std::string::npos;
+}
+
+/// One interval clipped to the attribution window.
+struct Seg {
+  double start = 0.0;
+  double end = 0.0;
+  AttrCategory cat = AttrCategory::GateAttn;
+};
+
+}  // namespace
+
+const char* attr_category_name(AttrCategory c) {
+  switch (c) {
+    case AttrCategory::GpuExpert: return "gpu_expert";
+    case AttrCategory::GateAttn: return "gate_attn";
+    case AttrCategory::CpuExpert: return "cpu_expert";
+    case AttrCategory::PcieMigration: return "pcie_migration";
+    case AttrCategory::HazardStall: return "hazard_stall";
+  }
+  return "?";
+}
+
+AttrCategory attribute_category(const sim::Interval& iv) {
+  switch (iv.res) {
+    case sim::Res::GpuStream:
+      // Engines tag expert FFN work "... expert ..." / "... fallback";
+      // everything else on the stream is attention/gate/shared compute.
+      return tag_contains(iv.tag, "expert") || tag_contains(iv.tag, "fallback")
+                 ? AttrCategory::GpuExpert
+                 : AttrCategory::GateAttn;
+    case sim::Res::CpuPool:
+      return AttrCategory::CpuExpert;
+    case sim::Res::PcieH2D:
+    case sim::Res::PcieD2H:
+      return AttrCategory::PcieMigration;
+  }
+  return AttrCategory::GateAttn;
+}
+
+double AttrBreakdown::exposed_total_s() const {
+  double s = 0.0;
+  for (double v : exposed_s) s += v;
+  return s;
+}
+
+double AttrBreakdown::serialized_s() const {
+  double s = 0.0;
+  for (double v : busy_s) s += v;
+  return s;
+}
+
+void AttrBreakdown::add(const AttrBreakdown& o) {
+  for (int i = 0; i < kNumAttrCategories; ++i) {
+    busy_s[static_cast<std::size_t>(i)] +=
+        o.busy_s[static_cast<std::size_t>(i)];
+    exposed_s[static_cast<std::size_t>(i)] +=
+        o.exposed_s[static_cast<std::size_t>(i)];
+  }
+  idle_s += o.idle_s;
+  window_s += o.window_s;
+}
+
+AttrBreakdown attribute_window(const std::vector<sim::Interval>& intervals,
+                               const std::vector<sim::Interval>& hazards,
+                               double t0, double t1) {
+  DAOP_CHECK_MSG(std::isfinite(t0) && std::isfinite(t1),
+                 "attribution window must be finite");
+  DAOP_CHECK_MSG(t1 >= t0, "attribution window must not be inverted");
+  AttrBreakdown out;
+  out.window_s = t1 - t0;
+  if (t1 <= t0) return out;
+
+  // Clip each occupancy / hazard interval to the window, bucketed per
+  // resource. Within one resource the Timeline schedules back-to-front
+  // monotonically, but clipping + defensive sorting keeps the sweep correct
+  // for any caller-assembled interval set too.
+  std::array<std::vector<Seg>, sim::kNumRes> occ;
+  std::array<std::vector<Seg>, sim::kNumRes> haz;
+  auto clip_into = [&](const std::vector<sim::Interval>& src,
+                       std::array<std::vector<Seg>, sim::kNumRes>& dst,
+                       bool classify) {
+    for (const sim::Interval& iv : src) {
+      const double s = std::max(iv.start, t0);
+      const double e = std::min(iv.end, t1);
+      if (e <= s) continue;
+      Seg seg;
+      seg.start = s;
+      seg.end = e;
+      if (classify) seg.cat = attribute_category(iv);
+      dst[static_cast<std::size_t>(iv.res)].push_back(seg);
+    }
+  };
+  clip_into(intervals, occ, /*classify=*/true);
+  clip_into(hazards, haz, /*classify=*/false);
+  auto by_start = [](const Seg& a, const Seg& b) { return a.start < b.start; };
+  for (int r = 0; r < sim::kNumRes; ++r) {
+    std::stable_sort(occ[static_cast<std::size_t>(r)].begin(),
+                     occ[static_cast<std::size_t>(r)].end(), by_start);
+    std::stable_sort(haz[static_cast<std::size_t>(r)].begin(),
+                     haz[static_cast<std::size_t>(r)].end(), by_start);
+  }
+
+  // Elementary segments: between two consecutive boundary points no
+  // interval starts or ends, so each resource's state is constant and can
+  // be probed at the segment midpoint with exact comparisons.
+  std::vector<double> pts;
+  pts.reserve(2 * (intervals.size() + hazards.size()) + 2);
+  pts.push_back(t0);
+  pts.push_back(t1);
+  for (const auto& per_res : {std::cref(occ), std::cref(haz)}) {
+    for (const auto& segs : per_res.get()) {
+      for (const Seg& s : segs) {
+        pts.push_back(s.start);
+        pts.push_back(s.end);
+      }
+    }
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+  std::array<std::size_t, sim::kNumRes> cur{};
+  std::array<std::size_t, sim::kNumRes> cur_h{};
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double a = pts[i];
+    const double b = pts[i + 1];
+    const double len = b - a;
+    if (len <= 0.0) continue;
+    const double mid = a + len * 0.5;
+    // Resources in upstream-first order (enum order): the critical path at
+    // this instant belongs to the first busy one.
+    bool exposed_charged = false;
+    for (int r = 0; r < sim::kNumRes; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      auto& segs = occ[ri];
+      std::size_t& c = cur[ri];
+      while (c < segs.size() && segs[c].end <= mid) ++c;
+      if (c >= segs.size() || segs[c].start > mid) continue;  // idle resource
+      auto& hsegs = haz[ri];
+      std::size_t& ch = cur_h[ri];
+      while (ch < hsegs.size() && hsegs[ch].end <= mid) ++ch;
+      const bool in_hazard_tail =
+          ch < hsegs.size() && hsegs[ch].start <= mid;
+      const AttrCategory cat =
+          in_hazard_tail ? AttrCategory::HazardStall : segs[c].cat;
+      out.busy_s[static_cast<std::size_t>(cat)] += len;
+      if (!exposed_charged) {
+        out.exposed_s[static_cast<std::size_t>(cat)] += len;
+        exposed_charged = true;
+      }
+    }
+    if (!exposed_charged) out.idle_s += len;
+  }
+  return out;
+}
+
+}  // namespace daop::obs

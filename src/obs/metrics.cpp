@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -57,14 +58,31 @@ std::string label_key_with(const Labels& labels, const std::string& extra_k,
   return label_key(l);
 }
 
+/// JSON string escaping for names, help text and label values. Any UTF-8
+/// byte >= 0x20 passes through untouched (JSON strings are UTF-8), but all
+/// control characters are escaped so the export is always parseable no
+/// matter what a caller puts in a label value.
 std::string json_escape(const std::string& s) {
   std::string out;
+  out.reserve(s.size());
   for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -130,7 +148,12 @@ double HistogramData::bucket_width(double v) const {
 
 double histogram_quantile(const HistogramData& h, double q) {
   DAOP_CHECK(q >= 0.0 && q <= 1.0);
-  DAOP_CHECK_MSG(h.total > 0, "histogram_quantile on an empty histogram");
+  // An empty (or unconfigured) histogram has no order statistics: any
+  // number would be garbage, so the answer is NaN — same convention as
+  // PromQL's histogram_quantile over an empty range vector.
+  if (h.counts.empty() || h.total <= 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const double rank = q * static_cast<double>(h.total);
   long long cum = 0;
   for (std::size_t i = 0; i < h.counts.size(); ++i) {

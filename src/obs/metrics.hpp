@@ -47,6 +47,8 @@ struct HistogramData {
 /// Quantile estimate (q in [0,1]) by linear interpolation inside the bucket
 /// containing the q-th observation, Prometheus histogram_quantile-style.
 /// Values landing in the +Inf bucket clamp to the largest finite bound.
+/// An empty or unconfigured histogram (zero observations) returns NaN —
+/// there is no order statistic to estimate.
 double histogram_quantile(const HistogramData& h, double q);
 
 /// Prometheus-style 1/2.5/5 grid from 1 ms to 5000 s — wide enough for

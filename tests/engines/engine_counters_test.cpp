@@ -3,9 +3,16 @@
 // totals without failing any behavioural test. Each field gets a distinct
 // sentinel so a swapped pair is also caught, and a sizeof guard forces this
 // test to be revisited whenever a field is added.
+//
+// counter_profile_metrics (the profiler's flat view of the counters, and the
+// metric names perf-gate baselines pin) gets the same treatment: every field
+// present exactly once, mapped to the right name, in declaration order.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "engines/engine.hpp"
+#include "engines/run_metrics.hpp"
 
 namespace daop::engines {
 namespace {
@@ -65,6 +72,67 @@ TEST(EngineCounters, AddAggregatesEveryField) {
   EXPECT_EQ(acc.preempt_resumes, 3036);
   EXPECT_EQ(acc.degraded_sessions, 3038);
   EXPECT_DOUBLE_EQ(acc.hazard_stall_s, 3039.0);
+}
+
+TEST(EngineCounters, ProfileMetricsCoverEveryFieldExactlyOnce) {
+  // The same sizeof guard as above protects this list: adding a field to
+  // EngineCounters must extend counter_profile_metrics too, or the profiler
+  // and the perf gate would silently stop seeing it.
+  const EngineCounters c = distinct_sentinels(1000);
+  const auto metrics = counter_profile_metrics(c);
+  ASSERT_EQ(metrics.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& [name, value] : metrics) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate metric " << name;
+  }
+  // Distinct sentinels prove each name maps to ITS field, not a neighbour.
+  auto value_of = [&](const std::string& name) {
+    for (const auto& [n, v] : metrics) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "metric " << name << " missing";
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("expert_migrations"), 1001.0);
+  EXPECT_EQ(value_of("gpu_expert_execs"), 1002.0);
+  EXPECT_EQ(value_of("cpu_expert_execs"), 1003.0);
+  EXPECT_EQ(value_of("cache_hits"), 1004.0);
+  EXPECT_EQ(value_of("cache_misses"), 1005.0);
+  EXPECT_EQ(value_of("prefetch_hits"), 1006.0);
+  EXPECT_EQ(value_of("predictions"), 1007.0);
+  EXPECT_EQ(value_of("mispredictions"), 1008.0);
+  EXPECT_EQ(value_of("degradations"), 1009.0);
+  EXPECT_EQ(value_of("prefill_swaps"), 1010.0);
+  EXPECT_EQ(value_of("decode_swaps"), 1011.0);
+  EXPECT_EQ(value_of("skipped_experts"), 1012.0);
+  EXPECT_EQ(value_of("migration_retries"), 1013.0);
+  EXPECT_EQ(value_of("migration_aborts"), 1014.0);
+  EXPECT_EQ(value_of("stale_precalcs"), 1015.0);
+  EXPECT_EQ(value_of("pin_refusals"), 1016.0);
+  EXPECT_EQ(value_of("preemptions"), 1017.0);
+  EXPECT_EQ(value_of("preempt_resumes"), 1018.0);
+  EXPECT_EQ(value_of("degraded_sessions"), 1019.0);
+  EXPECT_DOUBLE_EQ(value_of("hazard_stall_s"), 1019.5);
+  // Declaration order, so profile reports and baselines are stable.
+  EXPECT_EQ(metrics.front().first, "expert_migrations");
+  EXPECT_EQ(metrics.back().first, "hazard_stall_s");
+}
+
+TEST(EngineCounters, ProfileMetricsAreAdditiveLikeAdd) {
+  // Summing two flattened views elementwise must agree with flattening the
+  // add()-aggregated counters — the identity serving aggregation relies on.
+  EngineCounters a = distinct_sentinels(1000);
+  const EngineCounters b = distinct_sentinels(2000);
+  const auto ma = counter_profile_metrics(a);
+  const auto mb = counter_profile_metrics(b);
+  a.add(b);
+  const auto sum = counter_profile_metrics(a);
+  ASSERT_EQ(ma.size(), sum.size());
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    EXPECT_EQ(sum[i].first, ma[i].first);
+    EXPECT_DOUBLE_EQ(sum[i].second, ma[i].second + mb[i].second)
+        << sum[i].first;
+  }
 }
 
 TEST(EngineCounters, AddOntoDefaultIsIdentity) {

@@ -1,0 +1,220 @@
+// Unit tests for the critical-path attribution sweep (obs/attribution.hpp)
+// over hand-built interval sets where the correct answer is computable by
+// inspection: conservation, winner priority, hazard-tail reassignment,
+// window clipping, and classification.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/attribution.hpp"
+#include "sim/timeline.hpp"
+
+namespace daop::obs {
+namespace {
+
+sim::Interval iv(sim::Res r, double start, double end, std::string tag) {
+  sim::Interval out;
+  out.res = r;
+  out.start = start;
+  out.end = end;
+  out.tag = std::move(tag);
+  return out;
+}
+
+constexpr double kEps = 1e-12;
+
+void expect_conservation(const AttrBreakdown& b) {
+  EXPECT_NEAR(b.exposed_total_s() + b.idle_s, b.window_s, 1e-9);
+  for (int c = 0; c < kNumAttrCategories; ++c) {
+    const auto cat = static_cast<AttrCategory>(c);
+    EXPECT_GE(b.hidden(cat), -kEps) << attr_category_name(cat);
+    EXPECT_GE(b.busy(cat), -kEps) << attr_category_name(cat);
+    EXPECT_GE(b.exposed(cat), -kEps) << attr_category_name(cat);
+  }
+}
+
+TEST(AttributeCategory, ClassifiesByResourceAndTag) {
+  EXPECT_EQ(attribute_category(iv(sim::Res::GpuStream, 0, 1, "L3 expert2")),
+            AttrCategory::GpuExpert);
+  EXPECT_EQ(attribute_category(
+                iv(sim::Res::GpuStream, 0, 1, "L1 fallback expert4")),
+            AttrCategory::GpuExpert);
+  EXPECT_EQ(attribute_category(iv(sim::Res::GpuStream, 0, 1, "non-MoE")),
+            AttrCategory::GateAttn);
+  EXPECT_EQ(attribute_category(
+                iv(sim::Res::GpuStream, 0, 1, "prefill non-MoE")),
+            AttrCategory::GateAttn);
+  EXPECT_EQ(attribute_category(iv(sim::Res::CpuPool, 0, 1, "anything")),
+            AttrCategory::CpuExpert);
+  EXPECT_EQ(attribute_category(iv(sim::Res::PcieH2D, 0, 1, "migrate")),
+            AttrCategory::PcieMigration);
+  EXPECT_EQ(attribute_category(iv(sim::Res::PcieD2H, 0, 1, "result")),
+            AttrCategory::PcieMigration);
+}
+
+TEST(AttributeWindow, EmptyTimelineIsAllIdle) {
+  const AttrBreakdown b = attribute_window({}, {}, 0.0, 2.5);
+  EXPECT_DOUBLE_EQ(b.window_s, 2.5);
+  EXPECT_DOUBLE_EQ(b.idle_s, 2.5);
+  EXPECT_DOUBLE_EQ(b.exposed_total_s(), 0.0);
+  EXPECT_DOUBLE_EQ(b.serialized_s(), 0.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, EmptyWindowIsZero) {
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 1.0, "expert")};
+  const AttrBreakdown b = attribute_window(ivs, {}, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(b.window_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.idle_s, 0.0);
+  EXPECT_DOUBLE_EQ(b.serialized_s(), 0.0);
+}
+
+TEST(AttributeWindow, SingleIntervalFullyExposed) {
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 1.0, 3.0, "L0 expert1")};
+  const AttrBreakdown b = attribute_window(ivs, {}, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::GpuExpert), 2.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GpuExpert), 2.0);
+  EXPECT_DOUBLE_EQ(b.hidden(AttrCategory::GpuExpert), 0.0);
+  EXPECT_DOUBLE_EQ(b.idle_s, 2.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, OverlappedCpuWorkIsHiddenUnderGpu) {
+  // GPU busy [0,2); CPU busy [1,3). In [1,2) both are busy: the GPU (more
+  // upstream) wins exposure, the CPU second is hidden. [2,3) exposes CPU.
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 2.0, "L0 expert0"),
+      iv(sim::Res::CpuPool, 1.0, 3.0, "L0 expert5 (cpu)")};
+  const AttrBreakdown b = attribute_window(ivs, {}, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::GpuExpert), 2.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GpuExpert), 2.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::CpuExpert), 2.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::CpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.hidden(AttrCategory::CpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.idle_s, 0.0);
+  // Overlap ledger: the serialized bound is 4 s, the critical path 3 s.
+  EXPECT_DOUBLE_EQ(b.serialized_s(), 4.0);
+  EXPECT_DOUBLE_EQ(b.exposed_total_s(), 3.0);
+  EXPECT_DOUBLE_EQ(b.hidden_total_s(), 1.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, WinnerFollowsUpstreamResourceOrder) {
+  // All four resources busy on [0,1): only the GPU is exposed. Then each
+  // less-upstream resource is exposed exactly when everything above is idle.
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 1.0, "non-MoE"),
+      iv(sim::Res::CpuPool, 0.0, 2.0, "cpu expert"),
+      iv(sim::Res::PcieH2D, 0.0, 3.0, "migrate in"),
+      iv(sim::Res::PcieD2H, 0.0, 4.0, "result out")};
+  const AttrBreakdown b = attribute_window(ivs, {}, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GateAttn), 1.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::CpuExpert), 1.0);  // [1,2)
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::PcieMigration), 2.0);  // [2,4)
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::PcieMigration), 7.0);
+  EXPECT_DOUBLE_EQ(b.idle_s, 0.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, HazardTailChargedToHazardStall) {
+  // A GPU op [0,2) whose second half is a fault-injected stall: the hazard
+  // sub-interval reassigns that exposure (and busy) to HazardStall.
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 2.0, "L0 expert0")};
+  const std::vector<sim::Interval> hz = {
+      iv(sim::Res::GpuStream, 1.0, 2.0, "hazard")};
+  const AttrBreakdown b = attribute_window(ivs, hz, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::GpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::HazardStall), 1.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::HazardStall), 1.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, HazardOnHiddenResourceStaysHidden) {
+  // The CPU stalls under a busy GPU: the stall is busy-HazardStall but not
+  // exposed — the GPU still owns the critical path.
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 2.0, "non-MoE"),
+      iv(sim::Res::CpuPool, 0.0, 2.0, "cpu expert")};
+  const std::vector<sim::Interval> hz = {
+      iv(sim::Res::CpuPool, 1.0, 2.0, "hazard")};
+  const AttrBreakdown b = attribute_window(ivs, hz, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GateAttn), 2.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::HazardStall), 0.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::HazardStall), 1.0);
+  EXPECT_DOUBLE_EQ(b.hidden(AttrCategory::HazardStall), 1.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, IntervalsClippedToWindow) {
+  // Only [1,2) of this op lies inside the window.
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 5.0, "L0 expert0")};
+  const AttrBreakdown b = attribute_window(ivs, {}, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.window_s, 1.0);
+  EXPECT_DOUBLE_EQ(b.busy(AttrCategory::GpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.idle_s, 0.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, AdjacentIntervalsDoNotDoubleCount) {
+  const std::vector<sim::Interval> ivs = {
+      iv(sim::Res::GpuStream, 0.0, 1.0, "non-MoE"),
+      iv(sim::Res::GpuStream, 1.0, 2.0, "L0 expert0")};
+  const AttrBreakdown b = attribute_window(ivs, {}, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GateAttn), 1.0);
+  EXPECT_DOUBLE_EQ(b.exposed(AttrCategory::GpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(b.serialized_s(), 2.0);
+  expect_conservation(b);
+}
+
+TEST(AttributeWindow, AddAccumulatesBreakdowns) {
+  const std::vector<sim::Interval> a = {
+      iv(sim::Res::GpuStream, 0.0, 1.0, "L0 expert0")};
+  const std::vector<sim::Interval> b = {
+      iv(sim::Res::CpuPool, 0.0, 2.0, "cpu expert")};
+  AttrBreakdown acc = attribute_window(a, {}, 0.0, 1.0);
+  acc.add(attribute_window(b, {}, 0.0, 3.0));
+  EXPECT_DOUBLE_EQ(acc.window_s, 4.0);
+  EXPECT_DOUBLE_EQ(acc.busy(AttrCategory::GpuExpert), 1.0);
+  EXPECT_DOUBLE_EQ(acc.busy(AttrCategory::CpuExpert), 2.0);
+  EXPECT_DOUBLE_EQ(acc.idle_s, 1.0);
+  expect_conservation(acc);
+}
+
+TEST(AttributeWindow, RejectsInvertedWindow) {
+  EXPECT_THROW(attribute_window({}, {}, 2.0, 1.0), daop::CheckError);
+}
+
+TEST(AttributeWindow, RealTimelineConservesExactly) {
+  // Drive a real Timeline through a mix of overlapping ops and verify
+  // conservation against the timeline's own busy accounting.
+  sim::Timeline tl;
+  tl.set_record_intervals(true);
+  double g = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    g = tl.schedule(sim::Res::GpuStream, g, 0.003, "non-MoE");
+    g = tl.schedule(sim::Res::GpuStream, g, 0.002, "L0 expert0");
+    tl.schedule(sim::Res::CpuPool, g - 0.004, 0.005, "L0 expert5 (cpu)");
+    if (i % 3 == 0) {
+      tl.schedule(sim::Res::PcieH2D, g - 0.002, 0.004, "migrate");
+    }
+  }
+  const AttrBreakdown b =
+      attribute_window(tl.intervals(), tl.hazard_intervals(), 0.0, tl.span());
+  EXPECT_NEAR(b.exposed_total_s() + b.idle_s, b.window_s, 1e-9);
+  double busy_total = 0.0;
+  for (int r = 0; r < sim::kNumRes; ++r) {
+    busy_total += tl.busy_time(static_cast<sim::Res>(r));
+  }
+  EXPECT_NEAR(b.serialized_s(), busy_total, 1e-9);
+  expect_conservation(b);
+}
+
+}  // namespace
+}  // namespace daop::obs

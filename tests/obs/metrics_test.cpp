@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -90,11 +91,27 @@ TEST(HistogramQuantile, ClampsOverflowToLastFiniteBound) {
   EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 2.0);
 }
 
-TEST(HistogramQuantile, RejectsEmptyAndBadQ) {
+TEST(HistogramQuantile, EmptyHistogramIsNaNNotGarbage) {
+  // Zero observations mean there is no order statistic to estimate: the
+  // defined behavior is NaN (PromQL convention), never a garbage number
+  // and never UB — for a configured-but-empty histogram AND for a
+  // default-constructed (unconfigured) one.
+  HistogramData configured({1.0, 2.0});
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_TRUE(std::isnan(histogram_quantile(configured, q))) << q;
+  }
+  const HistogramData unconfigured;
+  EXPECT_TRUE(std::isnan(histogram_quantile(unconfigured, 0.5)));
+  // One observation makes it finite again.
+  configured.observe(0.5);
+  EXPECT_TRUE(std::isfinite(histogram_quantile(configured, 0.5)));
+}
+
+TEST(HistogramQuantile, RejectsOutOfRangeQ) {
   HistogramData h({1.0});
-  EXPECT_THROW(histogram_quantile(h, 0.5), CheckError);
   h.observe(0.5);
   EXPECT_THROW(histogram_quantile(h, 1.5), CheckError);
+  EXPECT_THROW(histogram_quantile(h, -0.1), CheckError);
 }
 
 TEST(DefaultLatencyBuckets, CoversMillisecondsToKiloseconds) {
@@ -195,6 +212,38 @@ TEST(MetricsRegistry, JsonExportIsStructurallySound) {
   EXPECT_NE(out.find("\"labels\":{\"engine\":\"DAOP (ours)\"}"),
             std::string::npos);
   EXPECT_NE(out.find("\"le\":\"+Inf\""), std::string::npos);
+  long long depth = 0;
+  for (char c : out) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistry, JsonEscapesHostileLabelValues) {
+  // Lock down string escaping so the JSON export stays parseable no matter
+  // what ends up in a label value: quotes, backslashes, all control
+  // characters, and non-ASCII UTF-8 (which passes through byte-for-byte).
+  MetricsRegistry reg;
+  reg.counter("daop_esc_total", "h",
+              {{"quote", "say \"hi\""},
+               {"backslash", "C:\\temp\\x"},
+               {"ctl", std::string("a\nb\tc\rd\x01" "e")},
+               {"utf8", "ü→日本"}})
+      .inc();
+  const std::string out = reg.to_json();
+  EXPECT_NE(out.find("\"quote\":\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"backslash\":\"C:\\\\temp\\\\x\""), std::string::npos);
+  EXPECT_NE(out.find("\"ctl\":\"a\\nb\\tc\\rd\\u0001e\""), std::string::npos);
+  // Non-ASCII is NOT escaped: JSON strings are UTF-8.
+  EXPECT_NE(out.find("\"utf8\":\"ü→日本\""), std::string::npos);
+  // No raw control characters may survive anywhere in the document, and it
+  // must still be structurally balanced.
+  for (char c : out) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control char in export";
+  }
   long long depth = 0;
   for (char c : out) {
     if (c == '{' || c == '[') ++depth;

@@ -12,6 +12,7 @@
 #include "eval/serving.hpp"
 #include "eval/speed.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span_tracer.hpp"
 #include "sim/trace_export.hpp"
 
@@ -84,6 +85,94 @@ TEST(ObsDeterminism, TracingNeverPerturbsEngineTimelines) {
               r_traced.counters.expert_migrations);
     // The tracer actually saw the run (every engine records Token spans).
     EXPECT_FALSE(tracer.spans().empty());
+  }
+}
+
+TEST(ObsDeterminism, ProfilerNeverPerturbsEngineRuns) {
+  // A profiled run must be bit-identical to an unprofiled one: simulated
+  // times, energy, counters AND the exported trace bytes. The profiler only
+  // reads already-recorded state at teardown.
+  const model::ModelConfig cfg = daop::testing::small_mixtral();
+  const sim::CostModel cm(sim::a6000_i9_platform());
+  const model::OpCosts costs(cfg, cm);
+  const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                 cfg.top_k, 7);
+  const auto trace = gen.generate(0, 16, 12);
+  const data::TraceGenerator calib(data::sharegpt_calibration(), cfg.n_layers,
+                                   cfg.n_experts, cfg.top_k, 99);
+  const auto placement = cache::init_placement_calibrated(
+      cfg.n_layers, cfg.n_experts, 0.469,
+      cache::calibrate_activation_counts(calib, 6));
+
+  for (auto kind :
+       {EngineKind::MoEOnDemand, EngineKind::DeepSpeedMII,
+        EngineKind::MixtralOffloading, EngineKind::PreGatedMoE,
+        EngineKind::EdgeMoE, EngineKind::MoEInfinity, EngineKind::Fiddler,
+        EngineKind::Daop}) {
+    SCOPED_TRACE(engine_kind_name(kind));
+    auto run_once = [&](obs::Profiler* prof, std::string* trace_json) {
+      auto engine = make_engine(kind, costs);
+      obs::SpanTracer tracer;
+      engine->set_tracer(&tracer);
+      if (prof != nullptr) engine->set_profiler(prof);
+      sim::Timeline tl;
+      tl.set_record_intervals(true);
+      const auto r = engine->run(trace, placement, &tl);
+      *trace_json = sim::to_chrome_trace_json(tl, &tracer);
+      return r;
+    };
+    std::string plain_trace, profiled_trace;
+    const auto r_plain = run_once(nullptr, &plain_trace);
+    obs::Profiler prof;
+    const auto r_prof = run_once(&prof, &profiled_trace);
+
+    EXPECT_EQ(r_plain.total_s, r_prof.total_s);
+    EXPECT_EQ(r_plain.prefill_s, r_prof.prefill_s);
+    EXPECT_EQ(r_plain.decode_s, r_prof.decode_s);
+    EXPECT_EQ(r_plain.energy.total_j, r_prof.energy.total_j);
+    EXPECT_EQ(r_plain.counters.cache_hits, r_prof.counters.cache_hits);
+    EXPECT_EQ(r_plain.counters.gpu_expert_execs,
+              r_prof.counters.gpu_expert_execs);
+    EXPECT_EQ(r_plain.counters.cpu_expert_execs,
+              r_prof.counters.cpu_expert_execs);
+    EXPECT_EQ(r_plain.counters.expert_migrations,
+              r_prof.counters.expert_migrations);
+    EXPECT_EQ(r_plain.counters.hazard_stall_s, r_prof.counters.hazard_stall_s);
+    // Trace bytes identical: profiling adds no tags, spans or intervals.
+    EXPECT_EQ(plain_trace, profiled_trace);
+    // ...and the profiler actually recorded the run.
+    EXPECT_EQ(prof.runs().size(), 1u);
+  }
+}
+
+TEST(ObsDeterminism, ProfiledServingMatchesUnprofiledBitExact) {
+  for (int max_concurrent : {1, 3}) {
+    SCOPED_TRACE(max_concurrent == 1 ? "sequential" : "continuous batching");
+    ServingOptions base;
+    base.arrival_rate_rps = 0.05;
+    base.n_requests = 5;
+    base.min_prompt = 16;
+    base.max_prompt = 24;
+    base.min_gen = 12;
+    base.max_gen = 16;
+    base.calibration_seqs = 4;
+    base.max_concurrent = max_concurrent;
+    const auto plain = run_serving_eval(
+        EngineKind::Daop, daop::testing::small_mixtral(),
+        sim::a6000_i9_platform(), data::sharegpt_calibration(), base);
+
+    obs::Profiler prof;
+    auto profiled = base;
+    profiled.profiler = &prof;
+    const auto observed = run_serving_eval(
+        EngineKind::Daop, daop::testing::small_mixtral(),
+        sim::a6000_i9_platform(), data::sharegpt_calibration(), profiled);
+    EXPECT_EQ(plain.makespan_s, observed.makespan_s);
+    EXPECT_EQ(plain.latency_s.mean, observed.latency_s.mean);
+    EXPECT_EQ(plain.ttft_s.p99, observed.ttft_s.p99);
+    EXPECT_EQ(plain.throughput_tps, observed.throughput_tps);
+    EXPECT_EQ(plain.counters.hazard_stall_s, observed.counters.hazard_stall_s);
+    EXPECT_FALSE(prof.empty());
   }
 }
 
