@@ -1,0 +1,244 @@
+// Extension bench: chaos acceptance for the fault-tolerant cluster
+// (src/cluster/). Drives a 4-node replica cluster at 2x the measured
+// per-node saturation rate, crashes one node mid-run, and checks that
+// health-checked failover (a) keeps the served p99 TTFT within the SLO
+// and (b) beats a naive no-health-check round-robin cluster on SLO
+// violation rate. The thresholds self-calibrate against the measured
+// saturation point of this model/platform pair (same probe pattern as
+// tests/eval/overload_test.cpp), so the bench is a real acceptance gate
+// rather than a magic-number check: any assertion failure exits nonzero.
+//
+// --baseline-out PATH additionally writes a daop-profile/1-shaped report
+// of the health-checked chaos run for scripts/perf_gate.py, gated in CI
+// against bench/baselines/cluster_tiny_c4.json.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "cluster/serving.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "model/config.hpp"
+#include "sim/fault_model.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+// Round-trip float formatting for the perf-gate profile JSON.
+std::string fmt_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace daop;
+  const FlagParser flags(argc, argv);
+  obs::MetricsRegistry reg;
+
+  const model::ModelConfig cfg = model::tiny_mixtral();
+  const sim::PlatformSpec platform = sim::a6000_i9_platform();
+  const data::WorkloadSpec workload = data::c4();
+  const eval::EngineKind kind = eval::EngineKind::Daop;
+  constexpr int kNodes = 4;
+  constexpr int kCrashNode = 1;
+
+  cluster::ClusterServingOptions base;
+  base.base.n_requests = 16;
+  base.base.min_prompt = 16;
+  base.base.max_prompt = 32;
+  base.base.min_gen = 16;
+  base.base.max_gen = 32;
+  base.base.calibration_seqs = 4;
+  base.base.seed = 7;
+  base.n_nodes = 1;
+  base.cluster.max_concurrent_per_node = 4;
+  base.cluster.dispatch = cluster::DispatchPolicy::kRoundRobin;
+
+  std::printf(
+      "Cluster chaos acceptance (extension) — %s on %s, C4 traffic,\n"
+      "%d nodes, node %d crashing mid-run at 2x per-node saturation.\n\n",
+      cfg.name.c_str(), platform.name.c_str(), kNodes, kCrashNode);
+
+  // Capacity probe: burst arrivals on a single node measure the
+  // full-concurrency drain rate.
+  auto probe = base;
+  probe.base.arrival_rate_rps = 1000.0;
+  const auto cap = cluster::run_cluster_serving_eval(kind, cfg, platform,
+                                                     workload, probe);
+  check(cap.served == probe.base.n_requests, "capacity probe serves all");
+  const double sat_rps = probe.base.n_requests / cap.makespan_s;
+
+  // Calm probe: p99 TTFT with empty queues calibrates the service
+  // estimate (with contention headroom) and the first-token SLO.
+  auto solo = base;
+  solo.base.arrival_rate_rps = sat_rps / 8.0;
+  const auto calm = cluster::run_cluster_serving_eval(kind, cfg, platform,
+                                                      workload, solo);
+  check(calm.served == solo.base.n_requests, "calm probe serves all");
+  const double service_est = 4.0 * calm.ttft_s.p99;
+  const double slo_ttft = 3.0 * service_est;
+  std::printf(
+      "\ncalibration: per-node saturation %s rps, service estimate %s s,\n"
+      "TTFT SLO %s s\n\n",
+      fmt_f(sat_rps, 2).c_str(), fmt_f(service_est, 4).c_str(),
+      fmt_f(slo_ttft, 4).c_str());
+
+  // The chaos plan: 4 nodes, 2x PER-NODE saturation (half the healthy
+  // cluster's capacity, two thirds after the crash — survivable, so the
+  // acceptance question is purely how routing handles the dead replica).
+  cluster::ClusterServingOptions chaos = base;
+  chaos.n_nodes = kNodes;
+  chaos.base.n_requests = 256;
+  chaos.base.arrival_rate_rps = 2.0 * sat_rps;
+  chaos.base.slo_ttft_s = slo_ttft;
+  chaos.cluster.service_estimate_s = service_est;
+  chaos.cluster.failover_budget = 1;
+  // A copy sent to an already-dead node is only discovered lost after a
+  // timeout — modelled at 3x the service estimate. This is the recurring
+  // cost naive routing pays for every post-crash dispatch into the dead
+  // replica; health-checked routing pays it at most once before ejection.
+  chaos.cluster.failover_backoff_s = 3.0 * service_est;
+  chaos.cluster.crash_node = kCrashNode;
+
+  // Naive baseline: round-robin that never health-checks, so it keeps
+  // dispatching into the dead node until each request's failover budget
+  // burns down. Also calibrates the crash instant: scan the arrival
+  // window for a crash that catches node 1 mid-request (the trajectory up
+  // to the crash is identical with and without health checking, so the
+  // scanned instant is fair to both clusters).
+  auto naive = chaos;
+  naive.cluster.health.enabled = false;
+  const double window =
+      chaos.base.n_requests / chaos.base.arrival_rate_rps;
+  cluster::ClusterServingResult naive_r;
+  for (const double frac : {0.40, 0.45, 0.50, 0.35, 0.55, 0.30, 0.60}) {
+    naive.cluster.crash_time_s = frac * window;
+    naive_r = cluster::run_cluster_serving_eval(kind, cfg, platform,
+                                                workload, naive);
+    // 1-2 in-flight victims: enough to exercise failover replay, few
+    // enough that the served-TTFT p99 (which excludes the top two of 256
+    // samples) measures steady-state routing rather than the victims.
+    if (naive_r.cluster.replayed_tokens > 0 &&
+        naive_r.cluster.failovers_node_crash <= 2) {
+      break;
+    }
+  }
+  check(naive_r.cluster.replayed_tokens > 0 &&
+            naive_r.cluster.failovers_node_crash <= 2,
+        "found a crash instant catching 1-2 in-flight requests on node " +
+            std::to_string(kCrashNode));
+  chaos.cluster.crash_time_s = naive.cluster.crash_time_s;
+
+  // Health-checked cluster on the identical request plan.
+  auto checked = chaos;
+  checked.cluster.health.enabled = true;
+  checked.cluster.health.probe_interval_s = service_est / 2.0;
+  checked.cluster.health.eject_after = 2;
+  checked.cluster.health.readmit_after = 2;
+  checked.base.metrics = &reg;
+  const auto r = cluster::run_cluster_serving_eval(kind, cfg, platform,
+                                                   workload, checked);
+
+  TextTable t({"cluster", "served", "shed", "p99 TTFT (s)", "SLO viol.",
+               "failovers", "dead disp.", "ejected"});
+  t.add_row({"naive round-robin", std::to_string(naive_r.served),
+             std::to_string(naive_r.shed), fmt_f(naive_r.ttft_s.p99, 4),
+             fmt_pct(naive_r.slo_violation_rate),
+             std::to_string(naive_r.cluster.failovers_total()),
+             std::to_string(naive_r.cluster.failovers_dead_dispatch),
+             std::to_string(naive_r.cluster.ejections)});
+  t.add_row({"health-checked", std::to_string(r.served),
+             std::to_string(r.shed), fmt_f(r.ttft_s.p99, 4),
+             fmt_pct(r.slo_violation_rate),
+             std::to_string(r.cluster.failovers_total()),
+             std::to_string(r.cluster.failovers_dead_dispatch),
+             std::to_string(r.cluster.ejections)});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("acceptance:\n");
+  // The crash actually happened and cost in-flight work.
+  check(r.cluster.crashes == 1 && naive_r.cluster.crashes == 1,
+        "node " + std::to_string(kCrashNode) + " crashed in both runs");
+  check(r.cluster.node_final_state[kCrashNode] == 0,
+        "crashed node reported down in final telemetry");
+  check(r.cluster.failovers_total() > 0 && r.cluster.replayed_tokens > 0,
+        "failover re-dispatched in-flight work and accounted replayed "
+        "tokens (" +
+            std::to_string(r.cluster.replayed_tokens) + ")");
+  // Health checking detected the crash; the naive cluster never did, and
+  // kept paying dead-dispatch detection delays for the rest of the run.
+  check(r.cluster.ejections >= 1, "health checker ejected the dead node");
+  check(naive_r.cluster.ejections == 0 &&
+            naive_r.cluster.failovers_dead_dispatch >
+                r.cluster.failovers_dead_dispatch,
+        "naive cluster kept dead-dispatching (" +
+            std::to_string(naive_r.cluster.failovers_dead_dispatch) + " vs " +
+            std::to_string(r.cluster.failovers_dead_dispatch) + ")");
+  // Conservation (also DAOP_CHECKed inside the harness).
+  check(r.served + r.shed == chaos.base.n_requests &&
+            naive_r.served + naive_r.shed == chaos.base.n_requests,
+        "served + shed == requests in both runs");
+  // The acceptance criteria proper.
+  check(r.ttft_s.p99 <= slo_ttft,
+        "health-checked served p99 TTFT " + fmt_f(r.ttft_s.p99, 4) +
+            " s within SLO " + fmt_f(slo_ttft, 4) + " s");
+  check(r.slo_violation_rate < naive_r.slo_violation_rate,
+        "health-checked SLO violation rate " +
+            fmt_pct(r.slo_violation_rate) + " beats naive " +
+            fmt_pct(naive_r.slo_violation_rate));
+
+  // Determinism: the chaos run must be bit-reproducible.
+  const auto again = cluster::run_cluster_serving_eval(kind, cfg, platform,
+                                                       workload, checked);
+  check(again.served == r.served && again.shed == r.shed &&
+            again.makespan_s == r.makespan_s &&
+            again.ttft_s.p99 == r.ttft_s.p99 &&
+            again.cluster.dispatches == r.cluster.dispatches &&
+            again.cluster.failovers_total() == r.cluster.failovers_total() &&
+            again.cluster.replayed_tokens == r.cluster.replayed_tokens,
+        "chaos run is bit-identical on re-run");
+
+  const std::string baseline_out = flags.get("baseline-out", "");
+  if (!baseline_out.empty()) {
+    std::ofstream f(baseline_out);
+    f << "{\"schema\":\"daop-profile/1\",\"bench\":\"bench_ext_cluster\","
+      << "\"aggregate\":{"
+      << "\"requests\":" << r.requests << ",\"served\":" << r.served
+      << ",\"shed_node_lost\":" << r.shed_node_lost
+      << ",\"ttft_p99_s\":" << fmt_g(r.ttft_s.p99)
+      << ",\"slo_violation_rate\":" << fmt_g(r.slo_violation_rate)
+      << ",\"throughput_tps\":" << fmt_g(r.throughput_tps)
+      << ",\"makespan_s\":" << fmt_g(r.makespan_s) << ",\"cluster\":{"
+      << "\"dispatches\":" << r.cluster.dispatches
+      << ",\"failovers_node_crash\":" << r.cluster.failovers_node_crash
+      << ",\"failovers_dead_dispatch\":" << r.cluster.failovers_dead_dispatch
+      << ",\"replayed_tokens\":" << r.cluster.replayed_tokens
+      << ",\"crashes\":" << r.cluster.crashes
+      << ",\"ejections\":" << r.cluster.ejections
+      << ",\"readmissions\":" << r.cluster.readmissions << "},\"naive\":{"
+      << "\"served\":" << naive_r.served
+      << ",\"slo_violation_rate\":" << fmt_g(naive_r.slo_violation_rate)
+      << "}}}\n";
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", baseline_out.c_str());
+      return 1;
+    }
+    std::printf("\nbaseline profile written to %s\n", baseline_out.c_str());
+  }
+
+  if (const int rc = benchutil::write_metrics_snapshot(flags, reg)) return rc;
+  std::printf("\n%s\n", g_failures == 0
+                            ? "chaos acceptance PASSED"
+                            : "chaos acceptance FAILED");
+  return g_failures == 0 ? 0 : 1;
+}

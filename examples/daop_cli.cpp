@@ -22,6 +22,7 @@
 #include <string>
 
 #include "cache/calibration.hpp"
+#include "cluster/serving.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
@@ -75,6 +76,16 @@ int usage() {
       "            --priority-every N --priority-deadline S (every Nth\n"
       "            request is deadline-critical) --degrade\n"
       "            --degrade-window S (hazard-adaptive degradation ladder)\n"
+      "cluster:    --nodes N (N>=1 serves through an N-node fault-tolerant\n"
+      "            cluster; --max-concurrent becomes the per-node bound)\n"
+      "            --dispatch round-robin|least-loaded|expert-affinity\n"
+      "            --health --health-interval S --health-eject K\n"
+      "            --health-readmit M --health-slow S (probe cadence and\n"
+      "            eject/readmit streaks) --failover-budget N\n"
+      "            --failover-backoff S --hedge-ttft S (duplicate dispatch\n"
+      "            over this projected TTFT) --crash-node I --crash-at S\n"
+      "            (explicit chaos injection); --hazard node-crash|\n"
+      "            node-brownout|link-degrade|cluster draws per-node faults\n"
       "metrics:    --metrics-out PATH --metrics-format prom|json\n"
       "            (speed, compare, serve, timeline)\n"
       "profiling:  --profile-out PATH --profile-format json|text\n"
@@ -242,7 +253,134 @@ int cmd_speed(const FlagParser& flags) {
   return rc != 0 ? rc : rc_prof;
 }
 
+/// `serve --nodes N`: N-replica fault-tolerant cluster serving
+/// (cluster/serving.hpp). Shares the workload-plan flags with single-node
+/// serve; per-node faults come from the node-scoped --hazard presets.
+int cmd_serve_cluster(const FlagParser& flags, int nodes) {
+  cluster::ClusterServingOptions opt;
+  opt.n_nodes = nodes;
+  opt.base.arrival_rate_rps = flags.get_double("rate", 0.02);
+  opt.base.n_requests = flags.get_int("requests", 24);
+  opt.base.ecr = flags.get_double("ecr", 0.469);
+  opt.base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
+  opt.base.daop_config = daop_config_from(flags);
+  opt.base.slo_ttft_s = flags.get_double("slo-ttft", 0.0);
+  opt.base.slo_latency_s = flags.get_double("slo-latency", 0.0);
+  opt.base.priority_every = flags.get_int("priority-every", 0);
+  opt.base.priority_deadline_s = flags.get_double("priority-deadline", 0.0);
+  const int fixed_in = flags.get_int("in", 0);
+  if (fixed_in > 0) opt.base.min_prompt = opt.base.max_prompt = fixed_in;
+  const int fixed_out = flags.get_int("out", 0);
+  if (fixed_out > 0) opt.base.min_gen = opt.base.max_gen = fixed_out;
+  opt.node_hazards = hazards_from(flags);
+  opt.cluster.max_concurrent_per_node = flags.get_int("max-concurrent", 4);
+  opt.cluster.dispatch =
+      cluster::parse_dispatch_policy(flags.get("dispatch", "round-robin"));
+  opt.cluster.health.enabled = flags.get_bool("health");
+  opt.cluster.health.probe_interval_s =
+      flags.get_double("health-interval", 0.25);
+  opt.cluster.health.eject_after = flags.get_int("health-eject", 3);
+  opt.cluster.health.readmit_after = flags.get_int("health-readmit", 2);
+  opt.cluster.health.slow_probe_s = flags.get_double("health-slow", 0.0);
+  opt.cluster.failover_budget = flags.get_int("failover-budget", 1);
+  opt.cluster.failover_backoff_s = flags.get_double("failover-backoff", 0.01);
+  opt.cluster.service_estimate_s = flags.get_double("service-estimate", 0.0);
+  opt.cluster.deadline_s = flags.get_double("deadline", 0.0);
+  opt.cluster.hedge_ttft_threshold_s = flags.get_double("hedge-ttft", 0.0);
+  opt.cluster.degrade.enabled = flags.get_bool("degrade");
+  const double degrade_window = flags.get_double("degrade-window", 0.0);
+  if (degrade_window > 0.0) opt.cluster.degrade.window_s = degrade_window;
+  opt.cluster.crash_node = flags.get_int("crash-node", -1);
+  opt.cluster.crash_time_s = flags.get_double("crash-at", 0.0);
+  obs::MetricsRegistry reg;
+  opt.base.metrics = &reg;
+  obs::SpanTracer tracer;
+  const std::string trace_json = flags.get("out-json", "");
+  if (!trace_json.empty()) opt.base.tracer = &tracer;
+  const auto r = cluster::run_cluster_serving_eval(
+      pick_engine(flags.get("engine", "daop")),
+      pick_model(flags.get("model", "mixtral")),
+      pick_platform(flags.get("platform", "a6000")),
+      pick_dataset(flags.get("dataset", "sharegpt")), opt);
+
+  TextTable t({"metric", "mean", "p50", "p90", "p99", "95% CI of mean"});
+  auto row = [&](const char* name, const Summary& s) {
+    t.add_row({name, fmt_f(s.mean, 2) + " s", fmt_f(s.p50, 2),
+               fmt_f(s.p90, 2), fmt_f(s.p99, 2),
+               fmt_f(s.mean - s.ci95, 2) + " .. " + fmt_f(s.mean + s.ci95, 2)});
+  };
+  std::printf(
+      "engine: %s   requests: %d   rate: %s rps   dispatch: %s   "
+      "health: %s\n",
+      r.engine.c_str(), r.requests,
+      fmt_f(opt.base.arrival_rate_rps, 3).c_str(),
+      cluster::dispatch_policy_name(opt.cluster.dispatch),
+      opt.cluster.health.enabled ? "on" : "off");
+  row("time to first token", r.ttft_s);
+  row("time per output token", r.tpot_s);
+  row("queue wait", r.queue_wait_s);
+  row("request latency", r.latency_s);
+  std::printf("%s", t.render().c_str());
+  std::printf("throughput: %s tokens/s   makespan: %s s\n",
+              fmt_f(r.throughput_tps, 2).c_str(),
+              fmt_f(r.makespan_s, 2).c_str());
+  std::printf(
+      "served: %d/%d   shed: %d (node_lost %lld, deadline %lld, degraded "
+      "%lld)   SLO violations: %d (%s)\n",
+      r.served, r.requests, r.shed, r.shed_node_lost, r.shed_deadline,
+      r.shed_degraded, r.slo_violations, fmt_pct(r.slo_violation_rate).c_str());
+  std::printf(
+      "crashes: %lld   failovers: %lld (crash %lld, dead-dispatch %lld)   "
+      "replayed tokens: %lld\n",
+      r.cluster.crashes, r.cluster.failovers_total(),
+      r.cluster.failovers_node_crash, r.cluster.failovers_dead_dispatch,
+      r.cluster.replayed_tokens);
+  if (opt.cluster.health.enabled) {
+    std::printf("health: ejections %lld   readmissions %lld\n",
+                r.cluster.ejections, r.cluster.readmissions);
+  }
+  if (opt.cluster.hedge_ttft_threshold_s > 0.0) {
+    std::printf("hedges: issued %lld   won %lld   cancelled %lld\n",
+                r.cluster.hedges, r.cluster.hedge_wins,
+                r.cluster.hedge_cancels);
+  }
+  for (int i = 0; i < opt.n_nodes; ++i) {
+    const char* const state_names[] = {"crashed", "ejected", "in-service"};
+    std::printf(
+        "node %d: dispatched %lld   served %lld   %s\n", i,
+        r.cluster.node_dispatched[static_cast<std::size_t>(i)],
+        r.cluster.node_served[static_cast<std::size_t>(i)],
+        state_names[r.cluster.node_final_state[static_cast<std::size_t>(i)]]);
+  }
+  if (!trace_json.empty()) {
+    std::string requests_json = "\"daopRequests\":[";
+    for (std::size_t i = 0; i < r.request_log.size(); ++i) {
+      const auto& e = r.request_log[i];
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"id\":%lld,\"arrival\":%.6f,\"outcome\":\"%s\","
+                    "\"failovers\":%lld}",
+                    i ? "," : "", e.id, e.arrival, e.outcome.c_str(),
+                    e.retries);
+      requests_json += buf;
+    }
+    requests_json += "]";
+    const sim::Timeline no_timeline;
+    if (sim::write_chrome_trace(no_timeline, trace_json, &tracer,
+                                requests_json)) {
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_json.c_str());
+      return 1;
+    }
+  }
+  return write_metrics(flags, reg);
+}
+
 int cmd_serve(const FlagParser& flags) {
+  const int nodes = flags.get_int("nodes", 0);
+  if (nodes > 0) return cmd_serve_cluster(flags, nodes);
   eval::ServingOptions opt;
   opt.arrival_rate_rps = flags.get_double("rate", 0.02);
   opt.n_requests = flags.get_int("requests", 24);

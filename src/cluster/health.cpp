@@ -1,0 +1,56 @@
+#include "cluster/health.hpp"
+
+#include "common/check.hpp"
+
+namespace daop::cluster {
+
+void HealthOptions::validate() const {
+  DAOP_CHECK_GT(probe_interval_s, 0.0);
+  DAOP_CHECK_GE(eject_after, 1);
+  DAOP_CHECK_GE(readmit_after, 1);
+  DAOP_CHECK_GE(slow_probe_s, 0.0);
+}
+
+HealthChecker::HealthChecker(const HealthOptions& options, int n_nodes)
+    : options_(options),
+      next_probe_(options.probe_interval_s),
+      bad_streak_(static_cast<std::size_t>(n_nodes), 0),
+      good_streak_(static_cast<std::size_t>(n_nodes), 0),
+      ejected_(static_cast<std::size_t>(n_nodes), false) {
+  options_.validate();
+  DAOP_CHECK_GE(n_nodes, 1);
+}
+
+void HealthChecker::observe(double now, const std::vector<Probe>& probes) {
+  DAOP_CHECK_MSG(options_.enabled, "observe() on a disabled health checker");
+  DAOP_CHECK_EQ(probes.size(), ejected_.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const bool bad = !probes[i].responsive || probes[i].slow;
+    if (bad) {
+      ++bad_streak_[i];
+      good_streak_[i] = 0;
+      if (!ejected_[i] && bad_streak_[i] >= options_.eject_after) {
+        ejected_[i] = true;
+        ++ejections_;
+        events_.push_back({now, static_cast<int>(i), true,
+                           probes[i].responsive ? "slow" : "unresponsive"});
+      }
+    } else {
+      ++good_streak_[i];
+      bad_streak_[i] = 0;
+      if (ejected_[i] && good_streak_[i] >= options_.readmit_after) {
+        ejected_[i] = false;
+        ++readmissions_;
+        events_.push_back({now, static_cast<int>(i), false, "recovered"});
+      }
+    }
+  }
+  next_probe_ += options_.probe_interval_s;
+}
+
+bool HealthChecker::in_service(int node) const {
+  if (!options_.enabled) return true;
+  return !ejected_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace daop::cluster

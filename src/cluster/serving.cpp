@@ -1,0 +1,313 @@
+#include "cluster/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "cache/calibration.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/trace_generator.hpp"
+#include "engines/run_metrics.hpp"
+#include "model/op_costs.hpp"
+
+namespace daop::cluster {
+
+void ClusterServingOptions::validate() const {
+  DAOP_CHECK_GT(base.arrival_rate_rps, 0.0);
+  DAOP_CHECK_GT(base.n_requests, 0);
+  DAOP_CHECK_LE(base.min_prompt, base.max_prompt);
+  DAOP_CHECK_LE(base.min_gen, base.max_gen);
+  DAOP_CHECK_GE(base.slo_ttft_s, 0.0);
+  DAOP_CHECK_GE(base.slo_latency_s, 0.0);
+  DAOP_CHECK_GE(base.priority_every, 0);
+  DAOP_CHECK_GE(base.priority_deadline_s, 0.0);
+  DAOP_CHECK_GE(n_nodes, 1);
+  cluster.validate();
+  node_hazards.validate();
+  if (!node_placements.empty()) {
+    DAOP_CHECK_EQ(node_placements.size(), static_cast<std::size_t>(n_nodes));
+  }
+}
+
+ClusterServingResult run_cluster_serving_eval(
+    eval::EngineKind kind, const model::ModelConfig& model_cfg,
+    const sim::PlatformSpec& platform, const data::WorkloadSpec& workload,
+    const ClusterServingOptions& options) {
+  options.validate();
+
+  const sim::CostModel cm(platform);
+  const model::OpCosts costs(model_cfg, cm);
+
+  // Identical calibration to run_serving_eval: homogeneous replicas start
+  // from the very placement the single-node server would use.
+  const data::TraceGenerator calib_gen(
+      data::sharegpt_calibration(), model_cfg.n_layers, model_cfg.n_experts,
+      model_cfg.top_k, options.base.seed ^ 0xCA11Bu);
+  const auto calib_counts = cache::calibrate_activation_counts(
+      calib_gen, options.base.calibration_seqs);
+  const cache::Placement calibrated = cache::init_placement_calibrated(
+      model_cfg.n_layers, model_cfg.n_experts, options.base.ecr, calib_counts);
+
+  std::vector<ClusterRouter::NodeSeat> seats;
+  seats.reserve(static_cast<std::size_t>(options.n_nodes));
+  for (int i = 0; i < options.n_nodes; ++i) {
+    ClusterRouter::NodeSeat seat;
+    seat.engine = eval::make_engine(kind, costs, options.base.daop_config);
+    // Per-node fault stream: independent of the node index ordering of the
+    // other nodes and of the single-node stream (seed ^ 0xFA017).
+    const std::uint64_t node_seed =
+        options.base.seed ^ 0xC105731ULL ^
+        (static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL);
+    auto fault =
+        std::make_unique<sim::FaultModel>(options.node_hazards, node_seed);
+    if (fault->enabled()) seat.fault = std::move(fault);
+    seat.initial = options.node_placements.empty()
+                       ? calibrated
+                       : options.node_placements[static_cast<std::size_t>(i)];
+    seats.push_back(std::move(seat));
+  }
+
+  ClusterOptions router_opts = options.cluster;
+  if (router_opts.tracer == nullptr) router_opts.tracer = options.base.tracer;
+  ClusterRouter router(std::move(seats), router_opts);
+
+  // EXACT single-node request plan: same RNG seed and draw order (gap,
+  // prompt, gen per request), so cluster and single-node runs on one seed
+  // serve identical traffic.
+  const data::TraceGenerator gen(workload, model_cfg.n_layers,
+                                 model_cfg.n_experts, model_cfg.top_k,
+                                 options.base.seed);
+  Rng rng(options.base.seed ^ 0x5e7511e5ULL);
+  double arrival = 0.0;
+  for (int i = 0; i < options.base.n_requests; ++i) {
+    arrival += -std::log(std::max(rng.uniform(), 1e-12)) /
+               options.base.arrival_rate_rps;
+    const int prompt =
+        rng.uniform_int(options.base.min_prompt, options.base.max_prompt);
+    const int gen_len =
+        rng.uniform_int(options.base.min_gen, options.base.max_gen);
+    ClusterRouter::Request req;
+    req.id = i;
+    req.arrival = arrival;
+    if (options.base.priority_every > 0 &&
+        (i + 1) % options.base.priority_every == 0) {
+      req.deadline_s = options.base.priority_deadline_s;
+    }
+    req.trace = gen.generate(i, prompt, gen_len);
+    router.enqueue(std::move(req));
+  }
+
+  const std::vector<ClusterRouter::Outcome> outcomes = router.run();
+  // Satellite invariant, re-asserted at the harness boundary: no cluster
+  // run may end with a pinned expert anywhere.
+  DAOP_CHECK_EQ(router.total_leaked_pins(), 0);
+
+  ClusterServingResult out;
+  out.requests = options.base.n_requests;
+
+  std::vector<double> ttft;
+  std::vector<double> latency;
+  std::vector<double> wait;
+  std::vector<double> tpot;
+  obs::HistogramData ttft_hist(obs::default_latency_buckets());
+  obs::HistogramData tpot_hist(obs::default_latency_buckets());
+  obs::HistogramData latency_hist(obs::default_latency_buckets());
+  obs::HistogramData wait_hist(obs::default_latency_buckets());
+  double makespan = 0.0;
+  long long tokens = 0;
+
+  for (const ClusterRouter::Outcome& o : outcomes) {
+    eval::ServingResult::RequestLogEntry log;
+    log.id = o.id;
+    log.arrival = o.arrival;
+    log.retries = o.failovers;
+    if (o.shed) {
+      log.outcome =
+          std::string("shed:") + eval::shed_reason_name(o.shed_reason);
+      ++out.shed;
+      ++out.slo_violations;
+      switch (o.shed_reason) {
+        case eval::ShedReason::kNodeLost:
+          ++out.shed_node_lost;
+          break;
+        case eval::ShedReason::kDeadline:
+          ++out.shed_deadline;
+          break;
+        case eval::ShedReason::kDegraded:
+          ++out.shed_degraded;
+          break;
+        case eval::ShedReason::kQueueFull:
+          DAOP_CHECK_MSG(false, "cluster router never sheds queue_full");
+          break;
+      }
+    } else {
+      log.outcome = "served";
+      ++out.served;
+      tokens += o.result.generated_tokens;
+      makespan = std::max(makespan, o.end);
+      // Same client-observed formulas as eval/serving.cpp's record_served:
+      // everything counts from the ORIGINAL arrival, so failover backoffs
+      // and re-run prefills show up in TTFT/latency.
+      const double w = o.start - o.arrival;
+      const double first_tok = w + o.result.prefill_s;
+      const double lat = o.end - o.arrival;
+      const double per_tok = o.result.generated_tokens > 0
+                                 ? o.result.decode_s / o.result.generated_tokens
+                                 : 0.0;
+      wait.push_back(w);
+      ttft.push_back(first_tok);
+      latency.push_back(lat);
+      tpot.push_back(per_tok);
+      ttft_hist.observe(first_tok);
+      tpot_hist.observe(per_tok);
+      latency_hist.observe(lat);
+      wait_hist.observe(w);
+      if ((options.base.slo_ttft_s > 0.0 &&
+           first_tok > options.base.slo_ttft_s) ||
+          (options.base.slo_latency_s > 0.0 &&
+           lat > options.base.slo_latency_s)) {
+        ++out.slo_violations;
+      }
+      out.counters.add(o.result.counters);
+    }
+    out.request_log.push_back(std::move(log));
+  }
+
+  // Conservation (cluster-aware, satellite 2): every enqueued request is
+  // either served or shed, exactly once, regardless of copies/failovers.
+  DAOP_CHECK_EQ(out.served + out.shed, options.base.n_requests);
+  out.cluster = router.stats();
+  out.health_events = router.health_events();
+  DAOP_CHECK_EQ(out.shed_node_lost, out.cluster.shed_node_lost);
+  DAOP_CHECK_EQ(out.shed_deadline, out.cluster.shed_deadline);
+  DAOP_CHECK_EQ(out.shed_degraded, out.cluster.shed_degraded);
+
+  // Hazard stall is a per-timeline total (shared sessions report none);
+  // account every node's timeline once.
+  double stall = 0.0;
+  for (int i = 0; i < router.n_nodes(); ++i) {
+    stall += router.node_timeline(i).hazard_stall_s();
+  }
+  out.counters.hazard_stall_s = stall;
+
+  out.engine = std::string("cluster[") + std::to_string(options.n_nodes) +
+               "x " + eval::engine_kind_name(kind) + "]";
+  if (!latency.empty()) {
+    out.ttft_s = summarize(ttft);
+    out.latency_s = summarize(latency);
+    out.queue_wait_s = summarize(wait);
+    out.tpot_s = summarize(tpot);
+  }
+  out.ttft_hist = ttft_hist;
+  out.tpot_hist = tpot_hist;
+  out.latency_hist = latency_hist;
+  out.makespan_s = makespan;
+  out.slo_violation_rate =
+      static_cast<double>(out.slo_violations) / options.base.n_requests;
+  if (makespan > 0.0) {
+    out.throughput_tps = static_cast<double>(tokens) / makespan;
+  }
+
+  if (options.base.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.base.metrics;
+    const obs::Labels labels{{"engine", out.engine}};
+    const std::vector<double> buckets = obs::default_latency_buckets();
+    reg.counter("daop_serving_requests_total", "Requests by final outcome.",
+                obs::Labels{{"engine", out.engine}, {"outcome", "served"}})
+        .inc(static_cast<double>(out.served));
+    reg.counter("daop_serving_slo_violations_total",
+                "Served requests breaching an SLO, plus shed requests.",
+                labels)
+        .inc(static_cast<double>(out.slo_violations));
+    reg.counter("daop_serving_generated_tokens_total",
+                "Tokens generated across served requests.", labels)
+        .inc(static_cast<double>(tokens));
+    reg.histogram("daop_serving_ttft_seconds",
+                  "Arrival to first output token.", buckets, labels)
+        .merge(ttft_hist);
+    reg.histogram("daop_serving_tpot_seconds",
+                  "Mean time per output token per request.", buckets, labels)
+        .merge(tpot_hist);
+    reg.histogram("daop_serving_latency_seconds",
+                  "Arrival to request completion.", buckets, labels)
+        .merge(latency_hist);
+    reg.histogram("daop_serving_queue_wait_seconds",
+                  "Arrival to admission on the serving node.", buckets,
+                  labels)
+        .merge(wait_hist);
+    reg.gauge("daop_serving_throughput_tokens_per_second",
+              "Generated tokens per second of makespan.", labels)
+        .set(out.throughput_tps);
+    reg.gauge("daop_serving_makespan_seconds",
+              "Last request completion time.", labels)
+        .set(out.makespan_s);
+    engines::record_counter_metrics(reg, out.counters, labels);
+
+    const auto shed_counter = [&](const char* reason, long long n) {
+      reg.counter("daop_requests_shed_total",
+                  "Requests rejected or lost, by reason.",
+                  obs::Labels{{"engine", out.engine}, {"reason", reason}})
+          .inc(static_cast<double>(n));
+    };
+    shed_counter("node_lost", out.shed_node_lost);
+    shed_counter("deadline", out.shed_deadline);
+    shed_counter("degraded", out.shed_degraded);
+
+    const ClusterStats& cs = out.cluster;
+    reg.gauge("daop_cluster_nodes", "Configured node replicas.", labels)
+        .set(static_cast<double>(router.n_nodes()));
+    reg.counter("daop_cluster_dispatches_total",
+                "Request copies handed to a node.", labels)
+        .inc(static_cast<double>(cs.dispatches));
+    reg.counter(
+           "daop_cluster_failovers_total",
+           "Failover re-dispatches after losing every live request copy.",
+           obs::Labels{{"engine", out.engine}, {"reason", "node-crash"}})
+        .inc(static_cast<double>(cs.failovers_node_crash));
+    reg.counter(
+           "daop_cluster_failovers_total",
+           "Failover re-dispatches after losing every live request copy.",
+           obs::Labels{{"engine", out.engine}, {"reason", "dead-dispatch"}})
+        .inc(static_cast<double>(cs.failovers_dead_dispatch));
+    reg.counter("daop_cluster_replayed_tokens_total",
+                "Tokens regenerated by failover re-dispatches.", labels)
+        .inc(static_cast<double>(cs.replayed_tokens));
+    const auto hedge_counter = [&](const char* outcome, long long n) {
+      reg.counter("daop_cluster_hedges_total",
+                  "Hedged dispatches by outcome.",
+                  obs::Labels{{"engine", out.engine}, {"outcome", outcome}})
+          .inc(static_cast<double>(n));
+    };
+    hedge_counter("issued", cs.hedges);
+    hedge_counter("won", cs.hedge_wins);
+    hedge_counter("cancelled", cs.hedge_cancels);
+    reg.counter("daop_cluster_crashes_total", "Node crashes.", labels)
+        .inc(static_cast<double>(cs.crashes));
+    reg.counter("daop_cluster_health_transitions_total",
+                "Health-checker ejections and re-admissions.",
+                obs::Labels{{"engine", out.engine}, {"direction", "eject"}})
+        .inc(static_cast<double>(cs.ejections));
+    reg.counter("daop_cluster_health_transitions_total",
+                "Health-checker ejections and re-admissions.",
+                obs::Labels{{"engine", out.engine}, {"direction", "readmit"}})
+        .inc(static_cast<double>(cs.readmissions));
+    for (int i = 0; i < router.n_nodes(); ++i) {
+      const obs::Labels node_labels{{"engine", out.engine},
+                                    {"node", std::to_string(i)}};
+      reg.gauge("daop_cluster_node_state",
+                "Per-node end state: 0 crashed, 1 ejected, 2 in service.",
+                node_labels)
+          .set(static_cast<double>(
+              cs.node_final_state[static_cast<std::size_t>(i)]));
+      reg.counter("daop_cluster_node_served_total",
+                  "Requests served, by node.", node_labels)
+          .inc(static_cast<double>(
+              cs.node_served[static_cast<std::size_t>(i)]));
+    }
+  }
+  return out;
+}
+
+}  // namespace daop::cluster

@@ -1,0 +1,95 @@
+// Cluster serving harness: the run_serving_eval experience for an N-node
+// fault-tolerant cluster (cluster/router.hpp).
+//
+// Builds one engine + fault model + arbitrated placement per node, replays
+// the EXACT single-node request plan (same seed, same RNG draw order:
+// arrival gap, prompt length, gen length per request), routes it through a
+// ClusterRouter, and reports client-observed serving metrics with the same
+// formulas as eval/serving.cpp — TTFT, latency and queue wait all measured
+// from the ORIGINAL arrival, so failover delays and hedging savings show up
+// in the distributions and single-node vs cluster runs are directly
+// comparable on one seed.
+//
+// Deterministic in (options, seed). Node i's fault model draws from
+// seed ^ 0xC105731 ^ (i * golden-ratio), so per-node fault outcomes are
+// independent of each other and of the single-node fault stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/placement.hpp"
+#include "cluster/router.hpp"
+#include "common/stats.hpp"
+#include "eval/serving.hpp"
+#include "eval/speed.hpp"
+#include "obs/metrics.hpp"
+
+namespace daop::cluster {
+
+struct ClusterServingOptions {
+  /// Workload plan (arrival rate, request count, prompt/gen ranges, seed,
+  /// ecr, calibration), SLO thresholds and observability sinks. The plan
+  /// fields are interpreted exactly as run_serving_eval does; `base.
+  /// max_concurrent`, `base.overload` and the client retry knobs are NOT
+  /// used here (per-node concurrency comes from `cluster.
+  /// max_concurrent_per_node`, shedding from the router's failover and
+  /// deadline planes).
+  eval::ServingOptions base;
+  int n_nodes = 4;
+  /// Router configuration (dispatch policy, health checking, failover
+  /// budget, hedging, degradation, explicit crash injection).
+  ClusterOptions cluster;
+  /// Hazard scenario drawn independently per node (node-crash /
+  /// node-brownout / link-degrade presets live here; see
+  /// sim::make_hazard_scenario's "cluster" kind). Default: calm nodes.
+  sim::HazardScenario node_hazards;
+  /// Optional per-node initial placements (size n_nodes). Empty: every node
+  /// starts from the same calibrated placement run_serving_eval would use —
+  /// the homogeneous-replica default. Heterogeneous placements are what
+  /// makes `expert-affinity` dispatch distinguish nodes.
+  std::vector<cache::Placement> node_placements;
+
+  void validate() const;
+};
+
+struct ClusterServingResult {
+  std::string engine;
+  int requests = 0;
+  int served = 0;
+  int shed = 0;  ///< conservation: served + shed == requests (DAOP_CHECKed)
+  Summary ttft_s;        ///< arrival -> first output token (served only)
+  Summary latency_s;     ///< arrival -> request complete (served only)
+  Summary queue_wait_s;  ///< arrival -> admission on the serving node
+  Summary tpot_s;
+  obs::HistogramData ttft_hist;
+  obs::HistogramData tpot_hist;
+  obs::HistogramData latency_hist;
+  double throughput_tps = 0.0;  ///< generated tokens / makespan
+  double makespan_s = 0.0;
+  int slo_violations = 0;  ///< SLO-breaching served requests + all shed
+  double slo_violation_rate = 0.0;
+  long long shed_node_lost = 0;
+  long long shed_deadline = 0;
+  long long shed_degraded = 0;
+  /// Engine counters summed over served requests; hazard_stall_s is the
+  /// total across every node timeline (accounted once, like the
+  /// continuous-batching harness).
+  engines::EngineCounters counters;
+  /// Router-level telemetry: failovers, replayed tokens, hedges, crashes,
+  /// ejections, per-node dispatch/serve counts and final states.
+  ClusterStats cluster;
+  std::vector<HealthEvent> health_events;
+  /// Per-request outcome log in id order ("served" or "shed:<reason>";
+  /// `retries` carries the failover re-dispatch count).
+  std::vector<eval::ServingResult::RequestLogEntry> request_log;
+};
+
+/// Simulates `options.base.n_requests` requests through an N-node cluster.
+/// Deterministic in the options' seed.
+ClusterServingResult run_cluster_serving_eval(
+    eval::EngineKind kind, const model::ModelConfig& model_cfg,
+    const sim::PlatformSpec& platform, const data::WorkloadSpec& workload,
+    const ClusterServingOptions& options);
+
+}  // namespace daop::cluster

@@ -57,9 +57,26 @@ SequenceSession::SequenceSession(std::string engine_name,
   if (env.degrade_no_speculation || env.degrade_no_migrations) {
     ++counters_.degraded_sessions;
   }
+  replay_tokens_ = env.failover_replay_tokens;
+  DAOP_CHECK_GE(replay_tokens_, 0);
+  if (replay_tokens_ > 0 && tracing()) {
+    tinstant(tracks::kToken,
+             "failover replay (re-running prefill, " +
+                 std::to_string(replay_tokens_) + " tokens lost)",
+             start_time_);
+  }
 }
 
-SequenceSession::~SequenceSession() = default;
+SequenceSession::~SequenceSession() {
+  // RAII pin guard: a session destroyed without close() — the cluster
+  // crash-failover path tears down in-flight sessions of a dead node this
+  // way — must not leak its arbiter pins, or the shared cache would stay
+  // frozen for every surviving session. Normal close()/abandon() already
+  // released them (unpin_session is idempotent per session).
+  if (phase_ != Phase::kClosed && arbiter_ != nullptr) {
+    arbiter_->unpin_session(request_id_);
+  }
+}
 
 void SequenceSession::prefill() {
   DAOP_CHECK_MSG(phase_ == Phase::kOpened,
@@ -116,6 +133,17 @@ void SequenceSession::resume(double now) {
   ready_ = std::max(ready_, now);
   ++counters_.preempt_resumes;
   if (tracing()) tinstant(tracks::kToken, "resumed", ready_);
+}
+
+void SequenceSession::abandon(double now) {
+  DAOP_CHECK_MSG(phase_ == Phase::kDecoding,
+                 (phase_ == Phase::kOpened ? "abandon() before prefill()"
+                                           : "session already closed"));
+  DAOP_CHECK_GE(now, 0.0);
+  phase_ = Phase::kClosed;
+  parked_ = false;
+  if (arbiter_ != nullptr) arbiter_->unpin_session(request_id_);
+  if (tracing()) tinstant(tracks::kToken, "cancelled (hedge lost)", now);
 }
 
 RunResult SequenceSession::close() {

@@ -63,6 +63,15 @@ struct SessionEnv {
   /// Disable placement migrations beyond demand fetches: Algorithm-1
   /// prefill swaps and decode re-allocation.
   bool degrade_no_migrations = false;
+
+  /// Failover-replay accounting (cluster plane, src/cluster): tokens an
+  /// earlier attempt of this request generated on a crashed node before it
+  /// died. This session restarts the request from its recorded routing
+  /// trace (prefill re-runs, every token is regenerated); the count is
+  /// purely observational — exposed via failover_replay_tokens() and traced
+  /// as a "failover replay" instant — and never a scheduling input, so a
+  /// zero value (the default) is byte-identical to pre-cluster behaviour.
+  int failover_replay_tokens = 0;
 };
 
 /// Timing of one CPU-resident expert round trip (activations D2H, CPU
@@ -117,6 +126,14 @@ class SequenceSession {
   /// afterwards.
   RunResult close();
 
+  /// Cancels a decoding session without recording a result: arbiter pins
+  /// are released and the session is closed for good. Work its steps
+  /// already placed on the timeline keeps its cost (scheduled ops cannot be
+  /// unscheduled) — `now` only labels the cancellation instant in traces.
+  /// Used by the cluster router to cancel the losing copy of a hedged
+  /// dispatch; close() and abandon() are mutually exclusive.
+  void abandon(double now);
+
   /// Preempts the session mid-decode at time `now` (>= nothing in
   /// particular — the scheduler parks at the session's own frontier): the
   /// previous step's arbiter pins are released so the shared cache
@@ -142,6 +159,9 @@ class SequenceSession {
   double prefill_end() const { return prefill_end_; }
   double start_time() const { return start_time_; }
   const EngineCounters& counters() const { return counters_; }
+  /// Tokens a crashed predecessor of this request generated and lost (from
+  /// SessionEnv::failover_replay_tokens; 0 outside the failover path).
+  int failover_replay_tokens() const { return replay_tokens_; }
 
  protected:
   /// Schedules the whole prompt. Must set prefill_end_ (end of prompt
@@ -257,6 +277,7 @@ class SequenceSession {
   Phase phase_ = Phase::kOpened;
   bool parked_ = false;
   int next_token_ = 0;
+  int replay_tokens_ = 0;
   /// (layer, expert) pins taken by the current step, for release_step_pins.
   std::vector<std::pair<int, int>> step_pins_;
 };

@@ -37,6 +37,8 @@ const char* shed_reason_name(ShedReason reason) {
       return "deadline";
     case ShedReason::kDegraded:
       return "degraded";
+    case ShedReason::kNodeLost:
+      return "node_lost";
   }
   DAOP_CHECK_MSG(false, "unreachable shed reason");
   return "";

@@ -68,8 +68,11 @@ enum class ShedReason {
   kQueueFull,  ///< bounded queue overflowed
   kDeadline,   ///< projected TTFT exceeded the deadline budget
   kDegraded,   ///< aggressive shedding at the top of the degradation ladder
+  kNodeLost,   ///< cluster plane (src/cluster): every copy of the request
+               ///< was lost to node crashes and its failover retry budget
+               ///< is exhausted (or no replica was left to fail over to)
 };
-inline constexpr int kNumShedReasons = 3;
+inline constexpr int kNumShedReasons = 4;
 
 const char* shed_reason_name(ShedReason reason);
 
@@ -201,7 +204,7 @@ struct OverloadOptions {
 
 /// Scheduler-side overload telemetry, aggregated over one run.
 struct OverloadStats {
-  long long shed_by_reason[kNumShedReasons] = {0, 0, 0};
+  long long shed_by_reason[kNumShedReasons] = {};
   long long shed_total = 0;
   long long preemptions = 0;
   long long preempt_resumes = 0;

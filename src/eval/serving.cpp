@@ -179,6 +179,11 @@ ServingResult run_serving_eval(EngineKind kind,
           case ShedReason::kDegraded:
             ++out.shed_degraded;
             break;
+          case ShedReason::kNodeLost:
+            // Single-node admission control never sheds for node loss; the
+            // cluster harness (cluster/serving.cpp) accounts it there.
+            ++out.shed_node_lost;
+            break;
         }
       } else if (!o.served) {
         // A request the operator failed to serve is an SLO violation too.

@@ -128,6 +128,9 @@ struct ServingResult {
   long long shed_queue_full = 0;
   long long shed_deadline = 0;
   long long shed_degraded = 0;
+  /// Cluster-only reason (failover budget exhausted after node crashes);
+  /// always 0 in single-node serving, populated by cluster/serving.
+  long long shed_node_lost = 0;
   long long preemptions = 0;  ///< sessions parked for deadline-critical work
   long long degrade_steps_down = 0;
   long long degrade_steps_up = 0;

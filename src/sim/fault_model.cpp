@@ -24,7 +24,10 @@ bool HazardScenario::enabled() const {
           cpu_contention_slowdown > 1.0) ||
          (gpu_throttle_period_s > 0.0 && gpu_throttle_window_s > 0.0 &&
           gpu_throttle_slowdown > 1.0) ||
-         expert_load_fail_prob > 0.0;
+         expert_load_fail_prob > 0.0 || node_crash_prob > 0.0 ||
+         (node_brownout_prob > 0.0 && node_brownout_duration_s > 0.0 &&
+          node_brownout_slowdown > 1.0) ||
+         (link_degrade_prob > 0.0 && link_degrade_latency_s > 0.0);
 }
 
 void HazardScenario::validate() const {
@@ -60,6 +63,34 @@ void HazardScenario::validate() const {
   DAOP_CHECK_MSG(gpu_throttle_slowdown >= 1.0,
                  "gpu_throttle_slowdown must be >= 1, got "
                      << gpu_throttle_slowdown);
+  DAOP_CHECK_MSG(node_crash_prob >= 0.0 && node_crash_prob <= 1.0,
+                 "node_crash_prob must be in [0,1], got " << node_crash_prob);
+  DAOP_CHECK_MSG(node_crash_min_s >= 0.0 &&
+                     node_crash_max_s >= node_crash_min_s,
+                 "node crash window must satisfy 0 <= min <= max (min "
+                     << node_crash_min_s << ", max " << node_crash_max_s
+                     << ")");
+  DAOP_CHECK_MSG(node_brownout_prob >= 0.0 && node_brownout_prob <= 1.0,
+                 "node_brownout_prob must be in [0,1], got "
+                     << node_brownout_prob);
+  DAOP_CHECK_MSG(node_brownout_min_start_s >= 0.0 &&
+                     node_brownout_max_start_s >= node_brownout_min_start_s,
+                 "node brownout start window must satisfy 0 <= min <= max "
+                 "(min "
+                     << node_brownout_min_start_s << ", max "
+                     << node_brownout_max_start_s << ")");
+  DAOP_CHECK_MSG(node_brownout_duration_s >= 0.0,
+                 "node_brownout_duration_s must be >= 0, got "
+                     << node_brownout_duration_s);
+  DAOP_CHECK_MSG(node_brownout_slowdown >= 1.0,
+                 "node_brownout_slowdown must be >= 1, got "
+                     << node_brownout_slowdown);
+  DAOP_CHECK_MSG(link_degrade_prob >= 0.0 && link_degrade_prob <= 1.0,
+                 "link_degrade_prob must be in [0,1], got "
+                     << link_degrade_prob);
+  DAOP_CHECK_MSG(link_degrade_latency_s >= 0.0,
+                 "link_degrade_latency_s must be >= 0, got "
+                     << link_degrade_latency_s);
 }
 
 HazardScenario make_hazard_scenario(const std::string& kind,
@@ -109,6 +140,28 @@ HazardScenario make_hazard_scenario(const std::string& kind,
     known = true;
     sc.expert_load_fail_prob = 0.5 * intensity;
   }
+  // Node-scoped presets (cluster plane). Deliberately NOT part of "all":
+  // "all" predates the cluster layer and its runs must stay bit-identical.
+  const bool cluster = kind == "cluster";
+  if (cluster || kind == "node-crash") {
+    known = true;
+    sc.node_crash_prob = intensity;
+    sc.node_crash_min_s = 5.0;
+    sc.node_crash_max_s = 50.0;
+  }
+  if (cluster || kind == "node-brownout") {
+    known = true;
+    sc.node_brownout_prob = intensity;
+    sc.node_brownout_min_start_s = 1.0;
+    sc.node_brownout_max_start_s = 20.0;
+    sc.node_brownout_duration_s = 10.0;
+    sc.node_brownout_slowdown = 1.0 + 2.0 * intensity;
+  }
+  if (cluster || kind == "link-degrade") {
+    known = true;
+    sc.link_degrade_prob = intensity;
+    sc.link_degrade_latency_s = 0.02 * intensity;
+  }
   DAOP_CHECK_MSG(known, "unreachable: kind was validated above");
   sc.validate();
   return sc;
@@ -116,7 +169,8 @@ HazardScenario make_hazard_scenario(const std::string& kind,
 
 const std::vector<std::string>& hazard_scenario_kinds() {
   static const std::vector<std::string> kinds = {
-      "none", "pcie", "cpu", "thermal", "expert-load", "all"};
+      "none",       "pcie",          "cpu",          "thermal", "expert-load",
+      "node-crash", "node-brownout", "link-degrade", "cluster", "all"};
   return kinds;
 }
 
@@ -132,6 +186,34 @@ FaultModel::FaultModel(const HazardScenario& scenario, std::uint64_t seed)
   Rng phase_rng = base.fork(3);
   cpu_phase_s_ = phase_rng.uniform() * scenario_.cpu_contention_period_s;
   gpu_phase_s_ = phase_rng.uniform() * scenario_.gpu_throttle_period_s;
+  // Node-scoped fault draws live on their own stream (fork 4) with a fixed
+  // draw count, so the op-level streams above — and thus every pre-cluster
+  // hazard run — are bit-identical whether or not node faults are
+  // configured.
+  Rng node_rng = base.fork(4);
+  const double u_crash = node_rng.uniform();
+  const double u_crash_t = node_rng.uniform();
+  const double u_brownout = node_rng.uniform();
+  const double u_brownout_t = node_rng.uniform();
+  const double u_link = node_rng.uniform();
+  node_.crash =
+      scenario_.node_crash_prob > 0.0 && u_crash < scenario_.node_crash_prob;
+  node_.crash_time_s =
+      scenario_.node_crash_min_s +
+      u_crash_t * (scenario_.node_crash_max_s - scenario_.node_crash_min_s);
+  node_.brownout = scenario_.node_brownout_prob > 0.0 &&
+                   scenario_.node_brownout_duration_s > 0.0 &&
+                   scenario_.node_brownout_slowdown > 1.0 &&
+                   u_brownout < scenario_.node_brownout_prob;
+  node_.brownout_start_s = scenario_.node_brownout_min_start_s +
+                           u_brownout_t * (scenario_.node_brownout_max_start_s -
+                                           scenario_.node_brownout_min_start_s);
+  node_.brownout_end_s =
+      node_.brownout_start_s + scenario_.node_brownout_duration_s;
+  node_.brownout_slowdown = scenario_.node_brownout_slowdown;
+  node_.link_degraded = scenario_.link_degrade_prob > 0.0 &&
+                        u_link < scenario_.link_degrade_prob;
+  node_.link_latency_s = scenario_.link_degrade_latency_s;
 }
 
 FaultModel::Perturbation FaultModel::perturb(Res r, double start,
@@ -172,6 +254,12 @@ FaultModel::Perturbation FaultModel::perturb(Res r, double start,
       }
       break;
     }
+  }
+  // Node brownout: a sustained slowdown of this node's GPU stream and PCIe
+  // link (the CPU pool rides out a brownout — it is host-side). A fixed
+  // window like the contention/throttle hazards, so it consumes no draws.
+  if (r != Res::CpuPool && in_brownout(start)) {
+    p.extra_s += duration * (node_.brownout_slowdown - 1.0);
   }
   return p;
 }

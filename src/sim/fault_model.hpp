@@ -61,6 +61,34 @@ struct HazardScenario {
   /// (engines decide how to react: retry, abort, or fall back to CPU).
   double expert_load_fail_prob = 0.0;
 
+  // ---- Node-scoped cluster faults (src/cluster) ----
+  // These describe faults of a whole replica, not of one op. The FaultModel
+  // samples them once per (scenario, seed) into NodeFaults; the cluster
+  // router reads crash/link draws directly, while the brownout window also
+  // perturbs this node's GPU/PCIe ops through perturb(). All default to "no
+  // fault", so every pre-cluster scenario is bit-identical.
+  /// Probability that this node crashes during the run (in-flight sessions
+  /// lost; the node never recovers).
+  double node_crash_prob = 0.0;
+  /// Crash time is drawn uniformly from [node_crash_min_s, node_crash_max_s].
+  double node_crash_min_s = 0.0;
+  double node_crash_max_s = 0.0;
+  /// Probability of one sustained brownout window on this node (sustained
+  /// slowdown of its GPU stream and both PCIe DMA directions).
+  double node_brownout_prob = 0.0;
+  /// Brownout start is drawn uniformly from [min_start, max_start]; the
+  /// window then lasts node_brownout_duration_s.
+  double node_brownout_min_start_s = 0.0;
+  double node_brownout_max_start_s = 0.0;
+  double node_brownout_duration_s = 0.0;
+  /// Factor (>= 1) by which GPU/PCIe ops starting inside the window slow
+  /// down.
+  double node_brownout_slowdown = 1.0;
+  /// Probability that the router->node link is degraded for the whole run.
+  double link_degrade_prob = 0.0;
+  /// Dispatch latency added to every request routed over a degraded link.
+  double link_degrade_latency_s = 0.0;
+
   /// True when any hazard can actually fire.
   bool enabled() const;
 
@@ -72,7 +100,10 @@ struct HazardScenario {
 /// Named scenario presets scaled by `intensity` in [0, 1] (0 = disabled):
 /// "none", "pcie" (stalls + transfer failures), "cpu" (pool contention),
 /// "thermal" (GPU throttling), "expert-load" (transient load failures),
-/// "all" (everything at once).
+/// "all" (every op-level hazard at once — node-scoped faults are NOT
+/// included, so pre-cluster chaos runs stay bit-identical). Node-scoped
+/// presets for the cluster plane: "node-crash", "node-brownout",
+/// "link-degrade", and "cluster" (all three node faults together).
 HazardScenario make_hazard_scenario(const std::string& kind,
                                     double intensity);
 
@@ -107,6 +138,29 @@ class FaultModel {
   /// transiently. Independent stream from perturb().
   bool expert_load_fails();
 
+  /// Node-scoped fault draws, resolved once at construction from a stream
+  /// independent of the op-level hazards (so attaching node faults never
+  /// changes a pre-cluster perturbation sequence). The cluster router reads
+  /// crash/link fields directly; an active brownout window additionally
+  /// slows this node's GPU/PCIe ops through perturb().
+  struct NodeFaults {
+    bool crash = false;
+    double crash_time_s = 0.0;  ///< valid when crash
+    bool brownout = false;
+    double brownout_start_s = 0.0;  ///< valid when brownout
+    double brownout_end_s = 0.0;
+    double brownout_slowdown = 1.0;
+    bool link_degraded = false;
+    double link_latency_s = 0.0;  ///< valid when link_degraded
+  };
+  const NodeFaults& node_faults() const { return node_; }
+
+  /// True when `t` falls inside this node's sampled brownout window.
+  bool in_brownout(double t) const {
+    return node_.brownout && t >= node_.brownout_start_s &&
+           t < node_.brownout_end_s;
+  }
+
  private:
   HazardScenario scenario_;
   bool enabled_ = false;
@@ -114,6 +168,7 @@ class FaultModel {
   Rng load_rng_;
   double cpu_phase_s_ = 0.0;  ///< window offset within the CPU cycle
   double gpu_phase_s_ = 0.0;  ///< window offset within the GPU cycle
+  NodeFaults node_;
 };
 
 }  // namespace daop::sim
