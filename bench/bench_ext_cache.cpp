@@ -1,0 +1,275 @@
+// Extension bench: acceptance gate for the dynamic expert cache
+// (src/cache/expert_cache.hpp). The DAOP paper freezes placement after
+// prefill; this bench measures what sequence-level routing drift leaves on
+// the table, on the two workload shapes the cache targets:
+//
+//   A. drift-heavy single-tenant decode (GSM8K-like traffic, low ECR, long
+//      generations): per-sequence speed eval, decode seconds summed.
+//   B. multi-tenant mixed traffic (interleaved C4 + GSM8K requests through
+//      the continuous-batching scheduler): per-request decode seconds.
+//
+// Every dynamic policy runs the identical plan as frozen DAOP; the
+// fig8-style attribution table shows where each policy's decode delta came
+// from (fills, evictions, refusals, aborts, bytes moved). Acceptance: at
+// least one dynamic policy must beat frozen on decode latency on BOTH
+// workloads, frozen must commit zero cache activity, ledgers must stay
+// paired, and the winning policy must be bit-reproducible. Any failure
+// exits nonzero (registered in ctest as bench_ext_cache_acceptance).
+//
+// --baseline-out PATH writes a daop-profile/1-shaped report of workload A
+// for scripts/perf_gate.py, gated in CI against
+// bench/baselines/cache_tiny_gsm8k.json.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cache/calibration.hpp"
+#include "cache/expert_cache.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/trace_generator.hpp"
+#include "eval/continuous_batching.hpp"
+#include "eval/speed.hpp"
+#include "model/config.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+// Round-trip float formatting for the perf-gate profile JSON.
+std::string fmt_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct PolicyRun {
+  double decode_s = 0.0;  ///< total decode seconds across the plan
+  long long fills = 0;
+  long long evictions = 0;
+  long long refusals = 0;
+  long long aborts = 0;
+  double bytes_moved = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace daop;
+  const FlagParser flags(argc, argv);
+  obs::MetricsRegistry reg;
+
+  const model::ModelConfig cfg = model::tiny_mixtral();
+  const sim::PlatformSpec platform = sim::a6000_i9_platform();
+  constexpr std::uint64_t kSeed = 7;
+  // Low ECR + long generations: the regime where prefill-frozen placement
+  // drifts furthest from decode routing (paper Fig. 10/11).
+  constexpr double kEcr = 0.3;
+
+  const std::vector<cache::CachePolicy> policies = cache::all_cache_policies();
+
+  std::printf(
+      "Dynamic expert cache acceptance (extension) — %s on %s, ECR %s.\n"
+      "Frozen DAOP placement vs dynamic policies on the identical plan.\n\n",
+      cfg.name.c_str(), platform.name.c_str(), fmt_pct(kEcr).c_str());
+
+  // ---- Workload A: drift-heavy single-tenant decode (GSM8K-like) ----
+  auto run_drift = [&](cache::CachePolicy policy) {
+    eval::SpeedEvalOptions opt;
+    opt.n_seqs = 4;
+    opt.prompt_len = 24;
+    opt.gen_len = 64;
+    opt.ecr = kEcr;
+    opt.seed = kSeed;
+    opt.calibration_seqs = 4;
+    opt.cache.policy = policy;
+    opt.cache.realloc_interval = 4;
+    const auto results = eval::run_speed_eval_per_sequence(
+        eval::EngineKind::Daop, cfg, platform, data::gsm8k(), opt);
+    PolicyRun out;
+    for (const auto& r : results) {
+      out.decode_s += r.decode_s;
+      // In the dynamic session path every decode swap is a cache fill;
+      // frozen keeps DAOP's decode realloc off, so this stays 0 there.
+      out.fills += r.counters.decode_swaps;
+      out.evictions += r.counters.decode_swaps;
+      out.refusals += r.counters.pin_refusals;
+      out.aborts += r.counters.migration_aborts;
+    }
+    out.bytes_moved = static_cast<double>(out.fills) * cfg.expert_bytes();
+    return out;
+  };
+
+  // ---- Workload B: multi-tenant mixed traffic (C4 + GSM8K interleaved) ----
+  auto run_mixed = [&](cache::CachePolicy policy) {
+    const sim::CostModel cm(platform);
+    const model::OpCosts costs(cfg, cm);
+    const data::TraceGenerator calib(data::sharegpt_calibration(),
+                                     cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                     kSeed ^ 0xCA11Bu);
+    const cache::Placement initial = cache::init_placement_calibrated(
+        cfg.n_layers, cfg.n_experts, kEcr,
+        cache::calibrate_activation_counts(calib, 4));
+    const data::TraceGenerator gen_c4(data::c4(), cfg.n_layers, cfg.n_experts,
+                                      cfg.top_k, kSeed);
+    const data::TraceGenerator gen_gsm(data::gsm8k(), cfg.n_layers,
+                                       cfg.n_experts, cfg.top_k, kSeed);
+    auto engine = eval::make_engine(eval::EngineKind::Daop, costs);
+    eval::ContinuousBatchingScheduler::Options opt;
+    opt.max_concurrent = 4;
+    opt.cache.policy = policy;
+    opt.cache.realloc_interval = 4;
+    sim::Timeline tl;
+    eval::ContinuousBatchingScheduler sched(*engine, tl, initial, opt);
+    // Two tenants interleaved: even requests draft C4 prose, odd requests
+    // GSM8K reasoning — contending demand over the same GPU slots.
+    for (int i = 0; i < 6; ++i) {
+      eval::ContinuousBatchingScheduler::Request req;
+      req.id = i;
+      req.arrival = 0.02 * i;
+      const auto& gen = (i % 2 == 0) ? gen_c4 : gen_gsm;
+      req.trace = gen.generate(i, /*prompt=*/20, /*gen=*/96);
+      sched.enqueue(std::move(req));
+    }
+    PolicyRun out;
+    for (const auto& o : sched.run()) {
+      out.decode_s += o.result.decode_s;
+      out.fills += o.result.counters.decode_swaps;
+      out.refusals += o.result.counters.pin_refusals;
+      out.aborts += o.result.counters.migration_aborts;
+    }
+    if (const cache::ExpertCache* ec = sched.expert_cache()) {
+      out.fills = ec->fills();
+      out.evictions = ec->evictions();
+      out.refusals = static_cast<long long>(ec->refusals().size());
+      out.aborts = ec->aborts();
+    }
+    out.bytes_moved = static_cast<double>(out.fills) * cfg.expert_bytes();
+    return out;
+  };
+
+  std::vector<PolicyRun> drift(policies.size());
+  std::vector<PolicyRun> mixed(policies.size());
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    drift[i] = run_drift(policies[i]);
+    mixed[i] = run_mixed(policies[i]);
+  }
+  const PolicyRun& drift_frozen = drift[0];
+  const PolicyRun& mixed_frozen = mixed[0];
+
+  // Fig8-style attribution: where each policy's decode delta came from.
+  const auto print_attribution = [&](const char* wl_name,
+                                     const std::vector<PolicyRun>& runs,
+                                     const PolicyRun& frozen) {
+    TextTable t({"policy", "decode (s)", "vs frozen", "fills", "evicts",
+                 "refusals", "aborts", "moved"});
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const PolicyRun& r = runs[i];
+      const double delta = r.decode_s - frozen.decode_s;
+      t.add_row({cache::cache_policy_name(policies[i]),
+                 fmt_f(r.decode_s, 4),
+                 i == 0 ? "-"
+                        : (delta <= 0.0 ? "-" : "+") +
+                              fmt_f(std::abs(delta), 4),
+                 std::to_string(r.fills), std::to_string(r.evictions),
+                 std::to_string(r.refusals), std::to_string(r.aborts),
+                 fmt_bytes(r.bytes_moved)});
+    }
+    std::printf("workload %s\n%s\n", wl_name, t.render().c_str());
+  };
+  print_attribution("A: drift-heavy gsm8k", drift, drift_frozen);
+  print_attribution("B: multi-tenant c4+gsm8k", mixed, mixed_frozen);
+
+  std::printf("acceptance:\n");
+  // Frozen is the byte-identical control: zero cache activity.
+  check(drift_frozen.fills == 0 && mixed_frozen.fills == 0,
+        "frozen policy commits zero cache activity");
+  // Ledger pairing survives both harnesses.
+  bool paired = true;
+  for (std::size_t i = 1; i < policies.size(); ++i) {
+    paired = paired && drift[i].fills == drift[i].evictions &&
+             mixed[i].fills == mixed[i].evictions;
+  }
+  check(paired, "every dynamic fill has exactly one paired eviction");
+  bool any_active = false;
+  for (std::size_t i = 1; i < policies.size(); ++i) {
+    any_active = any_active || drift[i].fills > 0 || mixed[i].fills > 0;
+  }
+  check(any_active, "at least one dynamic policy re-migrated experts");
+
+  // The acceptance criterion proper: one policy must beat frozen on decode
+  // latency on BOTH workload shapes.
+  std::size_t best = 0;
+  double best_delta = 0.0;
+  for (std::size_t i = 1; i < policies.size(); ++i) {
+    const double d = (drift_frozen.decode_s - drift[i].decode_s) +
+                     (mixed_frozen.decode_s - mixed[i].decode_s);
+    const bool wins_both = drift[i].decode_s < drift_frozen.decode_s &&
+                           mixed[i].decode_s < mixed_frozen.decode_s;
+    if (wins_both && d > best_delta) {
+      best = i;
+      best_delta = d;
+    }
+  }
+  check(best != 0,
+        best != 0
+            ? std::string("policy ") + cache::cache_policy_name(policies[best]) +
+                  " beats frozen on both workloads (drift " +
+                  fmt_f(drift_frozen.decode_s - drift[best].decode_s, 4) +
+                  " s, mixed " +
+                  fmt_f(mixed_frozen.decode_s - mixed[best].decode_s, 4) +
+                  " s saved)"
+            : "no dynamic policy beats frozen decode latency on both "
+              "workloads");
+
+  // Determinism: the winning policy's runs must be bit-reproducible.
+  if (best != 0) {
+    const PolicyRun d2 = run_drift(policies[best]);
+    const PolicyRun m2 = run_mixed(policies[best]);
+    check(d2.decode_s == drift[best].decode_s && d2.fills == drift[best].fills &&
+              m2.decode_s == mixed[best].decode_s &&
+              m2.fills == mixed[best].fills &&
+              m2.refusals == mixed[best].refusals,
+          "winning policy is bit-identical on re-run");
+  }
+
+  const std::string baseline_out = flags.get("baseline-out", "");
+  if (!baseline_out.empty()) {
+    std::ofstream f(baseline_out);
+    f << "{\"schema\":\"daop-profile/1\",\"bench\":\"bench_ext_cache\","
+      << "\"aggregate\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const char* name = cache::cache_policy_name(policies[i]);
+      f << (first ? "" : ",") << "\"" << name << "\":{"
+        << "\"drift_decode_s\":" << fmt_g(drift[i].decode_s)
+        << ",\"drift_fills\":" << drift[i].fills
+        << ",\"drift_refusals\":" << drift[i].refusals
+        << ",\"drift_aborts\":" << drift[i].aborts
+        << ",\"mixed_decode_s\":" << fmt_g(mixed[i].decode_s)
+        << ",\"mixed_fills\":" << mixed[i].fills
+        << ",\"mixed_refusals\":" << mixed[i].refusals
+        << ",\"mixed_aborts\":" << mixed[i].aborts << "}";
+      first = false;
+    }
+    f << ",\"best_policy_index\":" << best << "}}\n";
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", baseline_out.c_str());
+      return 1;
+    }
+    std::printf("\nbaseline profile written to %s\n", baseline_out.c_str());
+  }
+
+  if (const int rc = benchutil::write_metrics_snapshot(flags, reg)) return rc;
+  std::printf("\n%s\n", g_failures == 0 ? "cache acceptance PASSED"
+                                        : "cache acceptance FAILED");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "cache/calibration.hpp"
+#include "cache/expert_cache.hpp"
 #include "cluster/serving.hpp"
 #include "common/check.hpp"
 #include "common/cli.hpp"
@@ -86,6 +87,11 @@ int usage() {
       "            over this projected TTFT) --crash-node I --crash-at S\n"
       "            (explicit chaos injection); --hazard node-crash|\n"
       "            node-brownout|link-degrade|cluster draws per-node faults\n"
+      "cache:      --cache-policy frozen|lru|lfu|activation-weighted|\n"
+      "            reuse-predictor (default frozen; dynamic policies\n"
+      "            re-migrate experts during decode) --cache-interval N\n"
+      "            (decode steps between replans) --cache-report PATH\n"
+      "            (speed, serve)\n"
       "metrics:    --metrics-out PATH --metrics-format prom|json\n"
       "            (speed, compare, serve, timeline)\n"
       "profiling:  --profile-out PATH --profile-format json|text\n"
@@ -194,6 +200,34 @@ core::DaopConfig daop_config_from(const FlagParser& flags) {
   return dc;
 }
 
+cache::ExpertCacheOptions cache_options_from(const FlagParser& flags) {
+  cache::ExpertCacheOptions co;
+  co.policy = cache::parse_cache_policy(flags.get("cache-policy", "frozen"));
+  co.realloc_interval = flags.get_int("cache-interval", co.realloc_interval);
+  return co;
+}
+
+/// Writes the dynamic-cache attribution report to --cache-report when given.
+/// Under policy `frozen` the report states that the cache was disabled, so a
+/// requested report file always exists. Returns 0 on success or when no
+/// output was requested, 1 on I/O failure.
+int write_cache_report(const FlagParser& flags, const std::string& report) {
+  const std::string path = flags.get("cache-report", "");
+  if (path.empty()) return 0;
+  std::ofstream f(path);
+  if (f) {
+    f << (report.empty()
+              ? "cache policy frozen: dynamic expert cache disabled\n"
+              : report);
+  }
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("cache report written to %s\n", path.c_str());
+  return 0;
+}
+
 sim::HazardScenario hazards_from(const FlagParser& flags) {
   return sim::make_hazard_scenario(
       flags.get("hazard", "none"),
@@ -209,6 +243,9 @@ int cmd_speed(const FlagParser& flags) {
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   opt.daop_config = daop_config_from(flags);
   opt.hazards = hazards_from(flags);
+  opt.cache = cache_options_from(flags);
+  std::string cache_report;
+  opt.cache_report = &cache_report;
   obs::MetricsRegistry reg;
   opt.metrics = &reg;
   obs::Profiler prof;
@@ -247,10 +284,15 @@ int cmd_speed(const FlagParser& flags) {
     t.add_row({"stale pre-calcs", std::to_string(r.counters.stale_precalcs)});
     t.add_row({"hazard stall (s)", fmt_f(r.counters.hazard_stall_s, 3)});
   }
+  if (opt.cache.enabled()) {
+    t.add_row({"cache policy", cache::cache_policy_name(opt.cache.policy)});
+  }
   std::printf("%s", t.render().c_str());
   const int rc = write_metrics(flags, reg);
   const int rc_prof = write_profile(flags, prof);
-  return rc != 0 ? rc : rc_prof;
+  const int rc_cache = write_cache_report(flags, cache_report);
+  if (rc != 0) return rc;
+  return rc_prof != 0 ? rc_prof : rc_cache;
 }
 
 /// `serve --nodes N`: N-replica fault-tolerant cluster serving
@@ -292,6 +334,7 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
   if (degrade_window > 0.0) opt.cluster.degrade.window_s = degrade_window;
   opt.cluster.crash_node = flags.get_int("crash-node", -1);
   opt.cluster.crash_time_s = flags.get_double("crash-at", 0.0);
+  opt.cluster.cache = cache_options_from(flags);
   obs::MetricsRegistry reg;
   opt.base.metrics = &reg;
   obs::SpanTracer tracer;
@@ -344,6 +387,14 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
                 r.cluster.hedges, r.cluster.hedge_wins,
                 r.cluster.hedge_cancels);
   }
+  if (opt.cluster.cache.enabled()) {
+    std::printf(
+        "cache (%s): fills %lld   evictions %lld   refusals %lld   "
+        "aborts %lld   moved %s\n",
+        cache::cache_policy_name(opt.cluster.cache.policy), r.cache_fills,
+        r.cache_evictions, r.cache_refusals, r.cache_aborts,
+        fmt_bytes(r.cache_bytes_moved).c_str());
+  }
   for (int i = 0; i < opt.n_nodes; ++i) {
     const char* const state_names[] = {"crashed", "ejected", "in-service"};
     std::printf(
@@ -375,7 +426,22 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
       return 1;
     }
   }
-  return write_metrics(flags, reg);
+  // Clusters run one cache per node; the report here is the cluster-wide
+  // totals (per-node detail lives in the daop_cache_* metric families).
+  std::string cache_report;
+  if (opt.cluster.cache.enabled()) {
+    TextTable ct({"cluster cache total", "value"});
+    ct.add_row({"policy", cache::cache_policy_name(opt.cluster.cache.policy)});
+    ct.add_row({"fills", std::to_string(r.cache_fills)});
+    ct.add_row({"evictions", std::to_string(r.cache_evictions)});
+    ct.add_row({"pin refusals", std::to_string(r.cache_refusals)});
+    ct.add_row({"migration aborts", std::to_string(r.cache_aborts)});
+    ct.add_row({"bytes moved", fmt_bytes(r.cache_bytes_moved)});
+    cache_report = ct.render();
+  }
+  const int rc = write_metrics(flags, reg);
+  const int rc_cache = write_cache_report(flags, cache_report);
+  return rc != 0 ? rc : rc_cache;
 }
 
 int cmd_serve(const FlagParser& flags) {
@@ -405,6 +471,9 @@ int cmd_serve(const FlagParser& flags) {
   if (degrade_window > 0.0) opt.overload.degrade.window_s = degrade_window;
   opt.priority_every = flags.get_int("priority-every", 0);
   opt.priority_deadline_s = flags.get_double("priority-deadline", 0.0);
+  opt.cache = cache_options_from(flags);
+  std::string cache_report;
+  opt.cache_report = &cache_report;
   const int fixed_in = flags.get_int("in", 0);
   if (fixed_in > 0) opt.min_prompt = opt.max_prompt = fixed_in;
   const int fixed_out = flags.get_int("out", 0);
@@ -471,6 +540,14 @@ int cmd_serve(const FlagParser& flags) {
           r.degrade_final_level);
     }
   }
+  if (opt.cache.enabled()) {
+    std::printf(
+        "cache (%s): fills %lld   evictions %lld   refusals %lld   "
+        "aborts %lld   moved %s\n",
+        cache::cache_policy_name(opt.cache.policy), r.cache_fills,
+        r.cache_evictions, r.cache_refusals, r.cache_aborts,
+        fmt_bytes(r.cache_bytes_moved).c_str());
+  }
   if (!trace_json.empty()) {
     // Per-request outcome log, embedded as an extra top-level member so
     // overload behaviour (retries, drop/shed reasons, preemptions) is
@@ -502,7 +579,9 @@ int cmd_serve(const FlagParser& flags) {
   }
   const int rc = write_metrics(flags, reg);
   const int rc_prof = write_profile(flags, prof);
-  return rc != 0 ? rc : rc_prof;
+  const int rc_cache = write_cache_report(flags, cache_report);
+  if (rc != 0) return rc;
+  return rc_prof != 0 ? rc_prof : rc_cache;
 }
 
 int cmd_accuracy(const FlagParser& flags) {

@@ -47,6 +47,26 @@ int PlacementArbiter::pin_count(int layer, int expert) const {
   return n;
 }
 
+int PlacementArbiter::pin_count(int expert) const {
+  DAOP_CHECK_GE(expert, 0);
+  DAOP_CHECK_LT(expert, placement_.n_experts());
+  int n = 0;
+  for (int layer = 0; layer < placement_.n_layers(); ++layer) {
+    n += pin_count(layer, expert);
+  }
+  return n;
+}
+
+std::vector<long long> PlacementArbiter::pinning_sessions(int layer,
+                                                          int expert) const {
+  std::vector<long long> out;
+  for (const auto& [holder, count] : pins_[idx(layer, expert)]) {
+    if (count > 0) out.push_back(holder);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 int PlacementArbiter::total_pin_count() const {
   int n = 0;
   for (const auto& holders : pins_) {

@@ -44,6 +44,12 @@ class PlacementArbiter {
 
   /// Total pin count on (layer, expert) across all sessions.
   int pin_count(int layer, int expert) const;
+  /// Per-expert introspection: total pin count on `expert` summed across
+  /// every layer and session (an expert id names one weight set per layer).
+  int pin_count(int expert) const;
+  /// The sessions currently pinning (layer, expert), ascending by id —
+  /// refusal diagnostics use this to name the contending sessions.
+  std::vector<long long> pinning_sessions(int layer, int expert) const;
   /// Total pin count across every (layer, expert) and every session — the
   /// scheduler DAOP_CHECKs this returns to zero at shutdown (no session may
   /// leak pins through preemption or close).

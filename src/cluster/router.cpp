@@ -50,6 +50,7 @@ void ClusterOptions::validate() const {
   DAOP_CHECK_MSG(hedge_ttft_threshold_s == 0.0 || service_estimate_s > 0.0,
                  "hedged dispatch needs service_estimate_s to project TTFT");
   degrade.validate();
+  cache.validate();
   DAOP_CHECK_GE(crash_time_s, 0.0);
 }
 
@@ -69,6 +70,12 @@ ClusterRouter::ClusterRouter(std::vector<NodeSeat> seats,
     n.fault = std::move(seat.fault);
     n.arbiter =
         std::make_unique<cache::PlacementArbiter>(std::move(seat.initial));
+    if (options_.cache.enabled()) {
+      // Per-node cache: each replica scores demand across its own sessions.
+      n.cache = std::make_unique<cache::ExpertCache>(
+          options_.cache, n.arbiter->placement().n_layers(),
+          n.arbiter->placement().n_experts());
+    }
     if (options_.degrade.enabled) {
       n.degrade =
           std::make_unique<eval::DegradationController>(options_.degrade);
@@ -610,6 +617,7 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
       env.start_time = t_admit;
       env.request_id = tr.request.id;
       env.arbiter = n.arbiter.get();
+      env.cache = n.cache.get();
       env.shared = true;
       if (n.degrade != nullptr) {
         env.degrade_no_speculation = n.degrade->no_speculation();

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "cache/arbiter.hpp"
+#include "cache/expert_cache.hpp"
 #include "cache/placement.hpp"
 #include "cluster/health.hpp"
 #include "data/routing_trace.hpp"
@@ -107,6 +108,11 @@ struct ClusterOptions {
   /// Per-node degradation ladder (eval/overload.hpp), observed at each
   /// node's admissions with that node's own fault-plane telemetry.
   eval::DegradationOptions degrade;
+  /// Dynamic expert-cache policy (cache/expert_cache.hpp), instantiated
+  /// PER NODE: each replica's cache scores demand across its own live
+  /// sessions. Policy `frozen` (the default) constructs no caches and keeps
+  /// every node on its prefill-frozen placement (bit-identical).
+  cache::ExpertCacheOptions cache;
   /// Explicit chaos injection for acceptance tests: crash `crash_node` at
   /// exactly `crash_time_s` (overrides that node's fault-model crash draw).
   /// -1 = no override.
@@ -212,6 +218,10 @@ class ClusterRouter {
   /// Leaked-pin audit across every node's arbiter (0 after a clean run;
   /// also DAOP_CHECKed internally at the end of run()).
   int total_leaked_pins() const;
+  /// Node `node`'s dynamic cache, or nullptr under policy `frozen`.
+  const cache::ExpertCache* node_cache(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].cache.get();
+  }
 
  private:
   /// One request copy waiting in a node's admission queue.
@@ -233,6 +243,7 @@ class ClusterRouter {
     std::unique_ptr<sim::FaultModel> fault;
     sim::Timeline timeline;
     std::unique_ptr<cache::PlacementArbiter> arbiter;
+    std::unique_ptr<cache::ExpertCache> cache;  ///< null: policy frozen
     std::unique_ptr<eval::DegradationController> degrade;
     bool alive = true;
     double crash_time = std::numeric_limits<double>::infinity();

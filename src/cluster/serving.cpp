@@ -192,6 +192,18 @@ ClusterServingResult run_cluster_serving_eval(
   }
   out.counters.hazard_stall_s = stall;
 
+  // Dynamic-cache totals summed across the per-node caches.
+  for (int i = 0; i < router.n_nodes(); ++i) {
+    if (const cache::ExpertCache* ec = router.node_cache(i)) {
+      out.cache_fills += ec->fills();
+      out.cache_evictions += ec->evictions();
+      out.cache_refusals += static_cast<long long>(ec->refusals().size());
+      out.cache_aborts += ec->aborts();
+    }
+  }
+  out.cache_bytes_moved =
+      static_cast<double>(out.cache_fills) * model_cfg.expert_bytes();
+
   out.engine = std::string("cluster[") + std::to_string(options.n_nodes) +
                "x " + eval::engine_kind_name(kind) + "]";
   if (!latency.empty()) {
@@ -305,6 +317,38 @@ ClusterServingResult run_cluster_serving_eval(
                   "Requests served, by node.", node_labels)
           .inc(static_cast<double>(
               cs.node_served[static_cast<std::size_t>(i)]));
+    }
+
+    // Dynamic-cache families only exist when a dynamic policy is on, so
+    // frozen-policy cluster metrics stay bit-identical to PR 6.
+    if (options.cluster.cache.enabled()) {
+      const char* policy =
+          cache::cache_policy_name(options.cluster.cache.policy);
+      const auto cache_counter = [&](const char* kind, long long n) {
+        reg.counter("daop_cache_migrations_total",
+                    "Dynamic expert-cache placement changes, by kind.",
+                    obs::Labels{{"engine", out.engine},
+                                {"kind", kind},
+                                {"policy", policy}})
+            .inc(static_cast<double>(n));
+      };
+      cache_counter("fill", out.cache_fills);
+      cache_counter("evict", out.cache_evictions);
+      const obs::Labels clabels{{"engine", out.engine}, {"policy", policy}};
+      reg.counter("daop_cache_pin_refusals_total",
+                  "Cache evictions refused because the victim was pinned by "
+                  "another session.",
+                  clabels)
+          .inc(static_cast<double>(out.cache_refusals));
+      reg.counter("daop_cache_migration_aborts_total",
+                  "Cache swap migrations abandoned by the retry/deadline "
+                  "discipline.",
+                  clabels)
+          .inc(static_cast<double>(out.cache_aborts));
+      reg.counter("daop_cache_bytes_moved_total",
+                  "Expert weight bytes moved over PCIe by cache fills.",
+                  clabels)
+          .inc(out.cache_bytes_moved);
     }
   }
   return out;

@@ -80,6 +80,13 @@ struct ClusterServingResult {
   /// ejections, per-node dispatch/serve counts and final states.
   ClusterStats cluster;
   std::vector<HealthEvent> health_events;
+  // ---- Dynamic-cache telemetry summed across node caches (all zero under
+  // policy `frozen`; see ClusterOptions::cache) ----
+  long long cache_fills = 0;
+  long long cache_evictions = 0;
+  long long cache_refusals = 0;
+  long long cache_aborts = 0;
+  double cache_bytes_moved = 0.0;
   /// Per-request outcome log in id order ("served" or "shed:<reason>";
   /// `retries` carries the failover re-dispatch count).
   std::vector<eval::ServingResult::RequestLogEntry> request_log;

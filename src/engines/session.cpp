@@ -42,6 +42,7 @@ SequenceSession::SequenceSession(std::string engine_name,
       start_time_(env.start_time),
       request_id_(env.request_id),
       arbiter_(env.arbiter),
+      cache_(env.cache),
       shared_(env.shared),
       fault_(fault),
       tracer_(tracer),
@@ -59,6 +60,9 @@ SequenceSession::SequenceSession(std::string engine_name,
   }
   replay_tokens_ = env.failover_replay_tokens;
   DAOP_CHECK_GE(replay_tokens_, 0);
+  // Register this sequence's prefill routing as its reuse signature; the
+  // dynamic cache aggregates demand across all live sessions.
+  if (cache_ != nullptr) cache_->note_session_open(request_id_, trace_);
   if (replay_tokens_ > 0 && tracing()) {
     tinstant(tracks::kToken,
              "failover replay (re-running prefill, " +
@@ -75,6 +79,11 @@ SequenceSession::~SequenceSession() {
   // released them (unpin_session is idempotent per session).
   if (phase_ != Phase::kClosed && arbiter_ != nullptr) {
     arbiter_->unpin_session(request_id_);
+  }
+  // Same guard for the dynamic cache: a torn-down session's reuse signature
+  // must stop contributing to aggregate demand (idempotent).
+  if (phase_ != Phase::kClosed && cache_ != nullptr) {
+    cache_->note_session_close(request_id_);
   }
 }
 
@@ -107,8 +116,63 @@ bool SequenceSession::decode_step() {
     tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready_);
   }
   post_token(t);
+  maybe_cache_realloc(t);
   ++next_token_;
   return true;
+}
+
+void SequenceSession::maybe_cache_realloc(int t) {
+  if (cache_ == nullptr || arbiter_ == nullptr) return;
+  const cache::ExpertCacheOptions& opt = cache_->options();
+  if ((t + 1) % opt.realloc_interval != 0) return;
+  const std::vector<cache::PlannedSwap> plan =
+      cache_->plan(arbiter_->placement(), arbiter_, request_id_);
+  for (const cache::PlannedSwap& s : plan) {
+    // Re-check at execution time: another session may have pinned the
+    // victim since planning. Pinned working sets are inviolable — record a
+    // refusal naming the contending sessions instead of evicting.
+    if (arbiter_->pinned_by_other(s.layer, s.expert_out, request_id_)) {
+      ++counters_.pin_refusals;
+      cache_->record_refusal(
+          s, request_id_, ready_,
+          arbiter_->pinning_sessions(s.layer, s.expert_out));
+      continue;
+    }
+    // The swap is an ordinary migration: priced by the cost model, exposed
+    // to the hazard plane, aborted by the same retry/deadline discipline as
+    // DAOP's own reallocations. It overlaps decode — the weight-ready gate
+    // (not the frontier) makes later tokens wait for the arriving expert.
+    const MigrationOutcome m = migrate_with_retry(
+        ready_, costs_.expert_migration(), "cache swap-in", "cache swap retry",
+        "cache swap-in L" + std::to_string(s.layer) + " e" +
+            std::to_string(s.expert_in),
+        opt.max_migration_retries, opt.migration_deadline_factor,
+        /*abort_when_exhausted=*/true);
+    if (m.aborted) {
+      ++counters_.migration_aborts;
+      cache_->record_abort(s, request_id_, m.done);
+      continue;
+    }
+    // Audit the victim's foreign pin count into the ledger (invariantly 0 —
+    // the pre-check above and try_swap both refuse pinned victims).
+    int victim_other_pins = 0;
+    for (const long long holder :
+         arbiter_->pinning_sessions(s.layer, s.expert_out)) {
+      if (holder != request_id_) ++victim_other_pins;
+    }
+    if (!arbiter_->try_swap(s.layer, s.expert_in, s.expert_out,
+                            request_id_)) {
+      ++counters_.pin_refusals;
+      cache_->record_refusal(
+          s, request_id_, m.done,
+          arbiter_->pinning_sessions(s.layer, s.expert_out));
+      continue;
+    }
+    publish_weight_ready(s.layer, s.expert_in, m.done);
+    cache_->commit(s, request_id_, m.done, victim_other_pins,
+                   arbiter_->placement());
+    ++counters_.decode_swaps;
+  }
 }
 
 void SequenceSession::park(double now) {
@@ -143,6 +207,7 @@ void SequenceSession::abandon(double now) {
   phase_ = Phase::kClosed;
   parked_ = false;
   if (arbiter_ != nullptr) arbiter_->unpin_session(request_id_);
+  if (cache_ != nullptr) cache_->note_session_close(request_id_);
   if (tracing()) tinstant(tracks::kToken, "cancelled (hedge lost)", now);
 }
 
@@ -153,6 +218,7 @@ RunResult SequenceSession::close() {
   DAOP_CHECK_MSG(!parked_, "close() on a parked session (resume it first)");
   phase_ = Phase::kClosed;
   if (arbiter_ != nullptr) arbiter_->unpin_session(request_id_);
+  if (cache_ != nullptr) cache_->note_session_close(request_id_);
   const double decode_end = ready_;
   DAOP_CHECK_GE(decode_end, prefill_end_);
 

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/expert_cache.hpp"
 #include "engines/engine.hpp"
 #include "obs/profiler.hpp"
 
@@ -48,6 +49,12 @@ struct SessionEnv {
   /// Shared-placement arbiter for multi-session serving; nullptr means the
   /// session works on its own private copy of the initial placement.
   cache::PlacementArbiter* arbiter = nullptr;
+  /// Dynamic expert cache (cache/expert_cache.hpp). When set, the session
+  /// feeds every expert execution into the cache's demand statistics and
+  /// runs a cache reallocation scan every `realloc_interval` decode tokens,
+  /// executing planned swaps as ordinary migrations through the arbiter.
+  /// nullptr (policy `frozen`) is an exact no-op on every path.
+  cache::ExpertCache* cache = nullptr;
   /// True when `timeline` is shared with other sessions. A shared session
   /// reports no per-run energy and no hazard-stall attribution (both are
   /// properties of the whole timeline, accounted once by the scheduler).
@@ -241,6 +248,7 @@ class SequenceSession {
   /// schedule already produced.
   void note_expert_exec(int layer, int expert, bool on_gpu, double start,
                         double end) {
+    if (cache_ != nullptr) cache_->note_use(layer, expert, request_id_, end);
     if (profiling()) {
       expert_execs_.push_back({layer, expert, on_gpu, start, end});
     }
@@ -257,6 +265,11 @@ class SequenceSession {
 
   /// Drops the previous step's working-set pins (see pin_shared).
   void release_step_pins();
+  /// Runs a dynamic-cache reallocation scan after token `t` when a cache is
+  /// attached and `t` lands on its cadence; executes each planned swap as a
+  /// migration under the retry discipline, then commits it through the
+  /// arbiter (pinned victims become refusals, never evictions).
+  void maybe_cache_realloc(int t);
 
   std::string name_;
   data::SequenceTrace trace_;
@@ -265,6 +278,7 @@ class SequenceSession {
   double start_time_;
   long long request_id_;
   cache::PlacementArbiter* arbiter_;
+  cache::ExpertCache* cache_;
   bool shared_;
   sim::FaultModel* fault_;
   obs::SpanTracer* tracer_;

@@ -22,6 +22,11 @@ ContinuousBatchingScheduler::ContinuousBatchingScheduler(
   DAOP_CHECK_GE(options_.request_timeout_s, 0.0);
   DAOP_CHECK_GE(options_.max_request_retries, 0);
   DAOP_CHECK_GE(options_.retry_backoff_s, 0.0);
+  options_.cache.validate();
+  if (options_.cache.enabled()) {
+    cache_ = std::make_unique<cache::ExpertCache>(
+        options_.cache, initial.n_layers(), initial.n_experts());
+  }
 }
 
 void ContinuousBatchingScheduler::enqueue(Request request) {
@@ -93,6 +98,7 @@ ContinuousBatchingScheduler::run_legacy() {
       env.start_time = t_admit;
       env.request_id = head.request.id;
       env.arbiter = &arbiter_;
+      env.cache = cache_.get();
       env.shared = true;
       Active a;
       a.id = head.request.id;
@@ -435,6 +441,7 @@ ContinuousBatchingScheduler::run_overload() {
       env.start_time = t_admit;
       env.request_id = head.request.id;
       env.arbiter = &arbiter_;
+      env.cache = cache_.get();
       env.shared = true;
       env.degrade_no_speculation = degrade.no_speculation();
       env.degrade_no_migrations = degrade.no_migrations();

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cache/arbiter.hpp"
+#include "cache/expert_cache.hpp"
 #include "data/routing_trace.hpp"
 #include "engines/engine.hpp"
 #include "engines/session.hpp"
@@ -50,6 +51,13 @@ class ContinuousBatchingScheduler {
     /// overload-aware loop (admission policies, bounded queue, deadline
     /// shedding, preemption, hazard-adaptive degradation).
     OverloadOptions overload;
+    /// Dynamic expert-cache policy (cache/expert_cache.hpp). Policy
+    /// `frozen` (the default) constructs no cache and leaves every session
+    /// on the prefill-frozen placement — bit-identical to the pre-cache
+    /// scheduler. A dynamic policy shares ONE ExpertCache across all
+    /// sessions of this scheduler, scoring unpinned GPU slots by aggregate
+    /// demand and re-migrating during decode.
+    cache::ExpertCacheOptions cache;
     /// Receives scheduler-level overload instants (sheds, degradation
     /// ladder steps); session-level spans come from the engine's own
     /// tracer. nullptr (the default) disables them.
@@ -101,6 +109,8 @@ class ContinuousBatchingScheduler {
   std::vector<Outcome> run();
 
   const cache::PlacementArbiter& arbiter() const { return arbiter_; }
+  /// The shared dynamic cache, or nullptr under policy `frozen`.
+  const cache::ExpertCache* expert_cache() const { return cache_.get(); }
   /// Overload telemetry for the completed run (all-zero when the overload
   /// plane is disabled).
   const OverloadStats& overload_stats() const { return overload_stats_; }
@@ -132,6 +142,9 @@ class ContinuousBatchingScheduler {
   engines::Engine& engine_;
   sim::Timeline& tl_;
   cache::PlacementArbiter arbiter_;
+  /// Shared dynamic expert cache; null under policy `frozen` so every
+  /// SessionEnv::cache stays nullptr (the exact pre-cache no-op).
+  std::unique_ptr<cache::ExpertCache> cache_;
   Options options_;
   std::deque<Pending> pending_;
   std::vector<Active> active_;

@@ -34,6 +34,11 @@ ServingResult run_serving_eval(EngineKind kind,
   DAOP_CHECK_MSG(!options.overload.enabled() || options.max_concurrent >= 2,
                  "the overload plane layers on the continuous-batching "
                  "scheduler; it needs max_concurrent >= 2");
+  options.cache.validate();
+  DAOP_CHECK_MSG(!options.cache.enabled() || options.max_concurrent >= 2,
+                 "dynamic cache policies score aggregate demand across the "
+                 "continuous-batching scheduler's live sessions; they need "
+                 "max_concurrent >= 2 (policy frozen is the sequential mode)");
   DAOP_CHECK_GE(options.priority_every, 0);
   DAOP_CHECK_GE(options.priority_deadline_s, 0.0);
   if (options.priority_every > 0) {
@@ -131,6 +136,7 @@ ServingResult run_serving_eval(EngineKind kind,
     sched_opt.max_request_retries = options.max_request_retries;
     sched_opt.retry_backoff_s = options.retry_backoff_s;
     sched_opt.overload = options.overload;
+    sched_opt.cache = options.cache;
     sched_opt.tracer = options.tracer;
     sim::Timeline tl;
     // Attribution needs the shared timeline's interval record; recording is
@@ -195,6 +201,17 @@ ServingResult run_serving_eval(EngineKind kind,
         record_served(o.id, o.arrival, o.start, o.end, o.result);
       }
       out.request_log.push_back(std::move(log));
+    }
+    if (const cache::ExpertCache* ec = sched.expert_cache()) {
+      out.cache_fills = ec->fills();
+      out.cache_evictions = ec->evictions();
+      out.cache_refusals = static_cast<long long>(ec->refusals().size());
+      out.cache_aborts = ec->aborts();
+      // Each fill moves one expert's weights over PCIe H2D; the paired
+      // eviction is a drop from GPU memory and moves nothing.
+      out.cache_bytes_moved =
+          static_cast<double>(ec->fills()) * model_cfg.expert_bytes();
+      if (options.cache_report != nullptr) *options.cache_report = ec->report();
     }
     const OverloadStats& ov_stats = sched.overload_stats();
     out.degrade_steps_down = ov_stats.degrade_steps_down;
@@ -366,6 +383,37 @@ ServingResult run_serving_eval(EngineKind kind,
       reg.gauge("daop_degrade_peak_level",
                 "Deepest degradation-ladder level reached.", labels)
           .set(static_cast<double>(out.degrade_peak_level));
+    }
+    // Dynamic-cache families only exist when a dynamic policy is on, so
+    // frozen-policy metrics text stays bit-identical to the pre-cache
+    // harness.
+    if (options.cache.enabled()) {
+      const char* policy = cache::cache_policy_name(options.cache.policy);
+      const auto cache_counter = [&](const char* kind, double n) {
+        reg.counter("daop_cache_migrations_total",
+                    "Dynamic expert-cache placement changes, by kind.",
+                    obs::Labels{{"engine", out.engine},
+                                {"kind", kind},
+                                {"policy", policy}})
+            .inc(n);
+      };
+      cache_counter("fill", static_cast<double>(out.cache_fills));
+      cache_counter("evict", static_cast<double>(out.cache_evictions));
+      const obs::Labels clabels{{"engine", out.engine}, {"policy", policy}};
+      reg.counter("daop_cache_pin_refusals_total",
+                  "Cache evictions refused because the victim was pinned by "
+                  "another session.",
+                  clabels)
+          .inc(static_cast<double>(out.cache_refusals));
+      reg.counter("daop_cache_migration_aborts_total",
+                  "Cache swap migrations abandoned by the retry/deadline "
+                  "discipline.",
+                  clabels)
+          .inc(static_cast<double>(out.cache_aborts));
+      reg.counter("daop_cache_bytes_moved_total",
+                  "Expert weight bytes moved over PCIe by cache fills.",
+                  clabels)
+          .inc(out.cache_bytes_moved);
     }
   }
   return out;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/expert_cache.hpp"
 #include "common/stats.hpp"
 #include "eval/overload.hpp"
 #include "eval/speed.hpp"
@@ -76,6 +77,16 @@ struct ServingOptions {
   int priority_every = 0;
   double priority_deadline_s = 0.0;
 
+  /// Dynamic expert-cache policy (cache/expert_cache.hpp). Policy `frozen`
+  /// (the default) keeps DAOP's prefill-frozen placement and is
+  /// bit-identical to the pre-cache harness. A dynamic policy requires
+  /// max_concurrent >= 2 — the cache scores aggregate demand across the
+  /// continuous-batching scheduler's live sessions.
+  cache::ExpertCacheOptions cache;
+  /// When non-null and the cache is enabled, receives the cache's
+  /// fig8-style attribution report after the run (`--cache-report`).
+  std::string* cache_report = nullptr;
+
   // ---- Observability (both default off) ----
   // Attaching either is strictly passive: the simulated schedule, queue
   // decisions and all timing results stay bit-identical.
@@ -136,6 +147,13 @@ struct ServingResult {
   long long degrade_steps_up = 0;
   int degrade_peak_level = 0;
   int degrade_final_level = 0;
+
+  // ---- Dynamic-cache telemetry (all zero under policy `frozen`) ----
+  long long cache_fills = 0;      ///< experts promoted to the GPU
+  long long cache_evictions = 0;  ///< experts demoted (== fills: swaps)
+  long long cache_refusals = 0;   ///< evictions refused (victim pinned)
+  long long cache_aborts = 0;     ///< swap migrations abandoned
+  double cache_bytes_moved = 0.0; ///< fills × per-expert weight bytes (PCIe)
 
   /// Per-request outcome log, in request-id order, for offline inspection
   /// (`daop_cli serve --out-json` embeds it as `daopRequests`). Populated

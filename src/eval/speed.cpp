@@ -1,5 +1,6 @@
 #include "eval/speed.hpp"
 
+#include "cache/arbiter.hpp"
 #include "cache/calibration.hpp"
 #include "common/check.hpp"
 #include "core/daop_engine.hpp"
@@ -7,6 +8,7 @@
 #include "engines/fetch_engine.hpp"
 #include "engines/fiddler.hpp"
 #include "engines/run_metrics.hpp"
+#include "engines/session.hpp"
 #include "model/op_costs.hpp"
 
 namespace daop::eval {
@@ -101,15 +103,44 @@ std::vector<engines::RunResult> run_speed_eval_per_sequence(
   sim::FaultModel fault(options.hazards, options.seed ^ 0xFA017ULL);
   if (fault.enabled()) engine->set_fault_model(&fault);
   if (options.profiler != nullptr) engine->set_profiler(options.profiler);
+  options.cache.validate();
+  // One dynamic cache across the whole eval: demand learned on early
+  // sequences steers later ones. Policy `frozen` constructs no cache and
+  // keeps the exact engine->run() path below.
+  std::unique_ptr<cache::ExpertCache> ecache;
+  if (options.cache.enabled()) {
+    ecache = std::make_unique<cache::ExpertCache>(
+        options.cache, model_cfg.n_layers, model_cfg.n_experts);
+  }
   std::vector<engines::RunResult> results;
   results.reserve(static_cast<std::size_t>(options.n_seqs));
   for (int s = 0; s < options.n_seqs; ++s) {
     const data::SequenceTrace trace =
         gen.generate(s, options.prompt_len, options.gen_len);
-    results.push_back(engine->run(trace, initial));
+    if (ecache != nullptr) {
+      // Each sequence starts from the calibrated placement (comparable to
+      // the frozen baseline) but may re-migrate during decode; the arbiter
+      // scopes those moves to this sequence's private placement copy.
+      cache::PlacementArbiter arbiter(initial);
+      engines::SessionEnv env;
+      env.request_id = s;
+      env.arbiter = &arbiter;
+      env.cache = ecache.get();
+      auto session = engine->open_session(trace, arbiter.placement(), env);
+      session->prefill();
+      while (session->decode_step()) {
+      }
+      results.push_back(session->close());
+      DAOP_CHECK_EQ(arbiter.total_pin_count(), 0);
+    } else {
+      results.push_back(engine->run(trace, initial));
+    }
     if (options.metrics != nullptr) {
       engines::record_run_metrics(*options.metrics, results.back());
     }
+  }
+  if (ecache != nullptr && options.cache_report != nullptr) {
+    *options.cache_report = ecache->report();
   }
   return results;
 }

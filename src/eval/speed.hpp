@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "cache/expert_cache.hpp"
 #include "core/daop_config.hpp"
 #include "data/workload.hpp"
 #include "engines/engine.hpp"
@@ -60,6 +61,15 @@ struct SpeedEvalOptions {
   /// Optional critical-path profiler: each sequence records its attribution
   /// profile into it at close. Strictly passive like the registry.
   obs::Profiler* profiler = nullptr;
+  /// Dynamic expert-cache policy (cache/expert_cache.hpp). Policy `frozen`
+  /// (the default) runs the classic engine->run() path, bit-identical to
+  /// the pre-cache eval. A dynamic policy drives each sequence through an
+  /// arbitrated session sharing ONE ExpertCache across the whole eval, so
+  /// demand statistics learned on early sequences steer later ones.
+  cache::ExpertCacheOptions cache;
+  /// When non-null and the cache is enabled, receives the cache's
+  /// attribution report after the eval (`--cache-report`).
+  std::string* cache_report = nullptr;
 };
 
 /// Runs `kind` over `n_seqs` sequences of `workload` and aggregates.

@@ -96,6 +96,40 @@ TEST(PlacementArbiter, TryEvictRespectsPins) {
   EXPECT_EQ(arb.placement().gpu_count(0), 0);
 }
 
+TEST(PlacementArbiter, PerExpertPinCountSumsAcrossLayers) {
+  PlacementArbiter arb(small_placement());
+  EXPECT_EQ(arb.pin_count(/*expert=*/0), 0);
+  arb.pin(0, 0, 1);
+  arb.pin(0, 0, 2);
+  arb.pin(1, 0, 3);
+  // The single-argument overload aggregates expert 0 across both layers.
+  EXPECT_EQ(arb.pin_count(0), 3);
+  EXPECT_EQ(arb.pin_count(/*expert=*/1), 0);
+  arb.unpin_session(1);
+  EXPECT_EQ(arb.pin_count(0), 2);
+  arb.unpin_session(2);
+  arb.unpin_session(3);
+  EXPECT_EQ(arb.pin_count(0), 0);
+}
+
+TEST(PlacementArbiter, PinningSessionsNamesHoldersSorted) {
+  PlacementArbiter arb(small_placement());
+  EXPECT_TRUE(arb.pinning_sessions(0, 0).empty());
+  arb.pin(0, 0, 42);
+  arb.pin(0, 0, 7);
+  arb.pin(0, 0, 7);  // ref-counted, still one holder entry
+  const auto holders = arb.pinning_sessions(0, 0);
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0], 7);
+  EXPECT_EQ(holders[1], 42);
+  // Fully released holders drop out.
+  arb.unpin(0, 0, 7);
+  arb.unpin(0, 0, 7);
+  const auto rest = arb.pinning_sessions(0, 0);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], 42);
+}
+
 TEST(PlacementArbiter, WeightReadyGateIsMonotonic) {
   PlacementArbiter arb(small_placement());
   // Never-in-flight experts gate at 0 (usable immediately).

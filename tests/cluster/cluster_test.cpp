@@ -341,6 +341,62 @@ TEST(ClusterServing, ConservationHoldsAcrossSeedsUnderFullChaos) {
   }
 }
 
+TEST(ClusterServing, ConservationAndDeterminismHoldWithDynamicCache) {
+  // The full-chaos conservation sweep again, with a per-node dynamic expert
+  // cache re-migrating during decode. Node failover replays sessions on a
+  // different node's cache; conservation and double-run bit-identity must
+  // survive that. `frozen` is the control axis: zero cache activity,
+  // identical plumbing.
+  for (const cache::CachePolicy policy :
+       {cache::CachePolicy::kFrozen, cache::CachePolicy::kLru,
+        cache::CachePolicy::kReusePredictor}) {
+    for (const std::uint64_t seed : {11ull, 222ull, 3333ull}) {
+      auto opt = cl_options(4);
+      opt.base.seed = seed;
+      opt.node_hazards = sim::make_hazard_scenario("cluster", 0.9);
+      opt.cluster.health.enabled = true;
+      opt.cluster.health.probe_interval_s = 0.5;
+      opt.cluster.health.eject_after = 1;
+      opt.cluster.health.slow_probe_s = 30.0;
+      opt.cluster.service_estimate_s = 2.0;
+      opt.cluster.deadline_s = 120.0;
+      opt.cluster.failover_budget = 2;
+      opt.cluster.cache.policy = policy;
+      opt.cluster.cache.realloc_interval = 2;
+      SCOPED_TRACE(std::string(cache::cache_policy_name(policy)) + " seed " +
+                   std::to_string(seed));
+      const auto a = crun(eval::EngineKind::Daop, opt);
+      const auto b = crun(eval::EngineKind::Daop, opt);
+
+      EXPECT_EQ(a.served + a.shed, 16);
+      EXPECT_EQ(a.shed_node_lost + a.shed_deadline + a.shed_degraded,
+                static_cast<long long>(a.shed));
+      // Bit-identity across repeats, cache ledger totals included.
+      EXPECT_EQ(a.served, b.served);
+      EXPECT_EQ(a.makespan_s, b.makespan_s);
+      EXPECT_EQ(a.throughput_tps, b.throughput_tps);
+      EXPECT_EQ(a.counters.hazard_stall_s, b.counters.hazard_stall_s);
+      EXPECT_EQ(a.cache_fills, b.cache_fills);
+      EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+      EXPECT_EQ(a.cache_refusals, b.cache_refusals);
+      EXPECT_EQ(a.cache_aborts, b.cache_aborts);
+      EXPECT_EQ(a.cluster.failovers_total(), b.cluster.failovers_total());
+      ASSERT_EQ(a.request_log.size(), b.request_log.size());
+      for (std::size_t i = 0; i < a.request_log.size(); ++i) {
+        EXPECT_EQ(a.request_log[i].outcome, b.request_log[i].outcome)
+            << "request " << i;
+      }
+      if (policy == cache::CachePolicy::kFrozen) {
+        EXPECT_EQ(a.cache_fills, 0);
+        EXPECT_EQ(a.cache_evictions, 0);
+      } else {
+        // Paired ledger totals survive aggregation across nodes.
+        EXPECT_EQ(a.cache_fills, a.cache_evictions);
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Direct router harness: expert-affinity dispatch
 

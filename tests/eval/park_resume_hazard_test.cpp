@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "../testing/helpers.hpp"
+#include "cache/expert_cache.hpp"
 #include "eval/serving.hpp"
 #include "sim/fault_model.hpp"
 
@@ -84,6 +85,49 @@ TEST(ParkResumeHazard, ResumeScheduleIsBitIdenticalAcrossSeeds) {
   // The regression is vacuous if no seed ever preempts under the storm.
   EXPECT_TRUE(any_preempted)
       << "no seed exercised park/resume x hazard interleaving";
+}
+
+TEST(ParkResumeHazard, DynamicCachePoliciesStayBitIdentical) {
+  // Same storm, with the dynamic expert cache re-migrating mid-decode:
+  // cache scans interleave with parks, resumes, and hazard-retried
+  // migrations, and the whole schedule must still replay bit-identically.
+  // `frozen` rides along as the control: its runs must also match each
+  // other AND commit zero cache activity.
+  for (const cache::CachePolicy policy :
+       {cache::CachePolicy::kFrozen, cache::CachePolicy::kLru,
+        cache::CachePolicy::kReusePredictor}) {
+    for (const std::uint64_t seed : {99ull, 1337ull}) {
+      auto opt = chaos_preempt_options(seed);
+      opt.cache.policy = policy;
+      opt.cache.realloc_interval = 2;
+      SCOPED_TRACE(std::string(cache::cache_policy_name(policy)) + " seed " +
+                   std::to_string(seed));
+      const ServingResult a = run(EngineKind::Daop, opt);
+      const ServingResult b = run(EngineKind::Daop, opt);
+
+      EXPECT_EQ(a.served, b.served);
+      EXPECT_EQ(a.makespan_s, b.makespan_s);
+      EXPECT_EQ(a.ttft_s.mean, b.ttft_s.mean);
+      EXPECT_EQ(a.latency_s.mean, b.latency_s.mean);
+      EXPECT_EQ(a.throughput_tps, b.throughput_tps);
+      EXPECT_EQ(a.counters.preemptions, b.counters.preemptions);
+      EXPECT_EQ(a.counters.migration_retries, b.counters.migration_retries);
+      EXPECT_EQ(a.counters.hazard_stall_s, b.counters.hazard_stall_s);
+      EXPECT_EQ(a.cache_fills, b.cache_fills);
+      EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+      EXPECT_EQ(a.cache_refusals, b.cache_refusals);
+      EXPECT_EQ(a.cache_aborts, b.cache_aborts);
+      ASSERT_EQ(a.request_log.size(), b.request_log.size());
+      for (std::size_t i = 0; i < a.request_log.size(); ++i) {
+        EXPECT_EQ(a.request_log[i].outcome, b.request_log[i].outcome)
+            << "request " << i;
+      }
+      if (policy == cache::CachePolicy::kFrozen) {
+        EXPECT_EQ(a.cache_fills, 0);
+        EXPECT_EQ(a.cache_evictions, 0);
+      }
+    }
+  }
 }
 
 }  // namespace
