@@ -20,6 +20,7 @@
 // for scripts/perf_gate.py, gated in CI against
 // bench/baselines/cache_tiny_gsm8k.json.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -32,6 +33,7 @@
 #include "common/table.hpp"
 #include "data/trace_generator.hpp"
 #include "eval/continuous_batching.hpp"
+#include "eval/parallel_sweep.hpp"
 #include "eval/speed.hpp"
 #include "model/config.hpp"
 
@@ -156,12 +158,26 @@ int main(int argc, char** argv) {
     return out;
   };
 
+  // Each policy cell is independent (own engine, timeline, cache, RNG
+  // streams), so the matrix fans out on the sweep runner; slot-indexed
+  // writes keep the merge deterministic at any thread count.
+  const eval::ParallelSweepRunner runner(
+      static_cast<unsigned>(flags.get_int("threads", 0)));
   std::vector<PolicyRun> drift(policies.size());
   std::vector<PolicyRun> mixed(policies.size());
-  for (std::size_t i = 0; i < policies.size(); ++i) {
-    drift[i] = run_drift(policies[i]);
-    mixed[i] = run_mixed(policies[i]);
-  }
+  const auto t0 = std::chrono::steady_clock::now();
+  runner.run_cells(static_cast<std::int64_t>(policies.size() * 2),
+                   [&](std::int64_t i) {
+                     const std::size_t p = static_cast<std::size_t>(i) / 2;
+                     if (i % 2 == 0) {
+                       drift[p] = run_drift(policies[p]);
+                     } else {
+                       mixed[p] = run_mixed(policies[p]);
+                     }
+                   });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   const PolicyRun& drift_frozen = drift[0];
   const PolicyRun& mixed_frozen = mixed[0];
 
@@ -268,6 +284,13 @@ int main(int argc, char** argv) {
     std::printf("\nbaseline profile written to %s\n", baseline_out.c_str());
   }
 
+  // Workload A simulates opt.n_seqs sequences and workload B 6 requests
+  // per policy cell.
+  const long long requests = static_cast<long long>(policies.size()) * (4 + 6);
+  if (const int rc = benchutil::write_throughput_profile(
+          flags, "bench_ext_cache", requests, wall_s, runner.threads())) {
+    return rc;
+  }
   if (const int rc = benchutil::write_metrics_snapshot(flags, reg)) return rc;
   std::printf("\n%s\n", g_failures == 0 ? "cache acceptance PASSED"
                                         : "cache acceptance FAILED");

@@ -5,12 +5,20 @@
 // throughput retained relative to the calm run, plus the graceful-
 // degradation counters (migration retries / deadline aborts / stale
 // pre-calc discards) that show DAOP's robustness policies firing.
+//
+// The sweep's 48 cells run on eval::ParallelSweepRunner (--threads N, 0 =
+// shared pool): shared calibration/trace precomputation plus thread fan-out,
+// with results and the metrics registry merged in deterministic cell order —
+// every output byte is identical to the serial loop at any thread count.
+// --throughput-out PATH records the wall-clock simulated-requests/sec for
+// the ratchet-up perf gate (bench/baselines/throughput_robustness.json).
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "eval/speed.hpp"
+#include "eval/parallel_sweep.hpp"
 #include "model/config.hpp"
 #include "sim/fault_model.hpp"
 
@@ -43,23 +51,53 @@ int main(int argc, char** argv) {
       "relative to the same engine on a calm device.\n\n",
       cfg.name.c_str(), platform.name.c_str());
 
+  // One grid cell per (engine, scenario-or-calm, intensity), in the exact
+  // order the former serial loop ran them: calm first, then scenario-major.
+  std::vector<eval::SpeedGridCell> cells;
   for (auto kind : engines) {
-    eval::SpeedEvalOptions opt;
-    opt.n_seqs = 4;
-    opt.prompt_len = 128;
-    opt.gen_len = 96;
-    opt.metrics = &reg;
-    if (kind == eval::EngineKind::Daop) opt.daop_config = robust;
-    const auto calm =
-        eval::run_speed_eval(kind, cfg, platform, workload, opt);
-
-    TextTable t({"hazard", "intensity", "tokens/s", "retained", "stall (s)",
-                 "retries", "aborts", "stale", "degraded"});
+    eval::SpeedGridCell cell;
+    cell.kind = kind;
+    cell.model = cfg;
+    cell.platform = platform;
+    cell.workload = workload;
+    cell.options.n_seqs = 4;
+    cell.options.prompt_len = 128;
+    cell.options.gen_len = 96;
+    if (kind == eval::EngineKind::Daop) cell.options.daop_config = robust;
+    cell.label = "calm";
+    cells.push_back(cell);
     for (const auto& scenario : scenarios) {
       for (double intensity : intensities) {
-        opt.hazards = sim::make_hazard_scenario(scenario, intensity);
-        const auto r =
-            eval::run_speed_eval(kind, cfg, platform, workload, opt);
+        cell.options.hazards = sim::make_hazard_scenario(scenario, intensity);
+        cell.label = scenario;
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  const eval::ParallelSweepRunner runner(
+      static_cast<unsigned>(flags.get_int("threads", 0)));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto grid = runner.run_speed_grid(cells, &reg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::size_t per_engine = 1 + scenarios.size() * intensities.size();
+  long long requests = 0;
+  for (const auto& cell : grid) {
+    requests += static_cast<long long>(cell.per_sequence.size());
+  }
+
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    const std::size_t base = e * per_engine;
+    const auto& calm = grid[base].aggregate;
+    TextTable t({"hazard", "intensity", "tokens/s", "retained", "stall (s)",
+                 "retries", "aborts", "stale", "degraded"});
+    std::size_t i = base + 1;
+    for (const auto& scenario : scenarios) {
+      for (double intensity : intensities) {
+        const auto& r = grid[i++].aggregate;
         t.add_row({scenario, fmt_f(intensity, 2), fmt_f(r.tokens_per_s, 2),
                    fmt_pct(r.tokens_per_s / calm.tokens_per_s),
                    fmt_f(r.counters.hazard_stall_s, 3),
@@ -79,5 +117,9 @@ int main(int argc, char** argv) {
       "contention hits Fiddler's CPU-compute path; DAOP degrades most\n"
       "gracefully because deadline aborts + stale-pre-calc discards convert\n"
       "would-be stalls into (cheaper) degraded substitutions.\n");
+  if (const int rc = benchutil::write_throughput_profile(
+          flags, "bench_ext_robustness", requests, wall_s, runner.threads())) {
+    return rc;
+  }
   return benchutil::write_metrics_snapshot(flags, reg);
 }

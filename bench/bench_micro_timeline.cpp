@@ -1,0 +1,112 @@
+// Micro-bench: Timeline::schedule hot-path cost across the tag/recording/
+// fault matrix. The simulator's inner loop is schedule() calls, so the
+// refactor's contract — zero string work when interval recording is off,
+// one interning per distinct tag when it is on — is measured here directly:
+//
+//   - Untagged               recording off, no tag (the decode hot path)
+//   - TaggedRecordOff        recording off, string_view tag: must cost the
+//                            same as Untagged (the tag is never touched)
+//   - TaggedRecordOn         recording on, string_view tag: binary-search
+//                            intern per call + SoA push_back
+//   - PreInternedRecordOn    recording on, TagId from intern_tag(): the
+//                            fast path for tight tagged loops
+//   - FaultModel variants    hazard perturbation attached, with recording
+//                            off and on
+//
+// Run: ./build/bench/bench_micro_timeline [--benchmark_filter=...]
+#include <benchmark/benchmark.h>
+
+#include "sim/fault_model.hpp"
+#include "sim/timeline.hpp"
+
+namespace {
+using namespace daop;
+
+constexpr int kOpsPerIter = 1000;
+
+// Alternates GPU / CPU ops like a decode step: a dependent chain on the GPU
+// stream plus an independent CPU-pool op per link.
+template <typename Tag>
+void run_schedule_loop(sim::Timeline& tl, Tag gpu_tag, Tag cpu_tag) {
+  double ready = 0.0;
+  for (int i = 0; i < kOpsPerIter / 2; ++i) {
+    ready = tl.schedule(sim::Res::GpuStream, ready, 1e-3, gpu_tag);
+    tl.schedule(sim::Res::CpuPool, ready, 2e-3, cpu_tag);
+  }
+  benchmark::DoNotOptimize(tl.span());
+}
+
+void BM_ScheduleUntagged(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline tl;
+    run_schedule_loop(tl, std::string_view{}, std::string_view{});
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_ScheduleUntagged);
+
+void BM_ScheduleTaggedRecordOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline tl;  // recording defaults to off: tags must be free
+    run_schedule_loop(tl, std::string_view("attn fwd"),
+                      std::string_view("expert cpu"));
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_ScheduleTaggedRecordOff);
+
+void BM_ScheduleTaggedRecordOn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline tl;
+    tl.set_record_intervals(true);
+    run_schedule_loop(tl, std::string_view("attn fwd"),
+                      std::string_view("expert cpu"));
+    benchmark::DoNotOptimize(tl.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_ScheduleTaggedRecordOn);
+
+void BM_SchedulePreInternedRecordOn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline tl;
+    tl.set_record_intervals(true);
+    const sim::TagId gpu = tl.intern_tag("attn fwd");
+    const sim::TagId cpu = tl.intern_tag("expert cpu");
+    run_schedule_loop(tl, gpu, cpu);
+    benchmark::DoNotOptimize(tl.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_SchedulePreInternedRecordOn);
+
+void BM_ScheduleFaultModel(benchmark::State& state) {
+  const sim::HazardScenario scenario = sim::make_hazard_scenario("all", 1.0);
+  for (auto _ : state) {
+    sim::FaultModel fm(scenario, 42);
+    sim::Timeline tl;
+    tl.set_fault_model(&fm);
+    run_schedule_loop(tl, std::string_view{}, std::string_view{});
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_ScheduleFaultModel);
+
+void BM_ScheduleFaultModelRecordOn(benchmark::State& state) {
+  const sim::HazardScenario scenario = sim::make_hazard_scenario("all", 1.0);
+  for (auto _ : state) {
+    sim::FaultModel fm(scenario, 42);
+    sim::Timeline tl;
+    tl.set_fault_model(&fm);
+    tl.set_record_intervals(true);
+    run_schedule_loop(tl, std::string_view("attn fwd"),
+                      std::string_view("expert cpu"));
+    benchmark::DoNotOptimize(tl.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_ScheduleFaultModelRecordOn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -33,4 +33,40 @@ inline int write_metrics_snapshot(const FlagParser& flags,
   return 0;
 }
 
+/// Writes a daop-profile/1 throughput report to --throughput-out when given.
+/// `requests` is the number of simulated sequences the sweep completed and
+/// `wall_s` the wall-clock seconds it took; sim_requests_per_sec is the
+/// headline metric, registered in scripts/perf_gate.py baselines with
+/// ratchet-up-only semantics (a regression fails, an improvement asks for a
+/// baseline refresh). Only "requests" (deterministic) and
+/// "sim_requests_per_sec" (ratcheted) live under "aggregate" — wall seconds
+/// and the thread count are informational top-level fields the gate ignores.
+inline int write_throughput_profile(const FlagParser& flags,
+                                    const std::string& bench,
+                                    long long requests, double wall_s,
+                                    unsigned threads) {
+  const double rps = wall_s > 0.0 ? static_cast<double>(requests) / wall_s
+                                  : 0.0;
+  std::printf(
+      "\nthroughput: %lld simulated requests in %.3f s wall = %.1f req/s "
+      "(%u worker threads)\n",
+      requests, wall_s, rps, threads);
+  const std::string path = flags.get("throughput-out", "");
+  if (path.empty()) return 0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"daop-profile/1\",\"bench\":\"%s\","
+                "\"wall_s\":%.6f,\"threads\":%u,\"aggregate\":{"
+                "\"requests\":%lld,\"sim_requests_per_sec\":%.6f}}\n",
+                bench.c_str(), wall_s, threads, requests, rps);
+  std::ofstream f(path);
+  if (f) f << buf;
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("throughput profile written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace daop::benchutil

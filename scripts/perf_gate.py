@@ -31,6 +31,13 @@ patterns over the dotted path; the most specific (longest) matching
 pattern wins. Counters are integers from a deterministic simulation, so
 the stock baselines pin them exactly; hazard_stall_s (a float ride-along
 in the counters block) keeps the default float tolerance.
+
+An override may additionally set `"ratchet": "up"` for metrics where
+bigger is better and wall-clock noise makes two-sided pinning wrong
+(throughput like `sim_requests_per_sec`): the gate then fails only when
+fresh < base - max(abs, rel * |base|). Improvements of any size pass —
+refresh the baseline with --update when one sticks, which ratchets the
+floor up for good.
 """
 
 import argparse
@@ -81,13 +88,14 @@ def extract_metrics(profile):
 
 
 def tolerance_for(metric, tolerances):
-    """Returns the (rel, abs) tolerance for a dotted metric path."""
+    """Returns the (rel, abs, ratchet) tolerance for a dotted metric path."""
     default = tolerances.get("default", DEFAULT_TOLERANCES["default"])
     best, best_len = default, -1
     for pattern, tol in tolerances.get("overrides", {}).items():
         if fnmatch.fnmatchcase(metric, pattern) and len(pattern) > best_len:
             best, best_len = tol, len(pattern)
-    return float(best.get("rel", 0.0)), float(best.get("abs", 0.0))
+    return (float(best.get("rel", 0.0)), float(best.get("abs", 0.0)),
+            best.get("ratchet"))
 
 
 def compare_metrics(base_metrics, fresh_metrics, tolerances):
@@ -99,14 +107,22 @@ def compare_metrics(base_metrics, fresh_metrics, tolerances):
             failures.append(f"{metric}: missing from fresh profile")
             continue
         fresh = fresh_metrics[metric]
-        rel, abs_tol = tolerance_for(metric, tolerances)
+        rel, abs_tol, ratchet = tolerance_for(metric, tolerances)
         allowed = max(abs_tol, rel * abs(base))
         delta = fresh - base
-        if math.isnan(fresh) or abs(delta) > allowed:
+        if ratchet == "up":
+            # One-sided floor: regressions fail, improvements of any size
+            # pass (refresh with --update to ratchet the floor up).
+            bad = math.isnan(fresh) or delta < -allowed
+        else:
+            bad = math.isnan(fresh) or abs(delta) > allowed
+        if bad:
             pct = (delta / base * 100.0) if base != 0 else float("inf")
+            bound = (f"allowed -{allowed:.3g} (ratchet up)"
+                     if ratchet == "up" else f"allowed +/-{allowed:.3g}")
             failures.append(
                 f"{metric}: baseline {base:.12g}, fresh {fresh:.12g} "
-                f"(delta {delta:+.3g} / {pct:+.2f}%, allowed +/-{allowed:.3g})"
+                f"(delta {delta:+.3g} / {pct:+.2f}%, {bound})"
             )
     for metric in sorted(fresh_metrics):
         if metric not in base_metrics:
@@ -238,6 +254,25 @@ def self_test():
     drift_nan = dict(metrics)
     drift_nan["makespan_s"] = float("nan")
     assert len(compare_metrics(metrics, drift_nan, tol)) == 1
+
+    # Ratchet-up metrics: throughput regressions beyond tolerance fail,
+    # improvements of any size pass, NaN still fails.
+    rtol = {
+        "default": {"rel": 0.02, "abs": 1e-9},
+        "overrides": {
+            "sim_requests_per_sec": {"rel": 0.5, "abs": 0.0,
+                                     "ratchet": "up"},
+        },
+    }
+    rbase = {"sim_requests_per_sec": 100.0}
+    assert tolerance_for("sim_requests_per_sec", rtol) == (0.5, 0.0, "up")
+    assert compare_metrics(rbase, {"sim_requests_per_sec": 51.0}, rtol) == []
+    assert compare_metrics(rbase, {"sim_requests_per_sec": 1000.0},
+                           rtol) == []
+    failures = compare_metrics(rbase, {"sim_requests_per_sec": 40.0}, rtol)
+    assert len(failures) == 1 and "ratchet up" in failures[0], failures
+    assert len(compare_metrics(rbase, {"sim_requests_per_sec": float("nan")},
+                               rtol)) == 1
 
     # End-to-end through temp files: update writes a baseline the same
     # profile then passes against, and a drifted profile fails against.

@@ -21,13 +21,20 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) return;  // already shut down
     stop_ = true;
+    // Queued-but-unstarted tasks are dropped, not run: at shutdown time
+    // their captures may reference objects that are about to be destroyed.
+    while (!tasks_.empty()) tasks_.pop();
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

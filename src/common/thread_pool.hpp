@@ -28,12 +28,23 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
-  /// iterations finish. Iterations are chunked to limit dispatch overhead.
-  /// Exceptions thrown by fn are rethrown (first one wins) on the caller.
+  /// iterations finish (n <= 0 is a no-op). Iterations are chunked to limit
+  /// dispatch overhead. Exceptions thrown by fn are rethrown (first one
+  /// wins) on the caller; the pool stays usable afterwards.
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t)>& fn);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Joins all workers and drops queued-but-unstarted tasks. Idempotent;
+  /// parallel_for afterwards runs inline on the caller. Exists for lifetime
+  /// hygiene: the global() pool's destructor runs during static teardown in
+  /// an unspecified order relative to other function-local statics (metric
+  /// registries, tag pools), so anything with an exit-time destructor that
+  /// touches the pool must call shutdown() first instead of relying on
+  /// destruction order.
+  void shutdown();
+
+  /// Process-wide shared pool (lazily constructed). Worker threads must
+  /// never be assumed alive during static destruction — see shutdown().
   static ThreadPool& global();
 
  private:

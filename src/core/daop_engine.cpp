@@ -100,8 +100,9 @@ class DaopSession final : public engines::SequenceSession {
   /// on the CPU).
   double migrate(double issue, const char* tag) {
     const MigrationOutcome m = migrate_with_retry(
-        issue, mig_cost_, tag, tag, tag, config_.max_migration_retries,
-        config_.migration_deadline_factor, /*abort_when_exhausted=*/true);
+        issue, mig_cost_, tag, tag, engines::SpanName{tag},
+        config_.max_migration_retries, config_.migration_deadline_factor,
+        /*abort_when_exhausted=*/true);
     return m.aborted ? -1.0 : m.done;
   }
 

@@ -117,8 +117,8 @@ class FetchSession final : public SequenceSession {
             : 0;
     const MigrationOutcome m = migrate_with_retry(
         ready, mig_time_, "fetch expert", "refetch expert",
-        "fetch L" + std::to_string(l) + " E" + std::to_string(e), max_retries,
-        0.0, /*abort_when_exhausted=*/false);
+        SpanName{"fetch L", " E", l, e}, max_retries, 0.0,
+        /*abort_when_exhausted=*/false);
     fetch_ready_[idx(l, e)] = m.done;
     // A re-stream always supersedes any previous fetch of this expert.
     prefetch_pending_[idx(l, e)] = 0;

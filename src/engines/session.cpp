@@ -8,6 +8,38 @@
 
 namespace daop::engines {
 
+std::string SpanName::str() const {
+  std::string s(prefix);
+  if (a >= 0) s += std::to_string(a);
+  if (b >= 0) {
+    s += mid;
+    s += std::to_string(b);
+  }
+  return s;
+}
+
+namespace {
+// Thread-local free list of session buffers. Sized for the deepest
+// plausible nesting of live sessions per worker (a continuous-batching
+// scheduler holds max_concurrent sessions open at once).
+thread_local std::vector<std::unique_ptr<SessionBuffers>> t_buffer_pool;
+}  // namespace
+
+std::unique_ptr<SessionBuffers> SessionBuffers::acquire() {
+  if (t_buffer_pool.empty()) return std::make_unique<SessionBuffers>();
+  std::unique_ptr<SessionBuffers> b = std::move(t_buffer_pool.back());
+  t_buffer_pool.pop_back();
+  return b;
+}
+
+void SessionBuffers::release(std::unique_ptr<SessionBuffers> b) {
+  if (b == nullptr) return;
+  b->step_windows.clear();
+  b->expert_execs.clear();
+  b->step_pins.clear();
+  if (t_buffer_pool.size() < 32) t_buffer_pool.push_back(std::move(b));
+}
+
 CpuExpertTimes cpu_expert_roundtrip(sim::Timeline& tl,
                                     const model::OpCosts& costs, double start,
                                     int n_tokens, double exec_cost,
@@ -46,7 +78,8 @@ SequenceSession::SequenceSession(std::string engine_name,
       shared_(env.shared),
       fault_(fault),
       tracer_(tracer),
-      profiler_(profiler) {
+      profiler_(profiler),
+      bufs_(SessionBuffers::acquire()) {
   DAOP_CHECK_GE(start_time_, 0.0);
   tl_->set_fault_model(fault_);
   stall0_ = tl_->hazard_stall_s();
@@ -85,6 +118,7 @@ SequenceSession::~SequenceSession() {
   if (phase_ != Phase::kClosed && cache_ != nullptr) {
     cache_->note_session_close(request_id_);
   }
+  SessionBuffers::release(std::move(bufs_));
 }
 
 void SequenceSession::prefill() {
@@ -111,7 +145,7 @@ bool SequenceSession::decode_step() {
   const int t = next_token_;
   const double token_start = ready_;
   run_decode_token(t);
-  if (profiling()) step_windows_.emplace_back(token_start, ready_);
+  if (profiling()) bufs_->step_windows.emplace_back(token_start, ready_);
   if (tracing()) {
     tspan(tracks::kToken, "token " + std::to_string(t), token_start, ready_);
   }
@@ -144,8 +178,7 @@ void SequenceSession::maybe_cache_realloc(int t) {
     // (not the frontier) makes later tokens wait for the arriving expert.
     const MigrationOutcome m = migrate_with_retry(
         ready_, costs_.expert_migration(), "cache swap-in", "cache swap retry",
-        "cache swap-in L" + std::to_string(s.layer) + " e" +
-            std::to_string(s.expert_in),
+        SpanName{"cache swap-in L", " e", s.layer, s.expert_in},
         opt.max_migration_retries, opt.migration_deadline_factor,
         /*abort_when_exhausted=*/true);
     if (m.aborted) {
@@ -253,7 +286,7 @@ RunResult SequenceSession::close() {
   if (profiling()) {
     profiler_->record_run(name_, request_id_, tl_->intervals(),
                           tl_->hazard_intervals(), start_time_, prefill_end_,
-                          decode_end, step_windows_, expert_execs_,
+                          decode_end, bufs_->step_windows, bufs_->expert_execs,
                           counter_profile_metrics(r.counters));
   }
   return r;
@@ -261,7 +294,7 @@ RunResult SequenceSession::close() {
 
 SequenceSession::MigrationOutcome SequenceSession::migrate_with_retry(
     double issue, double cost, const char* tag, const char* retry_tag,
-    const std::string& span_name, int max_retries, double deadline_factor,
+    const SpanName& span_name, int max_retries, double deadline_factor,
     bool abort_when_exhausted) {
   MigrationOutcome out;
   out.done = tl().schedule(sim::Res::PcieH2D, issue, cost, tag);
@@ -280,8 +313,10 @@ SequenceSession::MigrationOutcome SequenceSession::migrate_with_retry(
       if (abort_when_exhausted &&
           (attempts >= max_retries ||
            (deadline > 0.0 && out.done > deadline))) {
-        out.span = tspan(tracks::kMigration, span_name + " (aborted)",
-                         out.start, out.done);
+        if (tracing()) {
+          out.span = tspan(tracks::kMigration, span_name.str() + " (aborted)",
+                           out.start, out.done);
+        }
         out.aborted = true;
         return out;
       }
@@ -294,12 +329,16 @@ SequenceSession::MigrationOutcome SequenceSession::migrate_with_retry(
     }
   }
   if (abort_when_exhausted && deadline > 0.0 && out.done > deadline) {
-    out.span = tspan(tracks::kMigration, span_name + " (aborted)", out.start,
-                     out.done);
+    if (tracing()) {
+      out.span = tspan(tracks::kMigration, span_name.str() + " (aborted)",
+                       out.start, out.done);
+    }
     out.aborted = true;
     return out;
   }
-  out.span = tspan(tracks::kMigration, span_name, out.start, out.done);
+  if (tracing()) {
+    out.span = tspan(tracks::kMigration, span_name.str(), out.start, out.done);
+  }
   return out;
 }
 
@@ -319,16 +358,16 @@ double SequenceSession::cpu_expert(double start, int n_tokens,
 void SequenceSession::pin_shared(int layer, int expert) {
   if (arbiter_ == nullptr) return;
   arbiter_->pin(layer, expert, request_id_);
-  step_pins_.emplace_back(layer, expert);
+  bufs_->step_pins.emplace_back(layer, expert);
 }
 
 void SequenceSession::release_step_pins() {
   if (arbiter_ != nullptr) {
-    for (const auto& [layer, expert] : step_pins_) {
+    for (const auto& [layer, expert] : bufs_->step_pins) {
       arbiter_->unpin(layer, expert, request_id_);
     }
   }
-  step_pins_.clear();
+  bufs_->step_pins.clear();
 }
 
 double SequenceSession::shared_weight_gate(int layer, int expert,

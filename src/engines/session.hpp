@@ -99,6 +99,34 @@ struct CpuExpertTags {
   const char* acts_back = "acts to GPU";
 };
 
+/// Lazily formatted span name of the shape "<prefix><a><mid><b>" (numeric
+/// parts skipped while negative). Untraced sessions pass these through
+/// migrate_with_retry without ever materializing a std::string — span-name
+/// formatting only happens when a tracer is attached.
+struct SpanName {
+  const char* prefix = "";
+  const char* mid = "";
+  int a = -1;
+  int b = -1;
+  std::string str() const;
+};
+
+/// Reusable per-session bookkeeping buffers: profiler decode-step windows,
+/// expert-execution heatmap entries, and the working-set pin list. Sessions
+/// acquire a pooled instance on open and return it (cleared, capacity kept)
+/// on destruction, so a sweep running thousands of back-to-back sequences
+/// reuses the same heap blocks instead of reallocating per sequence. The
+/// pool is thread_local: lock-free, and each parallel sweep worker recycles
+/// its own buffers.
+struct SessionBuffers {
+  std::vector<std::pair<double, double>> step_windows;
+  std::vector<obs::ExpertExec> expert_execs;
+  std::vector<std::pair<int, int>> step_pins;
+
+  static std::unique_ptr<SessionBuffers> acquire();
+  static void release(std::unique_ptr<SessionBuffers> b);
+};
+
 /// Ships `n_tokens` activations to the CPU, executes an expert over them
 /// (`exec_cost` seconds), and ships the result back; bumps
 /// `counters.cpu_expert_execs`. Shared by the per-sequence sessions and the
@@ -208,7 +236,7 @@ class SequenceSession {
   ///    made and assume the final load goes through; never aborts.
   MigrationOutcome migrate_with_retry(double issue, double cost,
                                       const char* tag, const char* retry_tag,
-                                      const std::string& span_name,
+                                      const SpanName& span_name,
                                       int max_retries, double deadline_factor,
                                       bool abort_when_exhausted);
 
@@ -250,7 +278,7 @@ class SequenceSession {
                         double end) {
     if (cache_ != nullptr) cache_->note_use(layer, expert, request_id_, end);
     if (profiling()) {
-      expert_execs_.push_back({layer, expert, on_gpu, start, end});
+      bufs_->expert_execs.push_back({layer, expert, on_gpu, start, end});
     }
   }
 
@@ -283,17 +311,15 @@ class SequenceSession {
   sim::FaultModel* fault_;
   obs::SpanTracer* tracer_;
   obs::Profiler* profiler_;
-  /// Decode-token windows and expert executions collected for the profiler
-  /// (empty unless profiling()).
-  std::vector<std::pair<double, double>> step_windows_;
-  std::vector<obs::ExpertExec> expert_execs_;
+  /// Pooled bookkeeping buffers (decode-step windows and expert executions
+  /// for the profiler, current-step pins for release_step_pins). Never
+  /// null between construction and destruction.
+  std::unique_ptr<SessionBuffers> bufs_;
   double stall0_ = 0.0;
   Phase phase_ = Phase::kOpened;
   bool parked_ = false;
   int next_token_ = 0;
   int replay_tokens_ = 0;
-  /// (layer, expert) pins taken by the current step, for release_step_pins.
-  std::vector<std::pair<int, int>> step_pins_;
 };
 
 }  // namespace daop::engines

@@ -65,6 +65,34 @@ std::unique_ptr<engines::Engine> make_engine(
   return nullptr;
 }
 
+cache::Placement calibrated_initial_placement(
+    const model::ModelConfig& model_cfg, const SpeedEvalOptions& options) {
+  // §IV-A calibration on the ShareGPT-like distribution.
+  const data::TraceGenerator calib_gen(data::sharegpt_calibration(),
+                                       model_cfg.n_layers, model_cfg.n_experts,
+                                       model_cfg.top_k,
+                                       options.seed ^ 0xCA11Bu);
+  const auto calib_counts = cache::calibrate_activation_counts(
+      calib_gen, options.calibration_seqs);
+  return cache::init_placement_calibrated(model_cfg.n_layers,
+                                          model_cfg.n_experts, options.ecr,
+                                          calib_counts);
+}
+
+std::vector<data::SequenceTrace> generate_eval_traces(
+    const model::ModelConfig& model_cfg, const data::WorkloadSpec& workload,
+    const SpeedEvalOptions& options) {
+  const data::TraceGenerator gen(workload, model_cfg.n_layers,
+                                 model_cfg.n_experts, model_cfg.top_k,
+                                 options.seed);
+  std::vector<data::SequenceTrace> traces;
+  traces.reserve(static_cast<std::size_t>(options.n_seqs));
+  for (int s = 0; s < options.n_seqs; ++s) {
+    traces.push_back(gen.generate(s, options.prompt_len, options.gen_len));
+  }
+  return traces;
+}
+
 engines::RunResult run_speed_eval(EngineKind kind,
                                   const model::ModelConfig& model_cfg,
                                   const sim::PlatformSpec& platform,
@@ -83,19 +111,25 @@ std::vector<engines::RunResult> run_speed_eval_per_sequence(
   const sim::CostModel cm(platform);
   const model::OpCosts costs(model_cfg, cm);
 
-  // §IV-A calibration on the ShareGPT-like distribution.
-  const data::TraceGenerator calib_gen(data::sharegpt_calibration(),
-                                       model_cfg.n_layers, model_cfg.n_experts,
-                                       model_cfg.top_k,
-                                       options.seed ^ 0xCA11Bu);
-  const auto calib_counts = cache::calibrate_activation_counts(
-      calib_gen, options.calibration_seqs);
-  const cache::Placement initial = cache::init_placement_calibrated(
-      model_cfg.n_layers, model_cfg.n_experts, options.ecr, calib_counts);
-
-  const data::TraceGenerator gen(workload, model_cfg.n_layers,
-                                 model_cfg.n_experts, model_cfg.top_k,
-                                 options.seed);
+  // Calibration and trace generation are pure functions of the options, so
+  // a grid runner may hand in hoisted copies; either way the values — and
+  // every downstream scheduling decision — are identical.
+  std::unique_ptr<cache::Placement> computed_initial;
+  if (options.initial_placement == nullptr) {
+    computed_initial = std::make_unique<cache::Placement>(
+        calibrated_initial_placement(model_cfg, options));
+  }
+  const cache::Placement& initial = options.initial_placement != nullptr
+                                        ? *options.initial_placement
+                                        : *computed_initial;
+  std::vector<data::SequenceTrace> computed_traces;
+  if (options.traces == nullptr) {
+    computed_traces = generate_eval_traces(model_cfg, workload, options);
+  } else {
+    DAOP_CHECK_GE(static_cast<int>(options.traces->size()), options.n_seqs);
+  }
+  const std::vector<data::SequenceTrace>& traces =
+      options.traces != nullptr ? *options.traces : computed_traces;
 
   auto engine = make_engine(kind, costs, options.daop_config);
   // The fault model is shared across the eval's sequences (one continuous
@@ -115,8 +149,7 @@ std::vector<engines::RunResult> run_speed_eval_per_sequence(
   std::vector<engines::RunResult> results;
   results.reserve(static_cast<std::size_t>(options.n_seqs));
   for (int s = 0; s < options.n_seqs; ++s) {
-    const data::SequenceTrace trace =
-        gen.generate(s, options.prompt_len, options.gen_len);
+    const data::SequenceTrace& trace = traces[static_cast<std::size_t>(s)];
     if (ecache != nullptr) {
       // Each sequence starts from the calibrated placement (comparable to
       // the frozen baseline) but may re-migrate during decode; the arbiter

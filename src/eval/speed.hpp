@@ -10,6 +10,7 @@
 
 #include "cache/expert_cache.hpp"
 #include "core/daop_config.hpp"
+#include "data/routing_trace.hpp"
 #include "data/workload.hpp"
 #include "engines/engine.hpp"
 #include "obs/metrics.hpp"
@@ -70,7 +71,32 @@ struct SpeedEvalOptions {
   /// When non-null and the cache is enabled, receives the cache's
   /// attribution report after the eval (`--cache-report`).
   std::string* cache_report = nullptr;
+
+  // ---- Shared-precomputation hooks (eval/parallel_sweep.hpp). Both are
+  // pure functions of other option fields, so supplying them is bit-identical
+  // to the default in-eval computation — the grid runner hoists them so N
+  // cells with the same key pay for one calibration / trace-generation pass
+  // instead of N (the dominant cost of large sweeps; see docs/PERFORMANCE.md).
+  /// Precomputed §IV-A calibrated placement; must equal what
+  /// calibrated_initial_placement() returns for these options. nullptr
+  /// (the default) computes it in-eval.
+  const cache::Placement* initial_placement = nullptr;
+  /// Pregenerated per-sequence routing traces (size >= n_seqs); must equal
+  /// what generate_eval_traces() returns for these options. nullptr (the
+  /// default) generates them in-eval.
+  const std::vector<data::SequenceTrace>* traces = nullptr;
 };
+
+/// The §IV-A calibrated initial placement exactly as run_speed_eval computes
+/// it from `options` (calibration workload, seed ^ 0xCA11B, ECR).
+cache::Placement calibrated_initial_placement(
+    const model::ModelConfig& model_cfg, const SpeedEvalOptions& options);
+
+/// The eval's per-sequence routing traces exactly as run_speed_eval
+/// generates them (sequence ids 0..n_seqs-1 from `options.seed`).
+std::vector<data::SequenceTrace> generate_eval_traces(
+    const model::ModelConfig& model_cfg, const data::WorkloadSpec& workload,
+    const SpeedEvalOptions& options);
 
 /// Runs `kind` over `n_seqs` sequences of `workload` and aggregates.
 engines::RunResult run_speed_eval(EngineKind kind,

@@ -19,10 +19,79 @@ const char* res_name(Res r) {
   return "?";
 }
 
+// ---------------------------------------------------------------------------
+// TagPool
+
+TagPool::TagPool() { clear(); }
+
+TagId TagPool::intern(std::string_view s) {
+  if (s.empty()) return kNoTag;
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), s,
+      [](const std::pair<std::string, TagId>& e, std::string_view v) {
+        return e.first < v;
+      });
+  if (it != index_.end() && it->first == s) return it->second;
+  const TagId id = static_cast<TagId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.insert(it, {std::string(s), id});
+  return id;
+}
+
+const std::string& TagPool::view(TagId id) const {
+  DAOP_CHECK_LT(static_cast<std::size_t>(id), strings_.size());
+  return strings_[id];
+}
+
+void TagPool::clear() {
+  strings_.clear();
+  index_.clear();
+  strings_.emplace_back();  // kNoTag == 0 is always the empty string
+}
+
+// ---------------------------------------------------------------------------
+// IntervalSoA
+
+void IntervalSoA::clear() {
+  res.clear();
+  start.clear();
+  end.clear();
+  tag.clear();
+}
+
+void IntervalSoA::reserve(std::size_t n) {
+  res.reserve(n);
+  start.reserve(n);
+  end.reserve(n);
+  tag.reserve(n);
+}
+
+void IntervalSoA::push_back(Res r, double s, double e, TagId t) {
+  if (res.size() == res.capacity()) {
+    // Arena-style chunked growth: never grow by less than 1024 intervals so
+    // recorded runs pay for at most a handful of reallocations.
+    reserve(std::max<std::size_t>(1024, res.capacity() * 2));
+  }
+  res.push_back(r);
+  start.push_back(s);
+  end.push_back(e);
+  tag.push_back(t);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+
 Timeline::Timeline() { reset(); }
 
 double Timeline::schedule(Res r, double ready, double duration,
-                          std::string tag) {
+                          std::string_view tag) {
+  // Interning is gated on recording: with recording off (the default) the
+  // tag is never even looked at and this is the pure arithmetic hot path.
+  return schedule(r, ready, duration,
+                  (record_ && !tag.empty()) ? tags_.intern(tag) : kNoTag);
+}
+
+double Timeline::schedule(Res r, double ready, double duration, TagId tag) {
   // Negative, NaN or infinite inputs would silently corrupt a resource's
   // busy-until state for every later op, so they are hard errors — this is
   // what lets fault-perturbed ops be trusted downstream.
@@ -47,14 +116,16 @@ double Timeline::schedule(Res r, double ready, double duration,
   }
   const double end = start + duration;
   if (record_ && hazard_extra > 0.0) {
-    hazard_intervals_.push_back(
-        Interval{r, end - hazard_extra, end, "hazard stall"});
+    if (hazard_tag_ == kNoTag) hazard_tag_ = tags_.intern("hazard stall");
+    hazard_soa_.push_back(r, end - hazard_extra, end, hazard_tag_);
+    hazard_compat_dirty_ = true;
   }
   DAOP_CHECK_GE(end, busy_until_[i]);  // time never moves backwards
   busy_until_[i] = end;
   busy_time_[i] += duration;
   if (record_ && duration > 0.0) {
-    intervals_.push_back(Interval{r, start, end, std::move(tag)});
+    soa_.push_back(r, start, end, tag);
+    compat_dirty_ = true;
   }
   return end;
 }
@@ -80,11 +151,43 @@ void Timeline::block_until(Res r, double t) {
   busy_until_[i] = std::max(busy_until_[i], t);
 }
 
+namespace {
+void materialize(const IntervalSoA& soa, const TagPool& tags,
+                 std::vector<Interval>& out) {
+  out.clear();
+  out.reserve(soa.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    out.push_back(
+        Interval{soa.res[i], soa.start[i], soa.end[i], tags.view(soa.tag[i])});
+  }
+}
+}  // namespace
+
+const std::vector<Interval>& Timeline::intervals() const {
+  if (compat_dirty_) {
+    materialize(soa_, tags_, compat_);
+    compat_dirty_ = false;
+  }
+  return compat_;
+}
+
+const std::vector<Interval>& Timeline::hazard_intervals() const {
+  if (hazard_compat_dirty_) {
+    materialize(hazard_soa_, tags_, hazard_compat_);
+    hazard_compat_dirty_ = false;
+  }
+  return hazard_compat_;
+}
+
 void Timeline::reset() {
   busy_until_.fill(0.0);
   busy_time_.fill(0.0);
-  intervals_.clear();
-  hazard_intervals_.clear();
+  soa_.clear();
+  hazard_soa_.clear();
+  compat_.clear();
+  hazard_compat_.clear();
+  compat_dirty_ = false;
+  hazard_compat_dirty_ = false;
   last_start_ = 0.0;
   hazard_stall_s_ = 0.0;
   hazard_transfer_retries_ = 0;

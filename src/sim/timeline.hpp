@@ -5,11 +5,20 @@
 // event timeline, not a cycle-accurate model. Each hardware resource
 // serializes the work scheduled on it; cross-resource parallelism falls out
 // of scheduling ops with explicit ready times (dependencies).
+//
+// Hot-path design (docs/PERFORMANCE.md): schedule() is called millions of
+// times per sweep, so tags are interned TagIds against a per-timeline string
+// pool (zero string work when interval recording is off — the common case)
+// and recorded intervals live in structure-of-arrays columns with chunked
+// reserve growth. The classic std::vector<Interval> view stays available via
+// intervals()/hazard_intervals(), materialized on demand for the cold
+// consumers (attribution, trace export, gantt, profiler).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace daop::sim {
@@ -30,12 +39,64 @@ inline constexpr int kNumRes = 4;
 
 const char* res_name(Res r);
 
-/// One scheduled occupancy interval on a resource.
+/// Interned tag handle into a Timeline's TagPool. 0 is the empty tag.
+using TagId = std::uint32_t;
+inline constexpr TagId kNoTag = 0;
+
+/// Per-timeline string pool: each distinct tag string is stored once and
+/// addressed by TagId. Interning only happens while interval recording is
+/// on, so untagged/unrecorded scheduling never touches strings at all.
+class TagPool {
+ public:
+  TagPool();
+
+  /// Returns the id for `s`, adding it to the pool on first sight.
+  /// The empty string always interns to kNoTag.
+  TagId intern(std::string_view s);
+
+  /// The pooled string for `id` ("" for kNoTag). Valid for the pool's
+  /// lifetime; ids are never invalidated.
+  const std::string& view(TagId id) const;
+
+  /// Number of distinct strings pooled (including the empty tag).
+  std::size_t size() const { return strings_.size(); }
+
+  void clear();
+
+ private:
+  std::vector<std::string> strings_;
+  // Sorted (string, id) index; tag vocabularies are small (dozens of
+  // distinct op names), so binary search beats hashing here and supports
+  // heterogeneous string_view lookup without temporary strings.
+  std::vector<std::pair<std::string, TagId>> index_;
+};
+
+/// One scheduled occupancy interval on a resource (compatibility view; the
+/// Timeline's native storage is IntervalSoA).
 struct Interval {
   Res res;
   double start = 0.0;
   double end = 0.0;
   std::string tag;  ///< e.g. "L5 expert3 exec", used by the gantt renderer
+};
+
+/// Structure-of-arrays interval storage: one column per Interval field,
+/// tags as interned ids. Columns always have equal length.
+struct IntervalSoA {
+  std::vector<Res> res;
+  std::vector<double> start;
+  std::vector<double> end;
+  std::vector<TagId> tag;
+
+  std::size_t size() const { return res.size(); }
+  bool empty() const { return res.empty(); }
+  void clear();
+  /// Reserves capacity in all columns at once.
+  void reserve(std::size_t n);
+  /// Appends one interval, growing all columns by arena-style chunks
+  /// (doubling from a 1024-interval floor) so steady-state appends never
+  /// reallocate mid-chunk.
+  void push_back(Res r, double s, double e, TagId t);
 };
 
 class Timeline {
@@ -48,7 +109,19 @@ class Timeline {
   /// attached the op's duration is perturbed by the active hazard scenario;
   /// `ready` and `duration` must be finite and non-negative so perturbed ops
   /// can never move a resource's busy-until backwards.
-  double schedule(Res r, double ready, double duration, std::string tag = {});
+  ///
+  /// The string_view overload interns the tag only while interval recording
+  /// is on; with recording off (the default) it is exactly the untagged hot
+  /// path — no string is ever constructed, hashed, or copied.
+  double schedule(Res r, double ready, double duration,
+                  std::string_view tag = {});
+  /// Pre-interned tag variant for callers that schedule the same op name in
+  /// a tight loop (see intern_tag()).
+  double schedule(Res r, double ready, double duration, TagId tag);
+
+  /// Interns `tag` into this timeline's pool up front so a loop can call
+  /// the TagId overload of schedule().
+  TagId intern_tag(std::string_view tag) { return tags_.intern(tag); }
 
   /// Earliest time new work could start on `r`.
   double busy_until(Res r) const;
@@ -68,18 +141,35 @@ class Timeline {
   /// busy time (used to model synchronization points).
   void block_until(Res r, double t);
 
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  /// Compatibility view of the recorded intervals: materialized (and cached)
+  /// from the SoA columns with tags formatted from the pool. The reference
+  /// is invalidated by the next schedule()/reset(). Cold-path only —
+  /// attribution, trace export, gantt and the profiler read this once per
+  /// finished run; hot consumers should use intervals_soa().
+  const std::vector<Interval>& intervals() const;
 
   /// Hazard-stall sub-intervals (the fault-injected tail of each perturbed
   /// op), recorded only while interval recording is on. Rendered as a
-  /// dedicated "Hazards" track by the Chrome trace export.
-  const std::vector<Interval>& hazard_intervals() const {
-    return hazard_intervals_;
-  }
+  /// dedicated "Hazards" track by the Chrome trace export. Same
+  /// materialized-view contract as intervals().
+  const std::vector<Interval>& hazard_intervals() const;
+
+  /// Native structure-of-arrays interval storage (tags as TagIds; resolve
+  /// through tag_pool().view()).
+  const IntervalSoA& intervals_soa() const { return soa_; }
+  const IntervalSoA& hazard_intervals_soa() const { return hazard_soa_; }
+  const TagPool& tag_pool() const { return tags_; }
+
+  /// Number of recorded intervals (without materializing the compat view).
+  std::size_t interval_count() const { return soa_.size(); }
 
   /// Enables interval recording (tags + gantt). Off by default: long decode
   /// simulations only need aggregate busy times.
   void set_record_intervals(bool on) { record_ = on; }
+
+  /// Pre-sizes the interval columns (e.g. when the caller knows the op
+  /// count of the run it is about to schedule).
+  void reserve_intervals(std::size_t n) { soa_.reserve(n); }
 
   /// Attaches a hazard-injection fault model; every subsequently scheduled
   /// op is perturbed through it, so all engines price hazards identically.
@@ -97,14 +187,22 @@ class Timeline {
   }
 
   /// Clears all scheduled state and hazard telemetry; keeps the attached
-  /// fault model (it is configuration, not state).
+  /// fault model (it is configuration, not state) and the interned tag
+  /// vocabulary (ids stay stable across reset).
   void reset();
 
  private:
   std::array<double, kNumRes> busy_until_{};
   std::array<double, kNumRes> busy_time_{};
-  std::vector<Interval> intervals_;
-  std::vector<Interval> hazard_intervals_;
+  IntervalSoA soa_;
+  IntervalSoA hazard_soa_;
+  TagPool tags_;
+  TagId hazard_tag_ = kNoTag;  ///< lazily interned "hazard stall"
+  // Materialized compatibility views, rebuilt on demand after mutation.
+  mutable std::vector<Interval> compat_;
+  mutable std::vector<Interval> hazard_compat_;
+  mutable bool compat_dirty_ = false;
+  mutable bool hazard_compat_dirty_ = false;
   double last_start_ = 0.0;
   bool record_ = false;
   FaultModel* fault_ = nullptr;

@@ -187,17 +187,37 @@ void rope_inplace(std::span<float> x, int n_heads, int head_dim, int pos,
 std::vector<int> topk_indices(std::span<const float> x, int k) {
   DAOP_CHECK_GE(k, 0);
   DAOP_CHECK_LE(static_cast<std::size_t>(k), x.size());
-  std::vector<int> idx(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) idx[i] = static_cast<int>(i);
-  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
-                    [&](int a, int b) {
-                      const float xa = x[static_cast<std::size_t>(a)];
-                      const float xb = x[static_cast<std::size_t>(b)];
-                      if (xa != xb) return xa > xb;
-                      return a < b;
-                    });
-  idx.resize(static_cast<std::size_t>(k));
-  return idx;
+  // Repeated max-scan over the strict total order (score desc, index asc).
+  // (score, index) pairs are distinct, so the top-k sequence is uniquely
+  // determined and this matches a partial_sort with the same comparator
+  // exactly — but with no index scratch vector and O(k*n) work, which wins
+  // for MoE routing's tiny k (top-2 of 8 experts) on the hottest call site
+  // in the simulator (every token × layer of every generated trace).
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(k));
+  float prev_x = 0.0f;
+  int prev_i = -1;
+  for (int round = 0; round < k; ++round) {
+    int best = -1;
+    float best_x = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const float xi = x[i];
+      const int ii = static_cast<int>(i);
+      // Only elements ranked strictly after the previous pick remain.
+      if (prev_i >= 0 && !(xi < prev_x || (xi == prev_x && ii > prev_i))) {
+        continue;
+      }
+      // Ascending scan + strict improvement keeps the lowest index on ties.
+      if (best < 0 || xi > best_x) {
+        best = ii;
+        best_x = xi;
+      }
+    }
+    out.push_back(best);
+    prev_x = best_x;
+    prev_i = best;
+  }
+  return out;
 }
 
 int argmax(std::span<const float> x) {

@@ -77,5 +77,43 @@ TEST(ThreadPool, ManyIterationsFewThreads) {
   EXPECT_EQ(sum.load(), 100000LL * 99999 / 2);
 }
 
+TEST(ThreadPool, EmptyAndNegativeRangesAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, [&](std::int64_t) { count.fetch_add(1); });
+  pool.parallel_for(-5, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPool, ShutdownJoinsWorkersAndIsIdempotent) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a safe no-op
+}
+
+TEST(ThreadPool, RunsInlineAfterShutdown) {
+  // Lifetime hygiene for ThreadPool::global(): code running during static
+  // teardown may still hit the pool after an explicit shutdown(), and must
+  // get correct (inline) execution rather than a hang or a crash.
+  ThreadPool pool(3);
+  pool.shutdown();
+  std::atomic<long long> sum{0};
+  pool.parallel_for(1000, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000LL * 999 / 2);
+}
+
+TEST(ThreadPool, PropagatesExceptionsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::int64_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace daop

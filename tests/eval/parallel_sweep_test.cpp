@@ -1,0 +1,209 @@
+// Determinism harness for eval::ParallelSweepRunner: the parallel sweep's
+// results, metrics snapshots, and trace bytes must be byte-identical to a
+// serial loop over the same cells, at every thread count, seeds and
+// full-chaos hazards included. This is the contract that lets the benches
+// fan out without touching their goldens.
+#include "eval/parallel_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../testing/helpers.hpp"
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "data/workload.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/trace_export.hpp"
+
+namespace daop::eval {
+namespace {
+
+SpeedEvalOptions fast_options(std::uint64_t seed) {
+  SpeedEvalOptions opt;
+  opt.n_seqs = 2;
+  opt.prompt_len = 16;
+  opt.gen_len = 16;
+  opt.calibration_seqs = 4;
+  opt.seed = seed;
+  return opt;
+}
+
+// A small grid mixing engines, seeds, and hazard environments, including
+// the full-chaos scenario ("all" hazards at full intensity).
+std::vector<SpeedGridCell> make_grid(std::uint64_t seed) {
+  const model::ModelConfig cfg = daop::testing::small_mixtral();
+  const sim::PlatformSpec platform = sim::a6000_i9_platform();
+  std::vector<SpeedGridCell> cells;
+  for (EngineKind kind : {EngineKind::MixtralOffloading, EngineKind::Fiddler,
+                          EngineKind::Daop}) {
+    for (int hazard = 0; hazard < 2; ++hazard) {
+      SpeedGridCell cell;
+      cell.kind = kind;
+      cell.model = cfg;
+      cell.platform = platform;
+      cell.workload = data::c4();
+      cell.options = fast_options(seed);
+      if (hazard) {
+        cell.options.hazards = sim::make_hazard_scenario("all", 1.0);
+        cell.label = "chaos";
+      } else {
+        cell.label = "calm";
+      }
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+// Exact-bit serialization of a RunResult: any drift in any field shows up
+// as a string mismatch with a readable diff.
+std::string result_bytes(const engines::RunResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.engine << '|' << r.prompt_tokens << '|' << r.generated_tokens << '|'
+     << r.prefill_s << '|' << r.decode_s << '|' << r.total_s << '|'
+     << r.tokens_per_s << '|' << r.decode_tokens_per_s << '|'
+     << r.tokens_per_kj << '|' << r.energy.total_j << '|'
+     << r.counters.migration_retries << '|' << r.counters.migration_aborts
+     << '|' << r.counters.stale_precalcs << '|' << r.counters.degradations
+     << '|' << r.counters.hazard_stall_s;
+  return os.str();
+}
+
+std::string grid_bytes(const std::vector<SpeedGridCellResult>& grid) {
+  std::string out;
+  for (const auto& cell : grid) {
+    for (const auto& r : cell.per_sequence) out += result_bytes(r) + '\n';
+    out += "agg " + result_bytes(cell.aggregate) + '\n';
+  }
+  return out;
+}
+
+// The serial reference: what the pre-refactor benches did — run each cell
+// in index order with the registry attached, no sharing, no pool.
+std::string serial_reference(const std::vector<SpeedGridCell>& cells,
+                             std::string* metrics_json,
+                             std::string* metrics_prom) {
+  obs::MetricsRegistry reg;
+  std::string out;
+  for (const auto& cell : cells) {
+    SpeedEvalOptions opt = cell.options;
+    opt.metrics = &reg;
+    const auto per_seq = run_speed_eval_per_sequence(
+        cell.kind, cell.model, cell.platform, cell.workload, opt);
+    for (const auto& r : per_seq) out += result_bytes(r) + '\n';
+    out += "agg " +
+           result_bytes(engines::aggregate_results(per_seq[0].engine,
+                                                   per_seq)) +
+           '\n';
+  }
+  *metrics_json = reg.to_json();
+  *metrics_prom = reg.to_prometheus();
+  return out;
+}
+
+TEST(ParallelSweep, ByteIdenticalToSerialAcrossThreadCountsAndSeeds) {
+  for (std::uint64_t seed : {7ULL, 11ULL, 23ULL}) {
+    const auto cells = make_grid(seed);
+    std::string serial_json;
+    std::string serial_prom;
+    const std::string serial = serial_reference(cells, &serial_json,
+                                                &serial_prom);
+    for (unsigned threads : {1U, 2U, 8U}) {
+      const ParallelSweepRunner runner(threads);
+      obs::MetricsRegistry reg;
+      const auto grid = runner.run_speed_grid(cells, &reg);
+      EXPECT_EQ(grid_bytes(grid), serial)
+          << "results diverged at seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(reg.to_json(), serial_json)
+          << "metrics JSON diverged at seed=" << seed
+          << " threads=" << threads;
+      EXPECT_EQ(reg.to_prometheus(), serial_prom)
+          << "metrics text diverged at seed=" << seed
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSweep, SharedPrecomputationIsValueIdentical) {
+  // Supplying the hoisted placement/traces must be bit-identical to the
+  // default in-eval computation — the property the grid runner relies on.
+  const auto cells = make_grid(7);
+  const auto& cell = cells.back();  // Daop under full chaos
+  const auto baseline = run_speed_eval_per_sequence(
+      cell.kind, cell.model, cell.platform, cell.workload, cell.options);
+
+  const cache::Placement placement =
+      calibrated_initial_placement(cell.model, cell.options);
+  const std::vector<data::SequenceTrace> traces =
+      generate_eval_traces(cell.model, cell.workload, cell.options);
+  SpeedEvalOptions hoisted = cell.options;
+  hoisted.initial_placement = &placement;
+  hoisted.traces = &traces;
+  const auto with_hoisting = run_speed_eval_per_sequence(
+      cell.kind, cell.model, cell.platform, cell.workload, hoisted);
+
+  ASSERT_EQ(with_hoisting.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(result_bytes(with_hoisting[i]), result_bytes(baseline[i]));
+  }
+}
+
+TEST(ParallelSweep, TraceBytesAreThreadInvariant) {
+  // An engine run recording into a timeline, exported as Chrome-trace JSON,
+  // must produce identical bytes whether it executes on the calling thread
+  // or inside a pool worker (pooled session buffers are thread-local; tag
+  // interning is per-timeline).
+  const model::ModelConfig cfg = daop::testing::small_mixtral();
+  const sim::PlatformSpec platform = sim::a6000_i9_platform();
+  SpeedEvalOptions opt = fast_options(7);
+  opt.hazards = sim::make_hazard_scenario("all", 1.0);
+  const cache::Placement placement = calibrated_initial_placement(cfg, opt);
+  const std::vector<data::SequenceTrace> traces =
+      generate_eval_traces(cfg, data::c4(), opt);
+
+  auto run_traced = [&]() {
+    const sim::CostModel cm(platform);
+    const model::OpCosts costs(cfg, cm);
+    auto engine = make_engine(EngineKind::Daop, costs, opt.daop_config);
+    sim::FaultModel fm(opt.hazards, opt.seed ^ 0xFA017ULL);
+    sim::Timeline tl;
+    tl.set_fault_model(&fm);
+    tl.set_record_intervals(true);
+    engine->run(traces.front(), placement, &tl);
+    return sim::to_chrome_trace_json(tl);
+  };
+
+  const std::string serial = run_traced();
+  EXPECT_FALSE(serial.empty());
+  ThreadPool pool(4);
+  std::vector<std::string> from_workers(8);
+  pool.parallel_for(static_cast<std::int64_t>(from_workers.size()),
+                    [&](std::int64_t i) {
+                      from_workers[static_cast<std::size_t>(i)] = run_traced();
+                    });
+  for (const auto& bytes : from_workers) EXPECT_EQ(bytes, serial);
+}
+
+TEST(ParallelSweep, RunCellsCoversEveryIndexOnce) {
+  const ParallelSweepRunner runner(4);
+  std::vector<int> hits(257, 0);
+  runner.run_cells(static_cast<std::int64_t>(hits.size()),
+                   [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelSweep, RejectsCellsWithAttachedSinks) {
+  auto cells = make_grid(7);
+  obs::MetricsRegistry reg;
+  cells[0].options.metrics = &reg;
+  const ParallelSweepRunner runner(2);
+  EXPECT_THROW(runner.run_speed_grid(cells), CheckError);
+}
+
+}  // namespace
+}  // namespace daop::eval

@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "obs/attribution.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
 
 namespace daop::obs {
@@ -214,6 +215,57 @@ TEST(AttributeWindow, RealTimelineConservesExactly) {
   }
   EXPECT_NEAR(b.serialized_s(), busy_total, 1e-9);
   expect_conservation(b);
+}
+
+// Hand-materializes the SoA columns into Interval structs, bypassing the
+// Timeline's cached compat view.
+std::vector<sim::Interval> materialize(const sim::IntervalSoA& soa,
+                                       const sim::TagPool& tags) {
+  std::vector<sim::Interval> out;
+  out.reserve(soa.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    out.push_back(iv(soa.res[i], soa.start[i], soa.end[i],
+                     tags.view(soa.tag[i])));
+  }
+  return out;
+}
+
+TEST(Attribution, SoAAndCompatViewAttributeIdentically) {
+  // The SoA columns and the compat view are two encodings of the same
+  // recorded intervals: attribution over either must be bit-identical,
+  // and conservation must hold on both — hazards included.
+  sim::FaultModel fm(sim::make_hazard_scenario("all", 1.0), 99);
+  sim::Timeline tl;
+  tl.set_fault_model(&fm);
+  tl.set_record_intervals(true);
+  double ready = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    ready = tl.schedule(sim::Res::GpuStream, ready, 1e-3, "attn fwd");
+    tl.schedule(sim::Res::CpuPool, ready, 2e-3, "expert cpu");
+    if (i % 3 == 0) tl.schedule(sim::Res::PcieH2D, ready, 5e-4, "fetch");
+  }
+
+  const std::vector<sim::Interval> from_soa =
+      materialize(tl.intervals_soa(), tl.tag_pool());
+  const std::vector<sim::Interval> from_soa_hz =
+      materialize(tl.hazard_intervals_soa(), tl.tag_pool());
+  ASSERT_EQ(from_soa.size(), tl.intervals().size());
+  ASSERT_EQ(from_soa_hz.size(), tl.hazard_intervals().size());
+
+  const AttrBreakdown via_compat =
+      attribute_window(tl.intervals(), tl.hazard_intervals(), 0.0, tl.span());
+  const AttrBreakdown via_soa =
+      attribute_window(from_soa, from_soa_hz, 0.0, tl.span());
+
+  EXPECT_EQ(via_compat.window_s, via_soa.window_s);
+  EXPECT_EQ(via_compat.idle_s, via_soa.idle_s);
+  for (int c = 0; c < kNumAttrCategories; ++c) {
+    const auto cat = static_cast<AttrCategory>(c);
+    EXPECT_EQ(via_compat.busy(cat), via_soa.busy(cat));
+    EXPECT_EQ(via_compat.exposed(cat), via_soa.exposed(cat));
+  }
+  expect_conservation(via_compat);
+  expect_conservation(via_soa);
 }
 
 }  // namespace

@@ -158,5 +158,118 @@ TEST(Gantt, RejectsEmptyWindow) {
   EXPECT_THROW(render_gantt(tl, 1.0, 1.0, 10), CheckError);
 }
 
+TEST(TagPool, InternsAndRoundTrips) {
+  TagPool pool;
+  EXPECT_EQ(pool.intern(""), kNoTag);
+  const TagId a = pool.intern("fetch L0 E3");
+  const TagId b = pool.intern("attn fwd");
+  EXPECT_NE(a, kNoTag);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(pool.intern("fetch L0 E3"), a);  // dedup: same id back
+  EXPECT_EQ(pool.view(a), "fetch L0 E3");
+  EXPECT_EQ(pool.view(b), "attn fwd");
+  EXPECT_EQ(pool.view(kNoTag), "");
+  EXPECT_EQ(pool.size(), 3U);  // "", plus two distinct tags
+}
+
+TEST(TagPool, ClearResetsToEmptyStringOnly) {
+  TagPool pool;
+  pool.intern("x");
+  pool.clear();
+  EXPECT_EQ(pool.size(), 1U);
+  EXPECT_EQ(pool.intern(""), kNoTag);
+}
+
+TEST(TimelineSoA, CompatViewMatchesColumns) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 0.5, "a");
+  tl.schedule(Res::CpuPool, 0.1, 0.25, "b");
+  tl.schedule(Res::PcieH2D, 0.0, 0.75, "a");
+  tl.schedule(Res::GpuStream, 0.0, 0.5);  // untagged
+
+  const IntervalSoA& soa = tl.intervals_soa();
+  const std::vector<Interval>& compat = tl.intervals();
+  ASSERT_EQ(compat.size(), soa.size());
+  ASSERT_EQ(tl.interval_count(), soa.size());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_EQ(compat[i].res, soa.res[i]);
+    EXPECT_EQ(compat[i].start, soa.start[i]);
+    EXPECT_EQ(compat[i].end, soa.end[i]);
+    EXPECT_EQ(compat[i].tag, tl.tag_pool().view(soa.tag[i]));
+  }
+  EXPECT_EQ(compat.back().tag, "");
+}
+
+TEST(TimelineSoA, CompatViewRefreshesAfterMoreScheduling) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  tl.schedule(Res::GpuStream, 0.0, 1.0, "first");
+  EXPECT_EQ(tl.intervals().size(), 1U);
+  tl.schedule(Res::GpuStream, 0.0, 1.0, "second");
+  ASSERT_EQ(tl.intervals().size(), 2U);
+  EXPECT_EQ(tl.intervals()[1].tag, "second");
+}
+
+TEST(TimelineSoA, PreInternedTagMatchesStringTag) {
+  Timeline a;
+  Timeline b;
+  a.set_record_intervals(true);
+  b.set_record_intervals(true);
+  const TagId tid = b.intern_tag("op");
+  for (int i = 0; i < 100; ++i) {
+    const double ea = a.schedule(Res::GpuStream, 0.0, 0.001, "op");
+    const double eb = b.schedule(Res::GpuStream, 0.0, 0.001, tid);
+    EXPECT_EQ(ea, eb);
+  }
+  ASSERT_EQ(a.intervals().size(), b.intervals().size());
+  for (std::size_t i = 0; i < a.intervals().size(); ++i) {
+    EXPECT_EQ(a.intervals()[i].tag, b.intervals()[i].tag);
+  }
+}
+
+TEST(TimelineSoA, RecordingOffNeverInterns) {
+  Timeline tl;
+  const std::size_t before = tl.tag_pool().size();
+  for (int i = 0; i < 100; ++i) {
+    tl.schedule(Res::GpuStream, 0.0, 0.001, "never-interned");
+  }
+  EXPECT_EQ(tl.tag_pool().size(), before);
+  EXPECT_EQ(tl.interval_count(), 0U);
+}
+
+TEST(TimelineSoA, ArenaGrowthPreservesOrderPastReserveFloor) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  const int n = 5000;  // crosses the 1024-interval chunk floor several times
+  for (int i = 0; i < n; ++i) {
+    tl.schedule(Res::GpuStream, 0.0, 1e-4, i % 2 ? "odd" : "even");
+  }
+  const auto& ivs = tl.intervals();
+  ASSERT_EQ(ivs.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(ivs[static_cast<std::size_t>(i)].tag, i % 2 ? "odd" : "even");
+    if (i > 0) {
+      EXPECT_GE(ivs[static_cast<std::size_t>(i)].start,
+                ivs[static_cast<std::size_t>(i - 1)].end);
+    }
+  }
+}
+
+TEST(TimelineSoA, ResetKeepsTagVocabularyAndClearsIntervals) {
+  Timeline tl;
+  tl.set_record_intervals(true);
+  const TagId tid = tl.intern_tag("sticky");
+  tl.schedule(Res::GpuStream, 0.0, 1.0, tid);
+  tl.reset();
+  EXPECT_EQ(tl.interval_count(), 0U);
+  EXPECT_EQ(tl.span(), 0.0);
+  EXPECT_EQ(tl.tag_pool().view(tid), "sticky");  // ids stay valid across reset
+  tl.set_record_intervals(true);
+  tl.schedule(Res::CpuPool, 0.0, 0.5, tid);
+  ASSERT_EQ(tl.intervals().size(), 1U);
+  EXPECT_EQ(tl.intervals()[0].tag, "sticky");
+}
+
 }  // namespace
 }  // namespace daop::sim
