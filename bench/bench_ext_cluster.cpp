@@ -11,10 +11,13 @@
 // --baseline-out PATH additionally writes a daop-profile/1-shaped report
 // of the health-checked chaos run for scripts/perf_gate.py, gated in CI
 // against bench/baselines/cluster_tiny_c4.json.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "cluster/serving.hpp"
@@ -38,6 +41,18 @@ std::string fmt_g(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+// Nearest-rank p99 over a recovery-latency sample (matches
+// tests/recovery/warm_restart_test.cpp).
+double p99(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i =
+      static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(v.size()))) -
+      1;
+  return v[std::min(i, v.size() - 1)];
 }
 
 }  // namespace
@@ -231,6 +246,61 @@ int main(int argc, char** argv) {
             again.cluster.replayed_tokens == r.cluster.replayed_tokens,
         "chaos run is bit-identical on re-run");
 
+  // Warm-restart recovery: the identical chaos plan with crash-consistent
+  // checkpointing enabled (every decode step, durable writes priced on
+  // each node's timeline). The checkpoint-off run above recovers every
+  // loss episode by replaying prefill from scratch; the checkpointed run
+  // must warm-restore mid-decode instead, regenerating strictly fewer
+  // tokens and closing its loss episodes strictly faster.
+  auto warm = checked;
+  warm.base.metrics = nullptr;
+  warm.cluster.checkpoint.every_steps = 1;
+  const auto w = cluster::run_cluster_serving_eval(kind, cfg, platform,
+                                                   workload, warm);
+  sim_requests += chaos.base.n_requests;
+
+  const double rec_p99_replay = p99(r.recovery.recovery_latency_s);
+  const double rec_p99_warm = p99(w.recovery.recovery_latency_s);
+  const double rec_speedup =
+      rec_p99_warm > 0.0 ? rec_p99_replay / rec_p99_warm : 0.0;
+  TextTable rt({"recovery", "lost", "restored", "replayed", "shed",
+                "replayed tok", "p99 latency (s)"});
+  rt.add_row({"prefill replay", std::to_string(r.recovery.lost_sessions),
+              std::to_string(r.recovery.recovered_restored),
+              std::to_string(r.recovery.recovered_replayed),
+              std::to_string(r.recovery.recovered_shed),
+              std::to_string(r.cluster.replayed_tokens),
+              fmt_f(rec_p99_replay, 4)});
+  rt.add_row({"warm restart", std::to_string(w.recovery.lost_sessions),
+              std::to_string(w.recovery.recovered_restored),
+              std::to_string(w.recovery.recovered_replayed),
+              std::to_string(w.recovery.recovered_shed),
+              std::to_string(w.cluster.replayed_tokens),
+              fmt_f(rec_p99_warm, 4)});
+  std::printf("\n%s\n", rt.render().c_str());
+
+  std::printf("recovery acceptance:\n");
+  check(r.recovery.checkpoints_written == 0 && r.recovery.restores == 0,
+        "checkpoint-off run performed zero checkpoint work");
+  check(w.recovery.checkpoints_written > 0 && w.recovery.restores >= 1,
+        "checkpointed run wrote snapshots and warm-restored at least one "
+        "lost session (" +
+            std::to_string(w.recovery.restores) + ")");
+  check(w.recovery.lost_sessions == w.recovery.recovered_restored +
+                                        w.recovery.recovered_replayed +
+                                        w.recovery.recovered_shed &&
+            r.recovery.lost_sessions == r.recovery.recovered_replayed +
+                                            r.recovery.recovered_shed,
+        "every lost session resolved exactly once (restored|replayed|shed)");
+  check(w.cluster.replayed_tokens < r.cluster.replayed_tokens,
+        "warm restart regenerates fewer tokens (" +
+            std::to_string(w.cluster.replayed_tokens) + " vs " +
+            std::to_string(r.cluster.replayed_tokens) + ")");
+  check(rec_p99_warm < rec_p99_replay,
+        "warm restart beats prefill replay on p99 recovery latency (" +
+            fmt_f(rec_p99_warm, 4) + " s vs " + fmt_f(rec_p99_replay, 4) +
+            " s, " + fmt_f(rec_speedup, 2) + "x)");
+
   const std::string baseline_out = flags.get("baseline-out", "");
   if (!baseline_out.empty()) {
     std::ofstream f(baseline_out);
@@ -251,7 +321,20 @@ int main(int argc, char** argv) {
       << ",\"readmissions\":" << r.cluster.readmissions << "},\"naive\":{"
       << "\"served\":" << naive_r.served
       << ",\"slo_violation_rate\":" << fmt_g(naive_r.slo_violation_rate)
-      << "}}}\n";
+      << "},\"recovery\":{"
+      << "\"checkpoints_written\":" << w.recovery.checkpoints_written
+      << ",\"torn_writes\":" << w.recovery.torn_writes
+      << ",\"torn_rejected\":" << w.recovery.torn_rejected
+      << ",\"lost_sessions\":" << w.recovery.lost_sessions
+      << ",\"restored\":" << w.recovery.recovered_restored
+      << ",\"replayed\":" << w.recovery.recovered_replayed
+      << ",\"shed\":" << w.recovery.recovered_shed
+      << ",\"restored_tokens\":" << w.recovery.restored_tokens
+      << ",\"warm_replayed_tokens\":" << w.cluster.replayed_tokens
+      << ",\"replay_replayed_tokens\":" << r.cluster.replayed_tokens
+      << ",\"warm_p99_latency_s\":" << fmt_g(rec_p99_warm)
+      << ",\"replay_p99_latency_s\":" << fmt_g(rec_p99_replay)
+      << ",\"latency_speedup\":" << fmt_g(rec_speedup) << "}}}\n";
     if (!f) {
       std::fprintf(stderr, "failed to write %s\n", baseline_out.c_str());
       return 1;

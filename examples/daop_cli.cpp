@@ -87,6 +87,12 @@ int usage() {
       "            over this projected TTFT) --crash-node I --crash-at S\n"
       "            (explicit chaos injection); --hazard node-crash|\n"
       "            node-brownout|link-degrade|cluster draws per-node faults\n"
+      "recovery:   --ckpt-every N (checkpoint each session every N decode\n"
+      "            steps) --ckpt-interval S (and/or every S simulated\n"
+      "            seconds) --ckpt-keep G (generations retained, default 2)\n"
+      "            enables crash-consistent checkpointing + warm restart on\n"
+      "            failover; --hazard ckpt-torn|ckpt-corrupt|ckpt injects\n"
+      "            checkpoint write faults\n"
       "cache:      --cache-policy frozen|lru|lfu|activation-weighted|\n"
       "            reuse-predictor (default frozen; dynamic policies\n"
       "            re-migrate experts during decode) --cache-interval N\n"
@@ -335,6 +341,9 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
   opt.cluster.crash_node = flags.get_int("crash-node", -1);
   opt.cluster.crash_time_s = flags.get_double("crash-at", 0.0);
   opt.cluster.cache = cache_options_from(flags);
+  opt.cluster.checkpoint.every_steps = flags.get_int("ckpt-every", 0);
+  opt.cluster.checkpoint.every_s = flags.get_double("ckpt-interval", 0.0);
+  opt.cluster.checkpoint.keep_generations = flags.get_int("ckpt-keep", 2);
   obs::MetricsRegistry reg;
   opt.base.metrics = &reg;
   obs::SpanTracer tracer;
@@ -382,6 +391,22 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
     std::printf("health: ejections %lld   readmissions %lld\n",
                 r.cluster.ejections, r.cluster.readmissions);
   }
+  if (opt.cluster.checkpoint.enabled()) {
+    std::printf(
+        "recovery: checkpoints %lld (%s)   torn/corrupt writes %lld/%lld   "
+        "torn rejected %lld\n",
+        r.recovery.checkpoints_written,
+        fmt_bytes(static_cast<double>(r.recovery.checkpoint_bytes)).c_str(),
+        r.recovery.torn_writes, r.recovery.corrupt_writes,
+        r.recovery.torn_rejected);
+    std::printf(
+        "recovery: lost %lld = restored %lld + replayed %lld + shed %lld   "
+        "fallbacks (no-ckpt %lld, invalid %lld)   restored tokens %lld\n",
+        r.recovery.lost_sessions, r.recovery.recovered_restored,
+        r.recovery.recovered_replayed, r.recovery.recovered_shed,
+        r.recovery.fallbacks_no_checkpoint, r.recovery.fallbacks_invalid,
+        r.recovery.restored_tokens);
+  }
   if (opt.cluster.hedge_ttft_threshold_s > 0.0) {
     std::printf("hedges: issued %lld   won %lld   cancelled %lld\n",
                 r.cluster.hedges, r.cluster.hedge_wins,
@@ -407,12 +432,13 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
     std::string requests_json = "\"daopRequests\":[";
     for (std::size_t i = 0; i < r.request_log.size(); ++i) {
       const auto& e = r.request_log[i];
-      char buf[192];
+      char buf[256];
       std::snprintf(buf, sizeof(buf),
                     "%s{\"id\":%lld,\"arrival\":%.6f,\"outcome\":\"%s\","
-                    "\"failovers\":%lld}",
+                    "\"failovers\":%lld,\"restores\":%lld,"
+                    "\"recovery\":\"%s\"}",
                     i ? "," : "", e.id, e.arrival, e.outcome.c_str(),
-                    e.retries);
+                    e.retries, e.restores, e.recovery.c_str());
       requests_json += buf;
     }
     requests_json += "]";

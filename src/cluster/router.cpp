@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "recovery/reconcile.hpp"
 
 namespace daop::cluster {
 
@@ -51,6 +52,7 @@ void ClusterOptions::validate() const {
                  "hedged dispatch needs service_estimate_s to project TTFT");
   degrade.validate();
   cache.validate();
+  checkpoint.validate();
   DAOP_CHECK_GE(crash_time_s, 0.0);
 }
 
@@ -95,6 +97,15 @@ ClusterRouter::ClusterRouter(std::vector<NodeSeat> seats,
     DAOP_CHECK_LT(options_.crash_node, n_nodes());
     nodes_[static_cast<std::size_t>(options_.crash_node)].crash_time =
         options_.crash_time_s;
+  }
+  if (options_.checkpoint.enabled()) {
+    // Constructed only after nodes_ stops moving: each store captures its
+    // node timeline's address. Durable writes are priced on the node's own
+    // timeline and torn/corrupted by the node's own fault streams.
+    for (Node& n : nodes_) {
+      n.ckpt = std::make_unique<recovery::CheckpointStore>(
+          options_.checkpoint, &n.timeline, n.fault.get());
+    }
   }
   if (options_.tracer != nullptr) {
     tracer_track_ = options_.tracer->track("Cluster");
@@ -265,6 +276,14 @@ void ClusterRouter::lost_copy(std::size_t track, int tokens_done, double t,
   // A lost hedge copy whose twin is still live costs nothing extra: the
   // surviving copy carries the request.
   if (tr.live_copies > 0) return;
+  if (!tr.loss_open) {
+    // Every live copy is gone: open a loss episode. It resolves exactly
+    // once — warm-restored or replayed at the next admission, or shed —
+    // and chained losses before then extend it without reopening.
+    tr.loss_open = true;
+    tr.loss_time = t;
+    ++recovery_.lost_sessions;
+  }
   if (tr.failovers < options_.failover_budget) {
     ++tr.failovers;
     // Every token a dead predecessor generated will be regenerated by the
@@ -320,6 +339,12 @@ void ClusterRouter::crash_node(Node& n, double t) {
   n.alive = false;
   n.crash_time = kInf;
   ++stats_.crashes;
+  if (n.ckpt != nullptr) {
+    // Crash consistency: a durable write still in PCIe flight dies with
+    // the node (counted as torn). Completed generations survive — the
+    // store models durable storage a surviving peer can read from.
+    n.ckpt->discard_in_flight(t);
+  }
   tinstant(-1, "node " + std::to_string(n.id) + " crashed", t);
   std::vector<ActiveCopy> lost_active;
   lost_active.swap(n.active);
@@ -382,9 +407,14 @@ void ClusterRouter::resolve_served(std::size_t track, int node_id,
   o.replayed_tokens = tr.replayed_tokens;
   o.hedged = tr.hedged;
   o.hedge_won = hedge;
+  o.restores = tr.restores;
+  o.recovery = tr.last_recovery;
   o.result = std::move(result);
   ++stats_.node_served[static_cast<std::size_t>(node_id)];
   if (hedge) ++stats_.hedge_wins;
+  DAOP_CHECK_MSG(!tr.loss_open,
+                 "a served request cannot have an unresolved loss episode");
+  drop_checkpoints(tr.request.id);
 }
 
 void ClusterRouter::resolve_shed(std::size_t track, eval::ShedReason reason,
@@ -394,12 +424,21 @@ void ClusterRouter::resolve_shed(std::size_t track, eval::ShedReason reason,
   DAOP_CHECK_EQ(tr.live_copies, 0);
   tr.resolved = true;
   --unresolved_;
+  if (tr.loss_open) {
+    // The loss episode ends here: no copy will ever be re-admitted.
+    tr.loss_open = false;
+    tr.last_recovery = "shed";
+    ++recovery_.recovered_shed;
+  }
   Outcome& o = outcomes_[track];
   o.shed = true;
   o.shed_reason = reason;
   o.failovers = tr.failovers;
   o.replayed_tokens = tr.replayed_tokens;
   o.hedged = tr.hedged;
+  o.restores = tr.restores;
+  o.recovery = tr.last_recovery;
+  drop_checkpoints(tr.request.id);
   switch (reason) {
     case eval::ShedReason::kNodeLost:
       ++stats_.shed_node_lost;
@@ -416,6 +455,61 @@ void ClusterRouter::resolve_shed(std::size_t track, eval::ShedReason reason,
   }
   tinstant(tr.request.id,
            std::string("shed (") + eval::shed_reason_name(reason) + ")", t);
+}
+
+void ClusterRouter::drop_checkpoints(long long request_id) {
+  if (!options_.checkpoint.enabled()) return;
+  for (Node& m : nodes_) m.ckpt->drop(request_id);
+}
+
+bool ClusterRouter::try_warm_restore(Node& n, Track& tr,
+                                     engines::SequenceSession& session,
+                                     double t_admit, double& recovery_ready) {
+  // Checkpoints model durable storage: every node's store is scanned,
+  // including the crashed node's (its completed generations survived; its
+  // in-flight writes died with it). Newest step wins; the scan order makes
+  // ties deterministic (lowest node id).
+  const recovery::CheckpointRecord* best = nullptr;
+  for (Node& m : nodes_) {
+    const recovery::CheckpointRecord* rec =
+        m.ckpt->latest_valid(tr.request.id, t_admit);
+    if (rec != nullptr && (best == nullptr || rec->step > best->step)) {
+      best = rec;
+    }
+  }
+  if (best == nullptr) {
+    ++recovery_.fallbacks_no_checkpoint;
+    return false;
+  }
+  // Rebuild the snapshot's expert residency on the surviving node BEFORE
+  // the session re-pins its working set. Experts pinned by concurrent
+  // sessions stay put (refusals); the restored session then degrades to
+  // CPU execution for them exactly as for any refused migration.
+  const std::optional<engines::SessionSnapshotInfo> info =
+      engines::SequenceSession::peek(best->bytes);
+  if (info.has_value() && info->has_placement) {
+    const recovery::ReconcileResult rr = recovery::reconcile_placement(
+        info->placement, *n.arbiter, n.timeline, t_admit,
+        n.engine->costs().expert_migration(), tr.request.id);
+    recovery_ready = std::max(recovery_ready, rr.ready);
+    recovery_.reconcile_migrations += rr.migrated;
+    recovery_.reconcile_evictions += rr.evicted;
+    recovery_.reconcile_refusals += rr.refused;
+  }
+  engines::RestoreOptions ropts;
+  ropts.resume_floor = t_admit;
+  if (!session.restore(best->bytes, ropts)) {
+    ++recovery_.fallbacks_invalid;
+    return false;
+  }
+  ++recovery_.restores;
+  recovery_.restored_tokens += best->step;
+  // Tokens up to the snapshot step are NOT regenerated: credit them back
+  // against the replay accounting the losses already charged.
+  const long long credit = std::min(best->step, tr.replayed_tokens);
+  tr.replayed_tokens -= credit;
+  stats_.replayed_tokens -= credit;
+  return true;
 }
 
 int ClusterRouter::total_leaked_pins() const {
@@ -630,7 +724,46 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
       a.hedge = q.hedge;
       a.session = n.engine->open_session(tr.request.trace,
                                          n.arbiter->placement(), env);
-      a.session->prefill();
+      bool restored = false;
+      double recovery_ready = t_admit;
+      if (tr.loss_open && options_.checkpoint.enabled()) {
+        restored = try_warm_restore(n, tr, *a.session, t_admit,
+                                    recovery_ready);
+      }
+      if (!restored) a.session->prefill();
+      if (tr.loss_open) {
+        // The loss episode resolves at this re-admission: warm-restored
+        // from the snapshot, or replayed from the recorded trace.
+        tr.loss_open = false;
+        tr.last_recovery = restored ? "restored" : "replayed";
+        if (restored) {
+          ++tr.restores;
+          ++recovery_.recovered_restored;
+        } else {
+          ++recovery_.recovered_replayed;
+        }
+        RestoreEvent ev;
+        ev.request_id = tr.request.id;
+        ev.node = n.id;
+        ev.restored = restored;
+        ev.step = restored ? a.session->tokens_generated() : 0;
+        ev.loss_time = tr.loss_time;
+        ev.admit_time = t_admit;
+        ev.latency_s = std::max(a.session->ready_time(), recovery_ready) -
+                       tr.loss_time;
+        recovery_.recovery_latency_s.push_back(ev.latency_s);
+        recovery_.events.push_back(ev);
+        tinstant(tr.request.id,
+                 std::string(restored ? "warm restore req " : "replay req ") +
+                     std::to_string(tr.request.id) + " on node " +
+                     std::to_string(n.id) +
+                     (restored ? " (token " +
+                                     std::to_string(
+                                         a.session->tokens_generated()) +
+                                     ")"
+                               : ""),
+                 t_admit);
+      }
       n.free_slots.erase(n.free_slots.begin() +
                          static_cast<std::ptrdiff_t>(slot_i));
       n.active.push_back(std::move(a));
@@ -639,11 +772,28 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
     }
 
     ActiveCopy& a = n.active[step_i];
-    if (a.session->decode_step()) continue;
+    if (a.session->decode_step()) {
+      if (n.ckpt != nullptr) {
+        const long long rid = tracks_[a.track].request.id;
+        const long long step = a.session->tokens_generated();
+        const double now = a.session->ready_time();
+        if (n.ckpt->due(rid, step, now)) {
+          std::vector<std::uint8_t> snap = a.session->checkpoint();
+          if (!snap.empty()) n.ckpt->write(rid, step, now, std::move(snap));
+        }
+      }
+      continue;
+    }
+    // For warm-restored sessions the session clock starts at the ORIGINAL
+    // admission (shifted), not this copy's re-admission, so completion time
+    // must come from the session's own start. For normal sessions
+    // start_time() == a.start exactly (bit-identical to the historical
+    // `a.start + r.total_s`).
+    const double session_start = a.session->start_time();
     engines::RunResult r = a.session->close();
     n.closed_aborts += r.counters.migration_aborts;
     n.closed_retries += r.counters.migration_retries;
-    const double end = a.start + r.total_s;
+    const double end = session_start + r.total_s;
     const double start = a.start;
     const bool hedge = a.hedge;
     const std::size_t track = a.track;
@@ -659,6 +809,24 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
 
   // ---- Final telemetry + conservation (cluster-aware: one outcome per
   // request no matter how many copies or failover attempts it consumed). ----
+  if (options_.checkpoint.enabled()) {
+    for (const Node& n : nodes_) {
+      const recovery::CheckpointStoreStats& cs = n.ckpt->stats();
+      recovery_.checkpoints_written += cs.writes;
+      recovery_.checkpoint_bytes += cs.bytes_written;
+      recovery_.torn_writes += cs.torn_writes;
+      recovery_.corrupt_writes += cs.corrupt_writes;
+      recovery_.torn_rejected += cs.torn_rejected;
+    }
+  }
+  // Recovery conservation: every loss episode resolved exactly one way.
+  DAOP_CHECK_EQ(recovery_.lost_sessions,
+                recovery_.recovered_restored + recovery_.recovered_replayed +
+                    recovery_.recovered_shed);
+  DAOP_CHECK_EQ(recovery_.restores, recovery_.recovered_restored);
+  for (const Track& tr : tracks_) {
+    DAOP_CHECK_MSG(!tr.loss_open, "run ended with an open loss episode");
+  }
   stats_.ejections = health_.ejections();
   stats_.readmissions = health_.readmissions();
   stats_.node_final_state.assign(nodes_.size(), 2);

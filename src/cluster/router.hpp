@@ -58,6 +58,7 @@
 #include "engines/session.hpp"
 #include "eval/overload.hpp"
 #include "obs/span_tracer.hpp"
+#include "recovery/checkpoint_store.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
 
@@ -113,6 +114,14 @@ struct ClusterOptions {
   /// sessions. Policy `frozen` (the default) constructs no caches and keeps
   /// every node on its prefill-frozen placement (bit-identical).
   cache::ExpertCacheOptions cache;
+  /// Crash-consistent checkpointing (recovery/checkpoint_store.hpp),
+  /// instantiated PER NODE when enabled: decoding sessions snapshot at the
+  /// configured cadence (durable writes priced on the node timeline), and a
+  /// failover re-dispatch warm-restarts from the newest valid snapshot
+  /// found on ANY node's store instead of replaying prefill. Disabled (the
+  /// default) performs zero checkpoint work and zero fault-stream draws —
+  /// bit-identical to the pre-recovery router.
+  recovery::CheckpointOptions checkpoint;
   /// Explicit chaos injection for acceptance tests: crash `crash_node` at
   /// exactly `crash_time_s` (overrides that node's fault-model crash draw).
   /// -1 = no override.
@@ -158,6 +167,48 @@ struct ClusterStats {
   }
 };
 
+/// One loss episode's resolution (test/telemetry record). A loss episode
+/// opens when a request's LAST live copy is lost and closes exactly once:
+/// warm-restored from a checkpoint, replayed from prefill, or shed.
+struct RestoreEvent {
+  long long request_id = 0;
+  int node = -1;          ///< node the recovered session was admitted on
+  bool restored = false;  ///< warm restore (else prefill replay)
+  long long step = 0;     ///< decode step resumed at (0 for replay)
+  double loss_time = 0.0;   ///< when the last live copy was lost
+  double admit_time = 0.0;  ///< when the recovered copy was admitted
+  double latency_s = 0.0;   ///< recovery frontier - loss_time
+};
+
+/// Warm-restart recovery telemetry for one completed run. Conservation is
+/// DAOP_CHECKed at the end of run():
+///   lost_sessions == recovered_restored + recovered_replayed +
+///                    recovered_shed.
+struct RecoveryStats {
+  // Checkpoint plane (aggregated over every node's store).
+  long long checkpoints_written = 0;
+  long long checkpoint_bytes = 0;
+  long long torn_writes = 0;     ///< injected torn writes + died-with-node
+  long long corrupt_writes = 0;  ///< injected single-byte corruptions
+  long long torn_rejected = 0;   ///< snapshots rejected by unseal() at scan
+  // Restore plane.
+  long long restores = 0;         ///< successful SequenceSession::restore
+  long long restored_tokens = 0;  ///< decode steps NOT regenerated
+  long long fallbacks_no_checkpoint = 0;  ///< no valid snapshot anywhere
+  long long fallbacks_invalid = 0;        ///< restore() rejected the blob
+  long long reconcile_migrations = 0;
+  long long reconcile_evictions = 0;
+  long long reconcile_refusals = 0;
+  // Loss-episode conservation.
+  long long lost_sessions = 0;
+  long long recovered_restored = 0;
+  long long recovered_replayed = 0;
+  long long recovered_shed = 0;
+  /// Per-episode recovery latency (restored + replayed; sheds excluded).
+  std::vector<double> recovery_latency_s;
+  std::vector<RestoreEvent> events;
+};
+
 class ClusterRouter {
  public:
   /// Everything one replica brings to the cluster. The router owns the
@@ -195,6 +246,11 @@ class ClusterRouter {
     long long replayed_tokens = 0;  ///< tokens dead predecessors generated
     bool hedged = false;
     bool hedge_won = false;  ///< served by the hedge copy, not the primary
+    /// Loss episodes this request recovered via warm restore.
+    int restores = 0;
+    /// How the LAST loss episode resolved: "restored" | "replayed" |
+    /// "shed"; empty when the request never lost all its copies.
+    std::string recovery;
     engines::RunResult result;  ///< served only; times relative to `start`
   };
 
@@ -222,6 +278,13 @@ class ClusterRouter {
   const cache::ExpertCache* node_cache(int node) const {
     return nodes_[static_cast<std::size_t>(node)].cache.get();
   }
+  /// Warm-restart recovery telemetry (fully populated after run()).
+  const RecoveryStats& recovery() const { return recovery_; }
+  /// Node `node`'s checkpoint store, or nullptr when checkpointing is
+  /// disabled.
+  const recovery::CheckpointStore* node_checkpoint_store(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].ckpt.get();
+  }
 
  private:
   /// One request copy waiting in a node's admission queue.
@@ -244,6 +307,7 @@ class ClusterRouter {
     sim::Timeline timeline;
     std::unique_ptr<cache::PlacementArbiter> arbiter;
     std::unique_ptr<cache::ExpertCache> cache;  ///< null: policy frozen
+    std::unique_ptr<recovery::CheckpointStore> ckpt;  ///< null: disabled
     std::unique_ptr<eval::DegradationController> degrade;
     bool alive = true;
     double crash_time = std::numeric_limits<double>::infinity();
@@ -263,6 +327,15 @@ class ClusterRouter {
     int live_copies = 0;
     bool hedged = false;
     bool resolved = false;
+    /// Loss-episode state: `loss_open` holds from the instant the last live
+    /// copy is lost until the episode resolves (restored / replayed at the
+    /// next admission, or shed). Chained losses before re-admission — e.g.
+    /// a failover dispatched into a still-undetected dead node — extend the
+    /// SAME episode, keeping the FIRST loss time for latency accounting.
+    bool loss_open = false;
+    double loss_time = 0.0;
+    int restores = 0;
+    const char* last_recovery = "";
   };
   /// An undispatched (or re-dispatched) request copy at the router.
   struct Launch {
@@ -282,6 +355,17 @@ class ClusterRouter {
   void dispatch_copy(std::size_t track, int node_id, double t, bool hedge);
   void lost_copy(std::size_t track, int tokens_done, double t,
                  FailoverReason reason);
+  /// Attempts a warm restart for a loss-open track being admitted on `n` at
+  /// `t_admit`: scans every node's store for the newest valid snapshot,
+  /// reconciles `n`'s placement toward the snapshot image, and restores
+  /// `session`. On failure (no snapshot / rejected blob) counts the
+  /// fallback and leaves the session fresh for prefill replay.
+  /// `recovery_ready` receives the reconcile migration frontier.
+  bool try_warm_restore(Node& n, Track& tr,
+                        engines::SequenceSession& session, double t_admit,
+                        double& recovery_ready);
+  /// Drops a resolved request's snapshots from every node's store.
+  void drop_checkpoints(long long request_id);
   void cancel_copies(std::size_t track, double now);
   void crash_node(Node& n, double t);
   void probe_round(double t);
@@ -300,6 +384,7 @@ class ClusterRouter {
   int rr_cursor_ = 0;
   bool ran_ = false;
   ClusterStats stats_;
+  RecoveryStats recovery_;
   std::uint32_t tracer_track_ = 0;
 };
 

@@ -123,6 +123,8 @@ ClusterServingResult run_cluster_serving_eval(
     log.id = o.id;
     log.arrival = o.arrival;
     log.retries = o.failovers;
+    log.restores = o.restores;
+    if (!o.recovery.empty()) log.recovery = o.recovery;
     if (o.shed) {
       log.outcome =
           std::string("shed:") + eval::shed_reason_name(o.shed_reason);
@@ -179,6 +181,7 @@ ClusterServingResult run_cluster_serving_eval(
   // either served or shed, exactly once, regardless of copies/failovers.
   DAOP_CHECK_EQ(out.served + out.shed, options.base.n_requests);
   out.cluster = router.stats();
+  out.recovery = router.recovery();
   out.health_events = router.health_events();
   DAOP_CHECK_EQ(out.shed_node_lost, out.cluster.shed_node_lost);
   DAOP_CHECK_EQ(out.shed_deadline, out.cluster.shed_deadline);
@@ -305,6 +308,11 @@ ClusterServingResult run_cluster_serving_eval(
                 "Health-checker ejections and re-admissions.",
                 obs::Labels{{"engine", out.engine}, {"direction", "readmit"}})
         .inc(static_cast<double>(cs.readmissions));
+    reg.counter("daop_cluster_readmit_total",
+                "Nodes re-admitted to service by the health checker after a "
+                "recovery or brownout clearing.",
+                labels)
+        .inc(static_cast<double>(cs.readmissions));
     for (int i = 0; i < router.n_nodes(); ++i) {
       const obs::Labels node_labels{{"engine", out.engine},
                                     {"node", std::to_string(i)}};
@@ -317,6 +325,71 @@ ClusterServingResult run_cluster_serving_eval(
                   "Requests served, by node.", node_labels)
           .inc(static_cast<double>(
               cs.node_served[static_cast<std::size_t>(i)]));
+    }
+
+    // Recovery families only exist when checkpointing is on, so
+    // checkpoint-off cluster metrics stay bit-identical to PR 8.
+    if (options.cluster.checkpoint.enabled()) {
+      const RecoveryStats& rs = out.recovery;
+      reg.counter("daop_recovery_checkpoints_total",
+                  "Session snapshots durably written across node stores.",
+                  labels)
+          .inc(static_cast<double>(rs.checkpoints_written));
+      reg.counter("daop_recovery_checkpoint_bytes_total",
+                  "Sealed snapshot bytes written across node stores.", labels)
+          .inc(static_cast<double>(rs.checkpoint_bytes));
+      const auto fault_counter = [&](const char* kind_label, long long n) {
+        reg.counter("daop_recovery_checkpoint_faults_total",
+                    "Checkpoint writes damaged at write time, by kind.",
+                    obs::Labels{{"engine", out.engine}, {"kind", kind_label}})
+            .inc(static_cast<double>(n));
+      };
+      fault_counter("torn", rs.torn_writes);
+      fault_counter("corrupt", rs.corrupt_writes);
+      reg.counter("daop_recovery_torn_rejections_total",
+                  "Snapshots rejected by restore-side validation "
+                  "(magic/version/length/checksum).",
+                  labels)
+          .inc(static_cast<double>(rs.torn_rejected));
+      reg.counter("daop_recovery_restores_total",
+                  "Loss episodes resolved by warm restore from a snapshot.",
+                  labels)
+          .inc(static_cast<double>(rs.restores));
+      const auto fallback_counter = [&](const char* reason, long long n) {
+        reg.counter("daop_recovery_fallbacks_total",
+                    "Warm restores that fell back to prefill replay, by "
+                    "reason.",
+                    obs::Labels{{"engine", out.engine}, {"reason", reason}})
+            .inc(static_cast<double>(n));
+      };
+      fallback_counter("no-checkpoint", rs.fallbacks_no_checkpoint);
+      fallback_counter("invalid", rs.fallbacks_invalid);
+      const auto session_counter = [&](const char* outcome, long long n) {
+        reg.counter("daop_recovery_sessions_total",
+                    "Loss episodes by resolution (conservation: the three "
+                    "outcomes sum to lost sessions).",
+                    obs::Labels{{"engine", out.engine}, {"outcome", outcome}})
+            .inc(static_cast<double>(n));
+      };
+      session_counter("restored", rs.recovered_restored);
+      session_counter("replayed", rs.recovered_replayed);
+      session_counter("shed", rs.recovered_shed);
+      const auto token_counter = [&](const char* path, long long n) {
+        reg.counter("daop_recovery_tokens_total",
+                    "Decode tokens by recovery path: restored from a "
+                    "snapshot vs regenerated by replay.",
+                    obs::Labels{{"engine", out.engine}, {"path", path}})
+            .inc(static_cast<double>(n));
+      };
+      token_counter("restored", rs.restored_tokens);
+      token_counter("replayed", cs.replayed_tokens);
+      obs::HistogramData rec_hist(buckets);
+      for (const double v : rs.recovery_latency_s) rec_hist.observe(v);
+      reg.histogram("daop_recovery_latency_seconds",
+                    "Last-copy loss to recovered-session readiness "
+                    "(restored and replayed episodes).",
+                    buckets, labels)
+          .merge(rec_hist);
     }
 
     // Dynamic-cache families only exist when a dynamic policy is on, so

@@ -79,6 +79,9 @@ struct ClusterServingResult {
   /// Router-level telemetry: failovers, replayed tokens, hedges, crashes,
   /// ejections, per-node dispatch/serve counts and final states.
   ClusterStats cluster;
+  /// Warm-restart recovery telemetry (all zero with checkpointing off,
+  /// except the loss-episode conservation counts, which are always kept).
+  RecoveryStats recovery;
   std::vector<HealthEvent> health_events;
   // ---- Dynamic-cache telemetry summed across node caches (all zero under
   // policy `frozen`; see ClusterOptions::cache) ----

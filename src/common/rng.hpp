@@ -59,6 +59,25 @@ class Rng {
   /// stream id) and unaffected by how much the parent has been consumed.
   Rng fork(std::uint64_t stream_id) const;
 
+  /// Complete generator state, for crash-consistent checkpointing: restoring
+  /// a saved State resumes the stream at exactly the draw it was suspended
+  /// on (including the Box-Muller cached variate).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t seed = 0;
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State save_state() const {
+    return State{state_, seed_, has_cached_normal_, cached_normal_};
+  }
+  void load_state(const State& st) {
+    state_ = st.s;
+    seed_ = st.seed;
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -451,6 +451,45 @@ class DaopSession final : public engines::SequenceSession {
     }
   }
 
+  // ---- Warm-restart checkpointing: everything run_decode_token/post_token
+  // consult beyond the base class — the swap-arrival gates and the trailing
+  // activation window. NextLayerPlan is per-token-local and never crosses a
+  // decode_step boundary, so it is not state.
+  bool save_policy_state(recovery::ByteWriter& w) const override {
+    w.i32(L_);
+    w.i32(E_);
+    for (const double v : swap_ready_) w.f64(v);
+    for (const auto& row : window_) {
+      for (const double v : row) w.f64(v);
+    }
+    return true;
+  }
+
+  bool load_policy_state(recovery::ByteReader& r, double shift) override {
+    const int L = r.i32();
+    const int E = r.i32();
+    if (!r.ok() || L != L_ || E != E_) return false;
+    std::vector<double> swap_ready(swap_ready_.size());
+    for (double& v : swap_ready) {
+      v = r.f64();
+      if (v != 0.0) v += shift;  // 0.0 is the "never swapped in" sentinel
+    }
+    std::vector<std::vector<double>> window = window_;
+    for (auto& row : window) {
+      for (double& v : row) v = r.f64();
+    }
+    if (!r.ok()) return false;
+    swap_ready_ = std::move(swap_ready);
+    window_ = std::move(window);
+    return true;
+  }
+
+  const cache::Placement* effective_placement() const override {
+    return arbiter() != nullptr ? &arbiter()->placement() : &placement_;
+  }
+
+  cache::Placement* private_placement() override { return &placement_; }
+
   /// By value: open_session may hand each session a per-session variant of
   /// the engine config (degradation directives disable pre-calc /
   /// migrations for one session without touching the engine).

@@ -131,6 +131,12 @@ class Engine {
       const data::SequenceTrace& trace, const cache::Placement& initial,
       const SessionEnv& env) = 0;
 
+  /// The per-op cost table this engine schedules with. Recovery-plane
+  /// helpers (placement reconciliation before a warm restart) price their
+  /// transfers through this so restored work costs exactly what the engine
+  /// itself would pay.
+  const model::OpCosts& costs() const { return costs_; }
+
   /// Attaches a hazard-injection fault model (see sim/fault_model.hpp);
   /// every subsequent run() schedules through it. The model must outlive
   /// the engine's runs. nullptr (the default) restores calm-device

@@ -294,6 +294,62 @@ class FetchSession final : public SequenceSession {
     }
   }
 
+  // ---- Warm-restart checkpointing: the LRU clock, per-expert in-flight
+  // transfer gates (-1 sentinel preserved across the time rebase), prefetch
+  // credit flags, trace span ids (valid when restoring under the same
+  // tracer; cosmetic otherwise), and the once-per-expert pattern-prefetch
+  // marks.
+  bool save_policy_state(recovery::ByteWriter& w) const override {
+    w.i32(placement_.n_layers());
+    w.i32(placement_.n_experts());
+    w.i64(use_clock_);
+    for (const long long v : last_use_) w.i64(v);
+    for (const double v : fetch_ready_) w.f64(v);
+    for (const char v : prefetch_pending_) {
+      w.u8(static_cast<std::uint8_t>(v));
+    }
+    for (const std::uint64_t v : fetch_span_) w.u64(v);
+    for (std::size_t i = 0; i < pattern_prefetched_.size(); ++i) {
+      w.u8(pattern_prefetched_[i] ? 1 : 0);
+    }
+    return true;
+  }
+
+  bool load_policy_state(recovery::ByteReader& r, double shift) override {
+    const int L = r.i32();
+    const int E = r.i32();
+    if (!r.ok() || L != placement_.n_layers() || E != placement_.n_experts())
+      return false;
+    const long long clock = r.i64();
+    std::vector<long long> last_use(last_use_.size());
+    for (long long& v : last_use) v = r.i64();
+    std::vector<double> fetch_ready(fetch_ready_.size());
+    for (double& v : fetch_ready) {
+      v = r.f64();
+      if (v >= 0.0) v += shift;  // negative = nothing in flight, keep as-is
+    }
+    std::vector<char> pending(prefetch_pending_.size());
+    for (char& v : pending) v = static_cast<char>(r.u8());
+    std::vector<std::uint64_t> spans(fetch_span_.size());
+    for (std::uint64_t& v : spans) v = r.u64();
+    std::vector<bool> pattern(pattern_prefetched_.size());
+    for (std::size_t i = 0; i < pattern.size(); ++i) pattern[i] = r.u8() != 0;
+    if (!r.ok()) return false;
+    use_clock_ = clock;
+    last_use_ = std::move(last_use);
+    fetch_ready_ = std::move(fetch_ready);
+    prefetch_pending_ = std::move(pending);
+    fetch_span_ = std::move(spans);
+    pattern_prefetched_ = std::move(pattern);
+    return true;
+  }
+
+  const cache::Placement* effective_placement() const override {
+    return arbiter() != nullptr ? &arbiter()->placement() : &placement_;
+  }
+
+  cache::Placement* private_placement() override { return &placement_; }
+
   /// By value: open_session may hand each session a per-session variant of
   /// the policy (degradation directives disable prefetching for one session
   /// without touching the engine).

@@ -101,6 +101,22 @@ class FiddlerSession final : public SequenceSession {
     }
   }
 
+  // Fiddler has no policy state beyond its placement, which the session
+  // base snapshots/restores; the hooks just opt in to checkpointing.
+  bool save_policy_state(recovery::ByteWriter& w) const override {
+    (void)w;
+    return true;
+  }
+  bool load_policy_state(recovery::ByteReader& r, double shift) override {
+    (void)r;
+    (void)shift;
+    return true;
+  }
+  const cache::Placement* effective_placement() const override {
+    return &placement();
+  }
+  cache::Placement* private_placement() override { return &placement_; }
+
   cache::Placement placement_;
 };
 

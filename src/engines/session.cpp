@@ -5,6 +5,7 @@
 #include "cache/arbiter.hpp"
 #include "common/check.hpp"
 #include "engines/run_metrics.hpp"
+#include "recovery/reconcile.hpp"
 
 namespace daop::engines {
 
@@ -290,6 +291,252 @@ RunResult SequenceSession::close() {
                           counter_profile_metrics(r.counters));
   }
   return r;
+}
+
+namespace {
+
+// `daop-ckpt/1` payload revision. Bump when the field layout below changes;
+// unseal() already guards the outer frame version.
+constexpr std::uint32_t kPayloadVersion = 1;
+
+// Tripwire: a counter added to EngineCounters must also be added to the
+// fixed serialization order below (and to counter_profile_metrics, which
+// tests/engines/engine_counters_test.cpp enforces). 19 long long + 1 double,
+// no padding.
+static_assert(sizeof(EngineCounters) ==
+                  19 * sizeof(long long) + sizeof(double),
+              "EngineCounters changed: update snapshot (de)serialization");
+
+void write_counters(recovery::ByteWriter& w, const EngineCounters& c) {
+  w.i64(c.expert_migrations);
+  w.i64(c.gpu_expert_execs);
+  w.i64(c.cpu_expert_execs);
+  w.i64(c.cache_hits);
+  w.i64(c.cache_misses);
+  w.i64(c.prefetch_hits);
+  w.i64(c.predictions);
+  w.i64(c.mispredictions);
+  w.i64(c.degradations);
+  w.i64(c.prefill_swaps);
+  w.i64(c.decode_swaps);
+  w.i64(c.skipped_experts);
+  w.i64(c.migration_retries);
+  w.i64(c.migration_aborts);
+  w.i64(c.stale_precalcs);
+  w.i64(c.pin_refusals);
+  w.i64(c.preemptions);
+  w.i64(c.preempt_resumes);
+  w.i64(c.degraded_sessions);
+  w.f64(c.hazard_stall_s);
+}
+
+EngineCounters read_counters(recovery::ByteReader& r) {
+  EngineCounters c;
+  c.expert_migrations = r.i64();
+  c.gpu_expert_execs = r.i64();
+  c.cpu_expert_execs = r.i64();
+  c.cache_hits = r.i64();
+  c.cache_misses = r.i64();
+  c.prefetch_hits = r.i64();
+  c.predictions = r.i64();
+  c.mispredictions = r.i64();
+  c.degradations = r.i64();
+  c.prefill_swaps = r.i64();
+  c.decode_swaps = r.i64();
+  c.skipped_experts = r.i64();
+  c.migration_retries = r.i64();
+  c.migration_aborts = r.i64();
+  c.stale_precalcs = r.i64();
+  c.pin_refusals = r.i64();
+  c.preemptions = r.i64();
+  c.preempt_resumes = r.i64();
+  c.degraded_sessions = r.i64();
+  c.hazard_stall_s = r.f64();
+  return c;
+}
+
+void write_rng_state(recovery::ByteWriter& w, const Rng::State& s) {
+  for (const std::uint64_t v : s.s) w.u64(v);
+  w.u64(s.seed);
+  w.u8(s.has_cached_normal ? 1 : 0);
+  w.f64(s.cached_normal);
+}
+
+Rng::State read_rng_state(recovery::ByteReader& r) {
+  Rng::State s;
+  for (std::uint64_t& v : s.s) v = r.u64();
+  s.seed = r.u64();
+  s.has_cached_normal = r.u8() != 0;
+  s.cached_normal = r.f64();
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SequenceSession::checkpoint() const {
+  DAOP_CHECK_MSG(phase_ == Phase::kDecoding,
+                 "checkpoint() is only valid mid-decode");
+  DAOP_CHECK_MSG(!parked_, "checkpoint() on a parked session");
+  recovery::ByteWriter policy;
+  if (!save_policy_state(policy)) return {};
+
+  recovery::ByteWriter w;
+  w.u32(kPayloadVersion);
+  w.str(name_);
+  w.i64(request_id_);
+  w.i32(trace_.prompt_len);
+  w.i32(trace_.gen_len);
+  w.i32(next_token_);
+  w.i32(replay_tokens_);
+  w.f64(start_time_);
+  w.f64(prefill_end_);
+  w.f64(ready_);
+  // Hazard stalls this session accumulated so far, so close() after a
+  // restore reports pre-crash + post-restore stalls like an uninterrupted
+  // run would.
+  w.f64(tl_->hazard_stall_s() - stall0_);
+  write_counters(w, counters_);
+  w.u32(static_cast<std::uint32_t>(bufs_->step_pins.size()));
+  for (const auto& [layer, expert] : bufs_->step_pins) {
+    w.i32(layer);
+    w.i32(expert);
+  }
+  const cache::Placement* placement = effective_placement();
+  w.u8(placement != nullptr ? 1 : 0);
+  if (placement != nullptr) {
+    recovery::write_placement_image(w,
+                                    recovery::capture_placement(*placement));
+  }
+  w.u8(fault_ != nullptr ? 1 : 0);
+  if (fault_ != nullptr) {
+    const sim::FaultModel::StreamCursor cursor = fault_->stream_cursor();
+    write_rng_state(w, cursor.transfer);
+    write_rng_state(w, cursor.load);
+  }
+  w.u32(static_cast<std::uint32_t>(policy.data().size()));
+  w.bytes(policy.data().data(), policy.data().size());
+  return recovery::seal(w.data());
+}
+
+bool SequenceSession::restore(const std::vector<std::uint8_t>& sealed,
+                              const RestoreOptions& opts) {
+  DAOP_CHECK_MSG(phase_ == Phase::kOpened,
+                 "restore() replaces prefill() on a fresh session");
+  const std::optional<std::vector<std::uint8_t>> payload =
+      recovery::unseal(sealed);
+  if (!payload.has_value()) return false;
+  recovery::ByteReader r(payload->data(), payload->size());
+  if (r.u32() != kPayloadVersion) return false;
+
+  // Decode everything into locals first: state is only mutated once the
+  // whole snapshot validated, so a rejected restore leaves the session
+  // usable for the prefill-replay fallback.
+  const std::string engine = r.str();
+  const long long request_id = r.i64();
+  const int prompt_len = r.i32();
+  const int gen_len = r.i32();
+  const int step = r.i32();
+  const int replay = r.i32();
+  const double start_time = r.f64();
+  const double prefill_end = r.f64();
+  const double ready = r.f64();
+  const double stall_so_far = r.f64();
+  const EngineCounters counters = read_counters(r);
+  const std::uint32_t n_pins = r.u32();
+  if (!r.ok() || n_pins > r.remaining() / 8) return false;
+  std::vector<std::pair<int, int>> pins;
+  pins.reserve(n_pins);
+  for (std::uint32_t i = 0; i < n_pins; ++i) {
+    const int layer = r.i32();
+    const int expert = r.i32();
+    pins.emplace_back(layer, expert);
+  }
+  const bool has_placement = r.u8() != 0;
+  recovery::PlacementImage image;
+  if (has_placement && !recovery::read_placement_image(r, &image)) {
+    return false;
+  }
+  const bool has_rng = r.u8() != 0;
+  sim::FaultModel::StreamCursor cursor;
+  if (has_rng) {
+    cursor.transfer = read_rng_state(r);
+    cursor.load = read_rng_state(r);
+  }
+  const std::uint32_t policy_len = r.u32();
+  if (!r.ok() || policy_len != r.remaining()) return false;
+
+  if (engine != name_ || request_id != request_id_ ||
+      prompt_len != trace_.prompt_len || gen_len != trace_.gen_len) {
+    return false;
+  }
+  if (step < 0 || step > gen_len || replay < 0 || start_time < 0.0 ||
+      prefill_end < start_time || ready < prefill_end) {
+    return false;
+  }
+
+  const double shift = std::max(0.0, opts.resume_floor - ready);
+  recovery::ByteReader pr(payload->data() + (payload->size() - policy_len),
+                          policy_len);
+  if (!load_policy_state(pr, shift) || !pr.ok()) return false;
+  if (has_placement && arbiter_ == nullptr) {
+    cache::Placement* mine = private_placement();
+    if (mine != nullptr && !recovery::apply_placement_image(image, *mine)) {
+      return false;
+    }
+  }
+
+  // Point of no return: apply the validated base state.
+  counters_ = counters;
+  next_token_ = step;
+  replay_tokens_ = replay;
+  start_time_ = start_time + shift;
+  prefill_end_ = prefill_end + shift;
+  ready_ = ready + shift;
+  stall0_ = tl_->hazard_stall_s() - stall_so_far;
+  for (const auto& [layer, expert] : pins) pin_shared(layer, expert);
+  if (opts.apply_rng_cursor && fault_ != nullptr && has_rng) {
+    fault_->set_stream_cursor(cursor);
+  }
+  phase_ = Phase::kDecoding;
+  parked_ = false;
+  if (tracing()) {
+    tinstant(tracks::kToken,
+             "warm restart (resumed at token " + std::to_string(step) + ")",
+             ready_);
+  }
+  return true;
+}
+
+std::optional<SessionSnapshotInfo> SequenceSession::peek(
+    const std::vector<std::uint8_t>& sealed) {
+  const std::optional<std::vector<std::uint8_t>> payload =
+      recovery::unseal(sealed);
+  if (!payload.has_value()) return std::nullopt;
+  recovery::ByteReader r(payload->data(), payload->size());
+  if (r.u32() != kPayloadVersion) return std::nullopt;
+  SessionSnapshotInfo info;
+  info.engine = r.str();
+  info.request_id = r.i64();
+  info.prompt_len = r.i32();
+  info.gen_len = r.i32();
+  info.step = r.i32();
+  r.i32();  // replay tokens
+  r.f64();  // start time
+  r.f64();  // prefill end
+  info.ready = r.f64();
+  r.f64();  // stalls so far
+  read_counters(r);
+  const std::uint32_t n_pins = r.u32();
+  if (!r.ok() || n_pins > r.remaining() / 8) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_pins; ++i) {
+    r.i32();
+    r.i32();
+  }
+  info.has_placement = r.u8() != 0;
+  if (info.has_placement && !recovery::read_placement_image(r, &info.placement))
+    return std::nullopt;
+  if (!r.ok()) return std::nullopt;
+  return info;
 }
 
 SequenceSession::MigrationOutcome SequenceSession::migrate_with_retry(

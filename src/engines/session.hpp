@@ -25,9 +25,12 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "cache/expert_cache.hpp"
 #include "engines/engine.hpp"
 #include "obs/profiler.hpp"
+#include "recovery/snapshot.hpp"
 
 namespace daop::cache {
 class PlacementArbiter;
@@ -137,6 +140,35 @@ CpuExpertTimes cpu_expert_roundtrip(sim::Timeline& tl,
                                     EngineCounters& counters,
                                     const CpuExpertTags& tags = {});
 
+/// How a snapshot is applied to a freshly opened session (see
+/// SequenceSession::restore).
+struct RestoreOptions {
+  /// Earliest time the restored session may resume. The snapshot's times
+  /// are shifted forward by max(0, resume_floor - snapshot.ready); a floor
+  /// at or before the snapshot frontier restores with zero shift, which is
+  /// the bit-identity case.
+  double resume_floor = 0.0;
+  /// Restore the fault model's expert-load/transfer stream cursor saved in
+  /// the snapshot. Only meaningful when the restoring session's FaultModel
+  /// is fresh and private (same scenario + seed as the snapshotting run);
+  /// a cluster peer keeps its own mid-run streams and leaves this false.
+  bool apply_rng_cursor = false;
+};
+
+/// Header fields of a sealed snapshot, decodable without a session (the
+/// cluster router uses this to reconcile placement and account restored
+/// tokens before opening the session).
+struct SessionSnapshotInfo {
+  std::string engine;
+  long long request_id = -1;
+  int prompt_len = 0;
+  int gen_len = 0;
+  int step = 0;        ///< decode tokens completed at snapshot time
+  double ready = 0.0;  ///< snapshot-time scheduling frontier
+  bool has_placement = false;
+  recovery::PlacementImage placement;
+};
+
 class SequenceSession {
  public:
   SequenceSession(std::string engine_name, const model::OpCosts& costs,
@@ -181,6 +213,30 @@ class SequenceSession {
   void resume(double now);
   bool parked() const { return parked_; }
 
+  /// Serializes everything needed to resume this session mid-decode into a
+  /// sealed `daop-ckpt/1` blob: lifecycle state, counters, working-set
+  /// pins, effective placement, fault-stream cursor, and the engine's
+  /// policy state. Only valid while decoding and not parked. Returns an
+  /// empty vector when the engine does not support checkpointing (the
+  /// caller falls back to prefill replay).
+  std::vector<std::uint8_t> checkpoint() const;
+
+  /// Applies a sealed snapshot to a freshly opened session (before
+  /// prefill()), replacing the prefill+decode prefix the snapshot already
+  /// paid for. Validates the frame checksum and every decoded field before
+  /// mutating any state: on rejection it returns false and the session
+  /// remains usable for the ordinary prefill() replay path. On success the
+  /// session is decoding, its frontier is at the (possibly shifted)
+  /// snapshot frontier, and the snapshot's working-set pins are re-pinned
+  /// on this session's arbiter.
+  bool restore(const std::vector<std::uint8_t>& sealed,
+               const RestoreOptions& opts);
+
+  /// Decodes a snapshot's header without a session. nullopt when the blob
+  /// fails validation.
+  static std::optional<SessionSnapshotInfo> peek(
+      const std::vector<std::uint8_t>& sealed);
+
   const std::string& engine_name() const { return name_; }
   const data::SequenceTrace& trace() const { return trace_; }
   long long request_id() const { return request_id_; }
@@ -208,6 +264,38 @@ class SequenceSession {
   /// Runs after token `t`'s span is recorded (e.g. DAOP's periodic decode
   /// re-allocation, whose migrations happen between tokens).
   virtual void post_token(int t) { (void)t; }
+
+  // ---- Checkpoint hooks. Engines that support warm restart serialize
+  // their policy state (windows, readiness gates, LRU clocks — everything
+  // run_decode_token consults) through these; the default "unsupported"
+  // makes checkpoint() return empty and the caller fall back to replay.
+  /// Appends the engine's policy state to the snapshot payload. Returns
+  /// false when this engine cannot checkpoint.
+  virtual bool save_policy_state(recovery::ByteWriter& w) const {
+    (void)w;
+    return false;
+  }
+  /// Restores policy state written by save_policy_state. `shift` is the
+  /// time-rebase applied to the snapshot (0 in the bit-identity case);
+  /// engines must shift their own absolute times by it while preserving
+  /// sentinel values. Runs after the base fields are applied; returning
+  /// false rejects the restore.
+  virtual bool load_policy_state(recovery::ByteReader& r, double shift) {
+    (void)r;
+    (void)shift;
+    return false;
+  }
+  /// The placement this session is decoding against (private copy or the
+  /// arbiter's shared one); null when the engine has no placement state.
+  /// Captured into snapshots so a surviving node can rebuild residency.
+  virtual const cache::Placement* effective_placement() const {
+    return nullptr;
+  }
+  /// The session-private placement copy to overwrite on restore; null when
+  /// the engine has none. Only consulted when no arbiter is attached — a
+  /// shared placement belongs to the device, and the restoring scheduler
+  /// reconciles it (recovery::reconcile_placement) before restore().
+  virtual cache::Placement* private_placement() { return nullptr; }
 
   sim::Timeline& tl() { return *tl_; }
   sim::FaultModel* fault() const { return fault_; }

@@ -166,6 +166,12 @@ struct ServingResult {
     std::string outcome;
     long long retries = 0;
     long long preempted = 0;  ///< times this request's session was parked
+    /// Loss episodes recovered via warm restore (cluster mode only).
+    long long restores = 0;
+    /// How the last loss episode resolved — "restored" | "replayed" |
+    /// "shed" — or "none" when the request never lost all its copies
+    /// (always "none" outside cluster mode).
+    std::string recovery = "none";
   };
   std::vector<RequestLogEntry> request_log;
 };

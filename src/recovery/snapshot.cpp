@@ -1,0 +1,156 @@
+#include "recovery/snapshot.hpp"
+
+namespace daop::recovery {
+namespace {
+
+// "daopckpt" — 8 ASCII bytes, stable across platforms.
+constexpr std::uint8_t kMagic[8] = {'d', 'a', 'o', 'p', 'c', 'k', 'p', 't'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;  // magic, version, len, fnv
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool ByteReader::take(void* out, std::size_t n) {
+  if (!ok_ || n > n_ - pos_) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  std::uint8_t v = 0;
+  take(&v, 1);
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint8_t b[4] = {0, 0, 0, 0};
+  take(b, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint8_t b[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  take(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> blob;
+  blob.reserve(kHeaderSize + payload.size());
+  blob.insert(blob.end(), kMagic, kMagic + 8);
+  ByteWriter hdr;
+  hdr.u32(kSnapshotVersion);
+  hdr.u64(static_cast<std::uint64_t>(payload.size()));
+  hdr.u64(fnv1a64(payload.data(), payload.size()));
+  blob.insert(blob.end(), hdr.data().begin(), hdr.data().end());
+  blob.insert(blob.end(), payload.begin(), payload.end());
+  return blob;
+}
+
+std::optional<std::vector<std::uint8_t>> unseal(
+    const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < kHeaderSize) return std::nullopt;
+  if (std::memcmp(blob.data(), kMagic, 8) != 0) return std::nullopt;
+  ByteReader hdr(blob.data() + 8, kHeaderSize - 8);
+  const std::uint32_t version = hdr.u32();
+  const std::uint64_t len = hdr.u64();
+  const std::uint64_t fnv = hdr.u64();
+  if (!hdr.ok() || version != kSnapshotVersion) return std::nullopt;
+  // Torn write: the frame claims more payload than the blob carries (or a
+  // resize appended garbage — the length must match exactly).
+  if (len != blob.size() - kHeaderSize) return std::nullopt;
+  const std::uint8_t* payload = blob.data() + kHeaderSize;
+  if (fnv1a64(payload, static_cast<std::size_t>(len)) != fnv)
+    return std::nullopt;
+  return std::vector<std::uint8_t>(payload, payload + len);
+}
+
+void write_placement_image(ByteWriter& w, const PlacementImage& p) {
+  w.i32(p.n_layers);
+  w.i32(p.n_experts);
+  for (std::int32_t c : p.capacity) w.i32(c);
+  w.bytes(p.on_gpu.data(), p.on_gpu.size());
+}
+
+bool read_placement_image(ByteReader& r, PlacementImage* out) {
+  out->n_layers = r.i32();
+  out->n_experts = r.i32();
+  if (!r.ok() || out->n_layers <= 0 || out->n_experts <= 0 ||
+      out->n_layers > (1 << 16) || out->n_experts > (1 << 16)) {
+    r.fail();
+    return false;
+  }
+  const std::size_t cells = static_cast<std::size_t>(out->n_layers) *
+                            static_cast<std::size_t>(out->n_experts);
+  out->capacity.resize(static_cast<std::size_t>(out->n_layers));
+  for (auto& c : out->capacity) c = r.i32();
+  if (!r.ok() || cells > r.remaining()) {
+    r.fail();
+    return false;
+  }
+  out->on_gpu.resize(cells);
+  for (auto& g : out->on_gpu) g = r.u8();
+  return r.ok();
+}
+
+}  // namespace daop::recovery

@@ -1,0 +1,110 @@
+// Crash-consistent snapshot framing for warm-restart recovery (`daop-ckpt/1`).
+//
+// A checkpoint is a sealed byte blob: a fixed header (magic, version, payload
+// length) followed by the payload and guarded by an FNV-1a 64 checksum over
+// the payload bytes. The payload itself is produced by
+// engines::SequenceSession::checkpoint() — this layer knows nothing about
+// sessions; it only provides the deterministic little-endian encoding
+// primitives and the seal/unseal validation boundary.
+//
+// Unsealing is the ONLY trust boundary for restore: torn writes are caught by
+// the length field, bit corruption by the checksum (FNV-1a's state update is
+// bijective in each input byte, so any single-byte change flips the digest).
+// ByteReader is fail-flagged and bounds-checked — decoding an adversarial
+// blob can fail, but never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace daop::recovery {
+
+/// Format revision sealed into every snapshot header ("daop-ckpt/1").
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// FNV-1a 64-bit over `n` bytes.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
+
+/// Append-only little-endian encoder for snapshot payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+  void bytes(const std::uint8_t* data, std::size_t n);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked decoder. Every read past the end sets the fail flag and
+/// returns a zero value; callers check ok() once at the end of a section.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n) : data_(data), n_(n) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return n_ - pos_; }
+  /// Marks the stream failed (decode-level validation hooks into the same
+  /// flag as bounds checks).
+  void fail() { ok_ = false; }
+
+ private:
+  bool take(void* out, std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Wraps a payload in the `daop-ckpt/1` frame: magic, version, payload
+/// length, FNV-1a 64 checksum, payload bytes.
+std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& payload);
+
+/// Validates a sealed blob and returns the payload, or nullopt when the
+/// magic/version mismatch, the blob is torn (length inconsistent), or the
+/// checksum rejects. Never throws, never reads out of bounds.
+std::optional<std::vector<std::uint8_t>> unseal(
+    const std::vector<std::uint8_t>& blob);
+
+/// Device-placement image carried inside a snapshot: enough to rebuild the
+/// session's effective expert residency on a surviving node without any
+/// dependency on live cache objects.
+struct PlacementImage {
+  int n_layers = 0;
+  int n_experts = 0;
+  std::vector<std::int32_t> capacity;  // per layer
+  std::vector<std::uint8_t> on_gpu;    // row-major n_layers x n_experts
+
+  bool gpu(int layer, int expert) const {
+    return on_gpu[static_cast<std::size_t>(layer) *
+                      static_cast<std::size_t>(n_experts) +
+                  static_cast<std::size_t>(expert)] != 0;
+  }
+};
+
+void write_placement_image(ByteWriter& w, const PlacementImage& p);
+/// Decodes a placement image; returns false (and sets the reader's fail
+/// flag) on malformed dimensions.
+bool read_placement_image(ByteReader& r, PlacementImage* out);
+
+}  // namespace daop::recovery

@@ -24,7 +24,8 @@ bool HazardScenario::enabled() const {
           cpu_contention_slowdown > 1.0) ||
          (gpu_throttle_period_s > 0.0 && gpu_throttle_window_s > 0.0 &&
           gpu_throttle_slowdown > 1.0) ||
-         expert_load_fail_prob > 0.0 || node_crash_prob > 0.0 ||
+         expert_load_fail_prob > 0.0 || ckpt_torn_write_prob > 0.0 ||
+         ckpt_corrupt_prob > 0.0 || node_crash_prob > 0.0 ||
          (node_brownout_prob > 0.0 && node_brownout_duration_s > 0.0 &&
           node_brownout_slowdown > 1.0) ||
          (link_degrade_prob > 0.0 && link_degrade_latency_s > 0.0);
@@ -45,6 +46,12 @@ void HazardScenario::validate() const {
   DAOP_CHECK_MSG(max_transfer_retries >= 0,
                  "max_transfer_retries must be >= 0, got "
                      << max_transfer_retries);
+  DAOP_CHECK_MSG(ckpt_torn_write_prob >= 0.0 && ckpt_torn_write_prob <= 1.0,
+                 "ckpt_torn_write_prob must be in [0,1], got "
+                     << ckpt_torn_write_prob);
+  DAOP_CHECK_MSG(ckpt_corrupt_prob >= 0.0 && ckpt_corrupt_prob <= 1.0,
+                 "ckpt_corrupt_prob must be in [0,1], got "
+                     << ckpt_corrupt_prob);
   DAOP_CHECK_MSG(cpu_contention_period_s >= 0.0 &&
                      cpu_contention_window_s >= 0.0 &&
                      cpu_contention_window_s <= cpu_contention_period_s,
@@ -140,6 +147,18 @@ HazardScenario make_hazard_scenario(const std::string& kind,
     known = true;
     sc.expert_load_fail_prob = 0.5 * intensity;
   }
+  // Checkpoint-durability presets (recovery plane). Deliberately NOT part
+  // of "all" either: checkpointing postdates it and "all" runs must stay
+  // bit-identical.
+  const bool ckpt = kind == "ckpt";
+  if (ckpt || kind == "ckpt-torn") {
+    known = true;
+    sc.ckpt_torn_write_prob = 0.5 * intensity;
+  }
+  if (ckpt || kind == "ckpt-corrupt") {
+    known = true;
+    sc.ckpt_corrupt_prob = 0.25 * intensity;
+  }
   // Node-scoped presets (cluster plane). Deliberately NOT part of "all":
   // "all" predates the cluster layer and its runs must stay bit-identical.
   const bool cluster = kind == "cluster";
@@ -169,8 +188,10 @@ HazardScenario make_hazard_scenario(const std::string& kind,
 
 const std::vector<std::string>& hazard_scenario_kinds() {
   static const std::vector<std::string> kinds = {
-      "none",       "pcie",          "cpu",          "thermal", "expert-load",
-      "node-crash", "node-brownout", "link-degrade", "cluster", "all"};
+      "none",         "pcie",        "cpu",          "thermal",
+      "expert-load",  "ckpt-torn",   "ckpt-corrupt", "ckpt",
+      "node-crash",   "node-brownout", "link-degrade", "cluster",
+      "all"};
   return kinds;
 }
 
@@ -190,6 +211,11 @@ FaultModel::FaultModel(const HazardScenario& scenario, std::uint64_t seed)
   // draw count, so the op-level streams above — and thus every pre-cluster
   // hazard run — are bit-identical whether or not node faults are
   // configured.
+  // Checkpoint-durability hazards draw from fork 5; declared before the
+  // node stream below for no reason other than locality — every fork is
+  // consumption-independent, so neither order nor probability settings can
+  // shift another stream's draws.
+  ckpt_rng_ = base.fork(5);
   Rng node_rng = base.fork(4);
   const double u_crash = node_rng.uniform();
   const double u_crash_t = node_rng.uniform();
@@ -268,5 +294,17 @@ bool FaultModel::expert_load_fails() {
   if (scenario_.expert_load_fail_prob <= 0.0) return false;
   return load_rng_.uniform() < scenario_.expert_load_fail_prob;
 }
+
+bool FaultModel::checkpoint_write_torn() {
+  if (scenario_.ckpt_torn_write_prob <= 0.0) return false;
+  return ckpt_rng_.uniform() < scenario_.ckpt_torn_write_prob;
+}
+
+bool FaultModel::checkpoint_corrupted() {
+  if (scenario_.ckpt_corrupt_prob <= 0.0) return false;
+  return ckpt_rng_.uniform() < scenario_.ckpt_corrupt_prob;
+}
+
+std::uint64_t FaultModel::checkpoint_entropy() { return ckpt_rng_.next_u64(); }
 
 }  // namespace daop::sim

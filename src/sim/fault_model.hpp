@@ -61,6 +61,14 @@ struct HazardScenario {
   /// (engines decide how to react: retry, abort, or fall back to CPU).
   double expert_load_fail_prob = 0.0;
 
+  // ---- Checkpoint-durability hazards (src/recovery) ----
+  /// Probability that a checkpoint write is torn: only a prefix of the
+  /// frame lands, so restore-side validation must reject it by length.
+  double ckpt_torn_write_prob = 0.0;
+  /// Probability that a durable checkpoint suffers silent single-byte
+  /// corruption, rejected at restore by the frame checksum.
+  double ckpt_corrupt_prob = 0.0;
+
   // ---- Node-scoped cluster faults (src/cluster) ----
   // These describe faults of a whole replica, not of one op. The FaultModel
   // samples them once per (scenario, seed) into NodeFaults; the cluster
@@ -100,10 +108,12 @@ struct HazardScenario {
 /// Named scenario presets scaled by `intensity` in [0, 1] (0 = disabled):
 /// "none", "pcie" (stalls + transfer failures), "cpu" (pool contention),
 /// "thermal" (GPU throttling), "expert-load" (transient load failures),
-/// "all" (every op-level hazard at once — node-scoped faults are NOT
-/// included, so pre-cluster chaos runs stay bit-identical). Node-scoped
-/// presets for the cluster plane: "node-crash", "node-brownout",
-/// "link-degrade", and "cluster" (all three node faults together).
+/// "all" (every op-level hazard at once — node-scoped and checkpoint
+/// faults are NOT included, so pre-cluster chaos runs stay bit-identical).
+/// Node-scoped presets for the cluster plane: "node-crash",
+/// "node-brownout", "link-degrade", and "cluster" (all three node faults
+/// together). Checkpoint-durability presets for the recovery plane:
+/// "ckpt-torn", "ckpt-corrupt", and "ckpt" (both).
 HazardScenario make_hazard_scenario(const std::string& kind,
                                     double intensity);
 
@@ -138,6 +148,30 @@ class FaultModel {
   /// transiently. Independent stream from perturb().
   bool expert_load_fails();
 
+  /// Checkpoint-store hooks, on their own stream (fork 5) so enabling
+  /// checkpoint hazards never shifts an op-level or node-level draw. Each
+  /// consumes a draw only when its probability is positive.
+  bool checkpoint_write_torn();
+  bool checkpoint_corrupted();
+  /// Raw entropy for placing the corrupted byte (always draws).
+  std::uint64_t checkpoint_entropy();
+
+  /// Cursor over the streams a resumed session consumes mid-run. Saving the
+  /// cursor into a checkpoint and restoring it into a fresh FaultModel of
+  /// the same (scenario, seed) continues the hazard sequence exactly where
+  /// the suspended run left off — the core of bit-identical warm restart.
+  struct StreamCursor {
+    Rng::State transfer;
+    Rng::State load;
+  };
+  StreamCursor stream_cursor() const {
+    return StreamCursor{transfer_rng_.save_state(), load_rng_.save_state()};
+  }
+  void set_stream_cursor(const StreamCursor& c) {
+    transfer_rng_.load_state(c.transfer);
+    load_rng_.load_state(c.load);
+  }
+
   /// Node-scoped fault draws, resolved once at construction from a stream
   /// independent of the op-level hazards (so attaching node faults never
   /// changes a pre-cluster perturbation sequence). The cluster router reads
@@ -166,6 +200,7 @@ class FaultModel {
   bool enabled_ = false;
   Rng transfer_rng_;
   Rng load_rng_;
+  Rng ckpt_rng_;
   double cpu_phase_s_ = 0.0;  ///< window offset within the CPU cycle
   double gpu_phase_s_ = 0.0;  ///< window offset within the GPU cycle
   NodeFaults node_;

@@ -1,0 +1,601 @@
+// Checkpoint round-trip property harness (`daop-ckpt/1`).
+//
+// Three layers of guarantees, bottom-up:
+//  - FRAME: seal/unseal round-trips byte-exactly; EVERY single-byte flip,
+//    every truncation length, and any appended byte is rejected — torn
+//    writes by the length field, bit corruption by the FNV-1a checksum.
+//  - STORE: cadence triggers anchor per request, durability gates restores
+//    (a write still in flight at the crash never restores), generations trim
+//    and fall back oldest-last, and injected torn/corrupt writes are always
+//    caught at scan time by unseal() alone.
+//  - SESSION: checkpoint() is byte-stable, restoring a snapshot into a
+//    fresh identical environment reproduces the snapshot byte-for-byte on
+//    re-checkpoint (across engines x seeds x hazard scenarios), and every
+//    single-byte corruption makes restore() reject while leaving the
+//    session usable for the prefill-replay fallback.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../testing/helpers.hpp"
+#include "cache/arbiter.hpp"
+#include "cache/calibration.hpp"
+#include "data/trace_generator.hpp"
+#include "engines/session.hpp"
+#include "eval/speed.hpp"
+#include "recovery/checkpoint_store.hpp"
+#include "recovery/reconcile.hpp"
+#include "recovery/snapshot.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/timeline.hpp"
+
+namespace daop::recovery {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame: seal/unseal
+
+std::vector<std::uint8_t> varied_payload(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>((i * 131 + 17) & 0xFF);
+  }
+  return p;
+}
+
+TEST(SnapshotFrame, SealUnsealRoundTrips) {
+  const auto payload = varied_payload(237);
+  const auto blob = seal(payload);
+  ASSERT_GT(blob.size(), payload.size()) << "frame header missing";
+  const auto back = unseal(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(SnapshotFrame, EmptyPayloadRoundTrips) {
+  const auto blob = seal({});
+  const auto back = unseal(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(SnapshotFrame, EverySingleByteFlipIsRejected) {
+  const auto blob = seal(varied_payload(199));
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+      auto bad = blob;
+      bad[i] ^= mask;
+      EXPECT_FALSE(unseal(bad).has_value())
+          << "byte " << i << " xor " << int(mask) << " accepted";
+    }
+  }
+}
+
+TEST(SnapshotFrame, EveryTruncationAndAnyExtensionIsRejected) {
+  const auto blob = seal(varied_payload(64));
+  for (std::size_t n = 0; n < blob.size(); ++n) {
+    const std::vector<std::uint8_t> torn(blob.begin(),
+                                         blob.begin() + static_cast<long>(n));
+    EXPECT_FALSE(unseal(torn).has_value()) << "torn prefix of " << n;
+  }
+  auto grown = blob;
+  grown.push_back(0);
+  EXPECT_FALSE(unseal(grown).has_value()) << "trailing garbage accepted";
+}
+
+TEST(SnapshotFrame, ByteCodecRoundTripsAndReaderIsBoundsSafe) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-7);
+  w.i64(-1234567891234LL);
+  w.f64(-0.4375);
+  w.str("daop-ckpt");
+  const auto buf = w.data();
+
+  ByteReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.i64(), -1234567891234LL);
+  EXPECT_EQ(r.f64(), -0.4375);
+  EXPECT_EQ(r.str(), "daop-ckpt");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  // Reading past the end fails the stream instead of reading out of bounds.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SnapshotFrame, PlacementImageRoundTrips) {
+  PlacementImage img;
+  img.n_layers = 3;
+  img.n_experts = 4;
+  img.capacity = {2, 1, 2};
+  img.on_gpu = {1, 0, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0};
+  ByteWriter w;
+  write_placement_image(w, img);
+  const auto buf = w.data();
+  ByteReader r(buf.data(), buf.size());
+  PlacementImage back;
+  ASSERT_TRUE(read_placement_image(r, &back));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(back.n_layers, img.n_layers);
+  EXPECT_EQ(back.n_experts, img.n_experts);
+  EXPECT_EQ(back.capacity, img.capacity);
+  EXPECT_EQ(back.on_gpu, img.on_gpu);
+  EXPECT_TRUE(back.gpu(0, 0));
+  EXPECT_FALSE(back.gpu(0, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint hazards (sim::FaultModel presets)
+
+TEST(CheckpointHazards, PresetsScaleWithIntensity) {
+  const auto torn = sim::make_hazard_scenario("ckpt-torn", 0.8);
+  EXPECT_DOUBLE_EQ(torn.ckpt_torn_write_prob, 0.4);
+  EXPECT_DOUBLE_EQ(torn.ckpt_corrupt_prob, 0.0);
+  const auto corrupt = sim::make_hazard_scenario("ckpt-corrupt", 0.8);
+  EXPECT_DOUBLE_EQ(corrupt.ckpt_torn_write_prob, 0.0);
+  EXPECT_DOUBLE_EQ(corrupt.ckpt_corrupt_prob, 0.2);
+  const auto both = sim::make_hazard_scenario("ckpt", 1.0);
+  EXPECT_DOUBLE_EQ(both.ckpt_torn_write_prob, 0.5);
+  EXPECT_DOUBLE_EQ(both.ckpt_corrupt_prob, 0.25);
+  // "all" predates the recovery plane and must never grow checkpoint
+  // hazards (pre-cluster chaos goldens depend on it).
+  const auto all = sim::make_hazard_scenario("all", 1.0);
+  EXPECT_DOUBLE_EQ(all.ckpt_torn_write_prob, 0.0);
+  EXPECT_DOUBLE_EQ(all.ckpt_corrupt_prob, 0.0);
+}
+
+TEST(CheckpointHazards, DrawSequenceIsDeterministicPerSeed) {
+  const auto sc = sim::make_hazard_scenario("ckpt", 1.0);
+  sim::FaultModel a(sc, 77);
+  sim::FaultModel b(sc, 77);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.checkpoint_write_torn(), b.checkpoint_write_torn());
+    EXPECT_EQ(a.checkpoint_corrupted(), b.checkpoint_corrupted());
+    EXPECT_EQ(a.checkpoint_entropy(), b.checkpoint_entropy());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+
+CheckpointOptions store_options(int every_steps, double every_s = 0.0) {
+  CheckpointOptions o;
+  o.every_steps = every_steps;
+  o.every_s = every_s;
+  o.keep_generations = 2;
+  return o;
+}
+
+TEST(CheckpointStore, DisabledIsNeverDue) {
+  sim::Timeline tl;
+  CheckpointStore st(store_options(0, 0.0), &tl, nullptr);
+  EXPECT_FALSE(st.options().enabled());
+  EXPECT_FALSE(st.due(1, 1000, 99.0));
+}
+
+TEST(CheckpointStore, StepCadenceCountsFromTheLastWrite) {
+  sim::Timeline tl;
+  CheckpointStore st(store_options(4), &tl, nullptr);
+  EXPECT_FALSE(st.due(7, 1, 0.1));
+  EXPECT_FALSE(st.due(7, 3, 0.3));
+  EXPECT_TRUE(st.due(7, 4, 0.4));
+  st.write(7, 4, 0.4, seal(varied_payload(32)));
+  EXPECT_FALSE(st.due(7, 6, 0.6)) << "cadence must reset at the write";
+  EXPECT_TRUE(st.due(7, 8, 0.8));
+}
+
+TEST(CheckpointStore, TimeCadenceAnchorsAtFirstSighting) {
+  sim::Timeline tl;
+  CheckpointStore st(store_options(0, 1.0), &tl, nullptr);
+  // First sighting at t=5 anchors the trigger there — NOT at t=0, so a
+  // session admitted late is not immediately due.
+  EXPECT_FALSE(st.due(3, 1, 5.0));
+  EXPECT_FALSE(st.due(3, 2, 5.9));
+  EXPECT_TRUE(st.due(3, 3, 6.0));
+}
+
+TEST(CheckpointStore, WritesAreDurableOnlyAfterTheSimulatedWriteLands) {
+  sim::Timeline tl;
+  CheckpointStore st(store_options(1), &tl, nullptr);
+  const double durable = st.write(9, 5, 1.0, seal(varied_payload(4096)));
+  EXPECT_GT(durable, 1.0) << "durable write must cost simulated time";
+  EXPECT_EQ(st.latest_valid(9, 1.0), nullptr) << "still in flight";
+  const CheckpointRecord* rec = st.latest_valid(9, durable);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->step, 5);
+  EXPECT_EQ(st.stats().writes, 1);
+  EXPECT_GT(st.stats().bytes_written, 4096);
+}
+
+TEST(CheckpointStore, KeepsOnlyTheConfiguredGenerations) {
+  sim::Timeline tl;
+  CheckpointStore st(store_options(1), &tl, nullptr);
+  for (int s = 1; s <= 5; ++s) {
+    st.write(2, s, static_cast<double>(s), seal(varied_payload(64)));
+  }
+  const auto* gens = st.generations(2);
+  ASSERT_NE(gens, nullptr);
+  ASSERT_EQ(gens->size(), 2u);
+  EXPECT_EQ(gens->front().step, 4);
+  EXPECT_EQ(gens->back().step, 5);
+  st.drop(2);
+  EXPECT_EQ(st.generations(2), nullptr);
+  EXPECT_EQ(st.latest_valid(2, 100.0), nullptr);
+}
+
+TEST(CheckpointStore, CertainTornWritesNeverRestoreAndAreCounted) {
+  sim::Timeline tl;
+  sim::HazardScenario sc;
+  sc.ckpt_torn_write_prob = 1.0;
+  sim::FaultModel fm(sc, 5);
+  CheckpointStore st(store_options(1), &tl, &fm);
+  for (int s = 1; s <= 3; ++s) {
+    st.write(4, s, static_cast<double>(s), seal(varied_payload(256)));
+  }
+  EXPECT_EQ(st.stats().torn_writes, 3);
+  EXPECT_EQ(st.latest_valid(4, 100.0), nullptr);
+  EXPECT_EQ(st.stats().torn_rejected, 2)
+      << "both retained generations must be scanned and rejected";
+}
+
+TEST(CheckpointStore, CertainCorruptionIsRejectedByTheChecksum) {
+  sim::Timeline tl;
+  sim::HazardScenario sc;
+  sc.ckpt_corrupt_prob = 1.0;
+  sim::FaultModel fm(sc, 5);
+  CheckpointStore st(store_options(1), &tl, &fm);
+  st.write(4, 1, 1.0, seal(varied_payload(256)));
+  EXPECT_EQ(st.stats().corrupt_writes, 1);
+  const auto* gens = st.generations(4);
+  ASSERT_NE(gens, nullptr);
+  EXPECT_TRUE(gens->front().corrupted);
+  EXPECT_EQ(st.latest_valid(4, 100.0), nullptr);
+  EXPECT_EQ(st.stats().torn_rejected, 1);
+}
+
+TEST(CheckpointStore, FallsBackGenerationByGenerationUsingUnsealOnly) {
+  // Mixed torn/valid writes from a deterministic hazard stream: latest_valid
+  // must agree with the per-record fault bookkeeping while trusting ONLY
+  // unseal() — the newest un-torn generation wins and every torn generation
+  // newer than it is counted as rejected.
+  // Scan seeds for the interesting draw pattern (newest generation torn,
+  // an older one intact) instead of hard-coding one — robust to any future
+  // change in the fault stream derivation.
+  bool exercised = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !exercised; ++seed) {
+    sim::Timeline tl;
+    sim::HazardScenario sc;
+    sc.ckpt_torn_write_prob = 0.5;
+    sim::FaultModel fm(sc, seed);
+    CheckpointOptions opt = store_options(1);
+    opt.keep_generations = 8;
+    CheckpointStore st(opt, &tl, &fm);
+    for (int s = 1; s <= 8; ++s) {
+      st.write(6, s, static_cast<double>(s), seal(varied_payload(512)));
+    }
+    const auto* gens = st.generations(6);
+    ASSERT_NE(gens, nullptr);
+    ASSERT_EQ(gens->size(), 8u);
+    long long expect_step = -1;
+    long long newer_torn = 0;
+    for (auto it = gens->rbegin(); it != gens->rend(); ++it) {
+      if (!it->torn) {
+        expect_step = it->step;
+        break;
+      }
+      ++newer_torn;
+    }
+    if (newer_torn == 0 || expect_step == -1) continue;  // dull pattern
+    exercised = true;
+    const CheckpointRecord* rec = st.latest_valid(6, 100.0);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->step, expect_step);
+    EXPECT_EQ(st.stats().torn_rejected, newer_torn);
+  }
+  EXPECT_TRUE(exercised)
+      << "no seed in 1..64 tore the newest generation while leaving an "
+         "older one intact (astronomically unlikely unless the stream broke)";
+}
+
+TEST(CheckpointStore, DiscardInFlightModelsCrashConsistency) {
+  sim::Timeline tl;
+  CheckpointStore st(store_options(1), &tl, nullptr);
+  const double d1 = st.write(8, 1, 0.0, seal(varied_payload(64)));
+  // Second write issued later; still in flight at the crash instant.
+  const double d2 = st.write(8, 2, d1, seal(varied_payload(64)));
+  ASSERT_GT(d2, d1);
+  const double crash = (d1 + d2) / 2.0;
+  st.discard_in_flight(crash);
+  EXPECT_EQ(st.stats().torn_writes, 1) << "in-flight write died with the node";
+  const CheckpointRecord* rec = st.latest_valid(8, crash);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->step, 1) << "only the durable generation survives";
+}
+
+// ---------------------------------------------------------------------------
+// Placement reconciliation
+
+TEST(Reconcile, CaptureAndApplyRoundTripAPlacement) {
+  cache::Placement p(2, 4);
+  p.set_capacity(0, 2);
+  p.set_capacity(1, 1);
+  p.move_to_gpu(0, 1);
+  p.move_to_gpu(0, 3);
+  p.move_to_gpu(1, 2);
+  const PlacementImage img = capture_placement(p);
+  EXPECT_EQ(img.n_layers, 2);
+  EXPECT_EQ(img.n_experts, 4);
+  EXPECT_TRUE(img.gpu(0, 1));
+  EXPECT_TRUE(img.gpu(0, 3));
+  EXPECT_FALSE(img.gpu(0, 0));
+  cache::Placement q(2, 4);
+  q.set_capacity(0, 4);
+  q.set_capacity(1, 4);
+  q.move_to_gpu(0, 0);
+  ASSERT_TRUE(apply_placement_image(img, q));
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_EQ(q.capacity(l), p.capacity(l));
+    for (int e = 0; e < 4; ++e) EXPECT_EQ(q.on_gpu(l, e), p.on_gpu(l, e));
+  }
+}
+
+TEST(Reconcile, ApplyRejectsMismatchedDimensionsUntouched) {
+  cache::Placement p(2, 4);
+  p.set_capacity(0, 1);
+  p.move_to_gpu(0, 0);
+  const PlacementImage img = capture_placement(p);
+  cache::Placement other(3, 4);
+  other.set_capacity(0, 2);
+  other.move_to_gpu(0, 2);
+  EXPECT_FALSE(apply_placement_image(img, other));
+  EXPECT_TRUE(other.on_gpu(0, 2)) << "rejected apply must not mutate";
+  EXPECT_EQ(other.capacity(0), 2);
+}
+
+TEST(Reconcile, MigratesEvictsAndPublishesWeightGates) {
+  cache::Placement p(2, 4);
+  for (int l = 0; l < 2; ++l) {
+    p.set_capacity(l, 2);
+    p.move_to_gpu(l, 0);
+    p.move_to_gpu(l, 1);
+  }
+  cache::PlacementArbiter arb(p);
+  cache::Placement want(2, 4);
+  for (int l = 0; l < 2; ++l) {
+    want.set_capacity(l, 2);
+    want.move_to_gpu(l, 2);
+    want.move_to_gpu(l, 3);
+  }
+  sim::Timeline tl;
+  const ReconcileResult r = reconcile_placement(capture_placement(want), arb,
+                                                tl, 1.0, 0.002, /*session=*/7);
+  EXPECT_EQ(r.migrated, 4);
+  EXPECT_EQ(r.evicted, 4);
+  EXPECT_EQ(r.refused, 0);
+  EXPECT_GT(r.ready, 1.0);
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_TRUE(arb.placement().on_gpu(l, 2));
+    EXPECT_TRUE(arb.placement().on_gpu(l, 3));
+    EXPECT_FALSE(arb.placement().on_gpu(l, 0));
+    EXPECT_GT(arb.weight_ready(l, 2), 1.0)
+        << "migrated weights must publish their arrival";
+  }
+}
+
+TEST(Reconcile, PinnedResidentsAreRefusedNotEvicted) {
+  cache::Placement p(1, 4);
+  p.set_capacity(0, 2);
+  p.move_to_gpu(0, 0);
+  p.move_to_gpu(0, 1);
+  cache::PlacementArbiter arb(p);
+  arb.pin(0, 0, /*session=*/99);  // a concurrent session computes with 0
+  cache::Placement want(1, 4);
+  want.set_capacity(0, 2);
+  want.move_to_gpu(0, 2);
+  want.move_to_gpu(0, 3);
+  sim::Timeline tl;
+  const ReconcileResult r = reconcile_placement(capture_placement(want), arb,
+                                                tl, 0.0, 0.002, /*session=*/7);
+  // Expert 1 evicts, expert 0 stays pinned; one wanted expert fits in the
+  // freed slot, the other is refused (the restored session runs it from the
+  // CPU like any refused migration).
+  EXPECT_EQ(r.evicted, 1);
+  EXPECT_EQ(r.migrated, 1);
+  EXPECT_EQ(r.refused, 1);
+  EXPECT_TRUE(arb.placement().on_gpu(0, 0));
+  arb.unpin(0, 0, 99);
+}
+
+// ---------------------------------------------------------------------------
+// Session snapshot round trip: engines x seeds x hazards
+
+struct SessionFixture {
+  model::ModelConfig cfg = daop::testing::small_mixtral();
+  sim::CostModel cm{sim::a6000_i9_platform()};
+  model::OpCosts costs{cfg, cm};
+  data::SequenceTrace trace;
+  cache::Placement placement{1, 1};
+  core::DaopConfig dcfg;
+
+  explicit SessionFixture(std::uint64_t seed) {
+    const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                   cfg.top_k, seed);
+    trace = gen.generate(0, 20, 10);
+    const data::TraceGenerator calib(data::sharegpt_calibration(),
+                                     cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                     seed ^ 0xCA11Bu);
+    placement = cache::init_placement_calibrated(
+        cfg.n_layers, cfg.n_experts, 0.469,
+        cache::calibrate_activation_counts(calib, 6));
+    dcfg.min_predict_layer = 1;
+  }
+};
+
+struct LiveSession {
+  std::unique_ptr<engines::Engine> engine;
+  std::unique_ptr<sim::FaultModel> fault;
+  sim::Timeline tl;
+  std::unique_ptr<engines::SequenceSession> session;
+};
+
+LiveSession open_live(const SessionFixture& fx, eval::EngineKind kind,
+                      const sim::HazardScenario& hz, std::uint64_t seed) {
+  LiveSession ls;
+  ls.engine = eval::make_engine(kind, fx.costs, fx.dcfg);
+  ls.fault = std::make_unique<sim::FaultModel>(hz, seed ^ 0xFA017ULL);
+  if (ls.fault->enabled()) ls.engine->set_fault_model(ls.fault.get());
+  engines::SessionEnv env;
+  env.timeline = &ls.tl;
+  env.request_id = 42;
+  ls.session = ls.engine->open_session(fx.trace, fx.placement, env);
+  return ls;
+}
+
+TEST(SessionSnapshot, RoundTripIsByteStableAcrossEnginesSeedsAndHazards) {
+  const eval::EngineKind kinds[] = {eval::EngineKind::Daop,
+                                    eval::EngineKind::Fiddler,
+                                    eval::EngineKind::MoEInfinity};
+  const std::uint64_t seeds[] = {7, 23};
+  const sim::HazardScenario hazards[] = {
+      sim::HazardScenario{}, sim::make_hazard_scenario("all", 0.5),
+      sim::make_hazard_scenario("expert-load", 0.8)};
+  for (const auto kind : kinds) {
+    for (const auto seed : seeds) {
+      const SessionFixture fx(seed);
+      for (const auto& hz : hazards) {
+        SCOPED_TRACE(std::string(eval::engine_kind_name(kind)) + " seed " +
+                     std::to_string(seed));
+        LiveSession a = open_live(fx, kind, hz, seed);
+        a.session->prefill();
+        for (int t = 0; t < 5; ++t) ASSERT_TRUE(a.session->decode_step());
+        const std::vector<std::uint8_t> snap = a.session->checkpoint();
+        ASSERT_FALSE(snap.empty()) << "engine must support checkpointing";
+        EXPECT_EQ(a.session->checkpoint(), snap)
+            << "checkpoint() must be pure (byte-stable)";
+
+        // Header peek agrees with the session without needing one.
+        const auto info = engines::SequenceSession::peek(snap);
+        ASSERT_TRUE(info.has_value());
+        EXPECT_EQ(info->engine, a.session->engine_name());
+        EXPECT_EQ(info->request_id, 42);
+        EXPECT_EQ(info->step, 5);
+        EXPECT_EQ(info->prompt_len, fx.trace.prompt_len);
+        EXPECT_EQ(info->gen_len, fx.trace.gen_len);
+
+        // Restoring into a FRESH identical environment reproduces the
+        // snapshot byte-for-byte on re-checkpoint.
+        LiveSession b = open_live(fx, kind, hz, seed);
+        engines::RestoreOptions ro;
+        ro.resume_floor = 0.0;
+        ro.apply_rng_cursor = true;
+        ASSERT_TRUE(b.session->restore(snap, ro));
+        EXPECT_EQ(b.session->tokens_generated(), 5);
+        EXPECT_EQ(b.session->checkpoint(), snap)
+            << "restore must reconstruct the exact serialized state";
+
+        // Both sessions continue to completion without tripping invariants.
+        while (a.session->decode_step()) {
+        }
+        while (b.session->decode_step()) {
+        }
+        const engines::RunResult ra = a.session->close();
+        const engines::RunResult rb = b.session->close();
+        EXPECT_EQ(ra.generated_tokens, rb.generated_tokens);
+      }
+    }
+  }
+}
+
+TEST(SessionSnapshot, EverySingleByteCorruptionIsRejectedAndSessionSurvives) {
+  const eval::EngineKind kinds[] = {eval::EngineKind::Daop,
+                                    eval::EngineKind::Fiddler,
+                                    eval::EngineKind::MoEInfinity};
+  for (const auto kind : kinds) {
+    SCOPED_TRACE(eval::engine_kind_name(kind));
+    const SessionFixture fx(7);
+    const sim::HazardScenario calm;
+    LiveSession a = open_live(fx, kind, calm, 7);
+    a.session->prefill();
+    for (int t = 0; t < 4; ++t) ASSERT_TRUE(a.session->decode_step());
+    const std::vector<std::uint8_t> snap = a.session->checkpoint();
+    ASSERT_FALSE(snap.empty());
+
+    LiveSession b = open_live(fx, kind, calm, 7);
+    engines::RestoreOptions ro;
+    std::vector<std::uint8_t> bad = snap;
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      bad[i] ^= 0x01;
+      EXPECT_FALSE(b.session->restore(bad, ro))
+          << "corrupted byte " << i << " accepted";
+      bad[i] = snap[i];
+    }
+    // After every rejection the session is untouched and the ordinary
+    // prefill-replay fallback still works end to end.
+    EXPECT_EQ(b.session->tokens_generated(), 0);
+    b.session->prefill();
+    while (b.session->decode_step()) {
+    }
+    const engines::RunResult r = b.session->close();
+    EXPECT_EQ(r.generated_tokens, fx.trace.gen_len);
+  }
+}
+
+TEST(SessionSnapshot, RestoreValidatesSessionIdentity) {
+  const SessionFixture fx(7);
+  const sim::HazardScenario calm;
+  LiveSession a = open_live(fx, eval::EngineKind::Fiddler, calm, 7);
+  a.session->prefill();
+  ASSERT_TRUE(a.session->decode_step());
+  const auto snap = a.session->checkpoint();
+  ASSERT_FALSE(snap.empty());
+
+  {
+    // Wrong engine: a Fiddler snapshot cannot restore into a DAOP session.
+    LiveSession b = open_live(fx, eval::EngineKind::Daop, calm, 7);
+    EXPECT_FALSE(b.session->restore(snap, {}));
+  }
+  {
+    // Wrong request id.
+    LiveSession b;
+    b.engine = eval::make_engine(eval::EngineKind::Fiddler, fx.costs, fx.dcfg);
+    engines::SessionEnv env;
+    env.timeline = &b.tl;
+    env.request_id = 43;
+    b.session = b.engine->open_session(fx.trace, fx.placement, env);
+    EXPECT_FALSE(b.session->restore(snap, {}));
+  }
+}
+
+TEST(SessionSnapshot, ResumeFloorShiftsTheRestoredFrontier) {
+  const SessionFixture fx(23);
+  const sim::HazardScenario calm;
+  LiveSession a = open_live(fx, eval::EngineKind::Fiddler, calm, 23);
+  a.session->prefill();
+  for (int t = 0; t < 3; ++t) ASSERT_TRUE(a.session->decode_step());
+  const double frontier = a.session->ready_time();
+  const auto snap = a.session->checkpoint();
+  ASSERT_FALSE(snap.empty());
+
+  LiveSession b = open_live(fx, eval::EngineKind::Fiddler, calm, 23);
+  engines::RestoreOptions ro;
+  ro.resume_floor = frontier + 5.0;  // restore on a peer, later in time
+  ASSERT_TRUE(b.session->restore(snap, ro));
+  EXPECT_DOUBLE_EQ(b.session->ready_time(), frontier + 5.0);
+  EXPECT_GE(b.session->start_time(), 5.0)
+      << "session clock must shift with the frontier";
+  while (b.session->decode_step()) {
+  }
+  const engines::RunResult r = b.session->close();
+  EXPECT_EQ(r.generated_tokens, fx.trace.gen_len);
+}
+
+}  // namespace
+}  // namespace daop::recovery

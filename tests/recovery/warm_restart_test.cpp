@@ -1,0 +1,452 @@
+// Warm-restart recovery: kill-and-recover bit-identity plus the cluster
+// router's crash-consistent failover plane.
+//
+//  - TENTPOLE bit-identity: a session crashed mid-decode and restored from
+//    its checkpoint (same environment) finishes with a RunResult that is
+//    BIT-identical to an uninterrupted golden run — every time, energy and
+//    counter field, across engines and hazard scenarios.
+//  - Cross-environment continuation (Fiddler): restoring onto a fresh
+//    timeline reproduces the golden run's per-step decode frontier and
+//    final times exactly from the restore point onward.
+//  - Router kill-and-recover: crash a node mid-decode under chaos; the
+//    router warm-restarts lost sessions from peer-visible checkpoints,
+//    conservation holds (lost == restored + replayed + shed), reruns are
+//    bit-deterministic, and warm restore beats prefill replay on both
+//    replayed-token count and recovery latency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "../testing/helpers.hpp"
+#include "cache/calibration.hpp"
+#include "cluster/serving.hpp"
+#include "data/trace_generator.hpp"
+#include "engines/session.hpp"
+#include "eval/speed.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/timeline.hpp"
+
+namespace daop::cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Single-session kill-and-recover bit-identity
+
+struct Fixture {
+  model::ModelConfig cfg = daop::testing::small_mixtral();
+  sim::CostModel cm{sim::a6000_i9_platform()};
+  model::OpCosts costs{cfg, cm};
+  data::SequenceTrace trace;
+  cache::Placement placement{1, 1};
+  core::DaopConfig dcfg;
+
+  explicit Fixture(std::uint64_t seed) {
+    const data::TraceGenerator gen(data::c4(), cfg.n_layers, cfg.n_experts,
+                                   cfg.top_k, seed);
+    trace = gen.generate(0, 24, 12);
+    const data::TraceGenerator calib(data::sharegpt_calibration(),
+                                     cfg.n_layers, cfg.n_experts, cfg.top_k,
+                                     seed ^ 0xCA11Bu);
+    placement = cache::init_placement_calibrated(
+        cfg.n_layers, cfg.n_experts, 0.469,
+        cache::calibrate_activation_counts(calib, 6));
+    dcfg.min_predict_layer = 1;
+  }
+};
+
+void expect_bit_identical(const engines::RunResult& a,
+                          const engines::RunResult& b) {
+  EXPECT_EQ(a.prompt_tokens, b.prompt_tokens);
+  EXPECT_EQ(a.generated_tokens, b.generated_tokens);
+  EXPECT_EQ(a.prefill_s, b.prefill_s);
+  EXPECT_EQ(a.decode_s, b.decode_s);
+  EXPECT_EQ(a.total_s, b.total_s);
+  EXPECT_EQ(a.tokens_per_s, b.tokens_per_s);
+  EXPECT_EQ(a.decode_tokens_per_s, b.decode_tokens_per_s);
+  EXPECT_EQ(a.energy.gpu_j, b.energy.gpu_j);
+  EXPECT_EQ(a.energy.cpu_j, b.energy.cpu_j);
+  EXPECT_EQ(a.energy.pcie_j, b.energy.pcie_j);
+  EXPECT_EQ(a.energy.total_j, b.energy.total_j);
+  EXPECT_EQ(a.tokens_per_kj, b.tokens_per_kj);
+  EXPECT_EQ(a.counters.expert_migrations, b.counters.expert_migrations);
+  EXPECT_EQ(a.counters.gpu_expert_execs, b.counters.gpu_expert_execs);
+  EXPECT_EQ(a.counters.cpu_expert_execs, b.counters.cpu_expert_execs);
+  EXPECT_EQ(a.counters.cache_hits, b.counters.cache_hits);
+  EXPECT_EQ(a.counters.cache_misses, b.counters.cache_misses);
+  EXPECT_EQ(a.counters.prefetch_hits, b.counters.prefetch_hits);
+  EXPECT_EQ(a.counters.predictions, b.counters.predictions);
+  EXPECT_EQ(a.counters.mispredictions, b.counters.mispredictions);
+  EXPECT_EQ(a.counters.prefill_swaps, b.counters.prefill_swaps);
+  EXPECT_EQ(a.counters.decode_swaps, b.counters.decode_swaps);
+  EXPECT_EQ(a.counters.skipped_experts, b.counters.skipped_experts);
+  EXPECT_EQ(a.counters.migration_retries, b.counters.migration_retries);
+  EXPECT_EQ(a.counters.migration_aborts, b.counters.migration_aborts);
+  EXPECT_EQ(a.counters.stale_precalcs, b.counters.stale_precalcs);
+  EXPECT_EQ(a.counters.hazard_stall_s, b.counters.hazard_stall_s);
+}
+
+/// Uninterrupted golden run of one session on its own environment.
+engines::RunResult golden_run(const Fixture& fx, eval::EngineKind kind,
+                              const sim::HazardScenario& hz,
+                              std::uint64_t seed) {
+  auto engine = eval::make_engine(kind, fx.costs, fx.dcfg);
+  sim::FaultModel fm(hz, seed ^ 0xFA017ULL);
+  if (fm.enabled()) engine->set_fault_model(&fm);
+  sim::Timeline tl;
+  engines::SessionEnv env;
+  env.timeline = &tl;
+  env.request_id = 7;
+  auto s = engine->open_session(fx.trace, fx.placement, env);
+  s->prefill();
+  while (s->decode_step()) {
+  }
+  return s->close();
+}
+
+/// Crash the session exactly at a checkpoint, then restore a NEW session on
+/// the same environment and drive it to completion.
+engines::RunResult killed_and_recovered_run(const Fixture& fx,
+                                            eval::EngineKind kind,
+                                            const sim::HazardScenario& hz,
+                                            std::uint64_t seed,
+                                            int crash_step) {
+  auto engine = eval::make_engine(kind, fx.costs, fx.dcfg);
+  sim::FaultModel fm(hz, seed ^ 0xFA017ULL);
+  if (fm.enabled()) engine->set_fault_model(&fm);
+  sim::Timeline tl;
+  engines::SessionEnv env;
+  env.timeline = &tl;
+  env.request_id = 7;
+  std::vector<std::uint8_t> snap;
+  {
+    auto s = engine->open_session(fx.trace, fx.placement, env);
+    s->prefill();
+    for (int t = 0; t < crash_step; ++t) EXPECT_TRUE(s->decode_step());
+    snap = s->checkpoint();
+    EXPECT_FALSE(snap.empty());
+    // The "crash": the session object dies without close(), exactly like a
+    // node loss destroys in-flight sessions.
+  }
+  auto s = engine->open_session(fx.trace, fx.placement, env);
+  engines::RestoreOptions ro;
+  ro.resume_floor = 0.0;       // at/before the frontier: zero shift
+  ro.apply_rng_cursor = true;  // same environment, same hazard streams
+  EXPECT_TRUE(s->restore(snap, ro));
+  EXPECT_EQ(s->tokens_generated(), crash_step);
+  while (s->decode_step()) {
+  }
+  return s->close();
+}
+
+TEST(WarmRestart, KilledAndRecoveredRunIsBitIdenticalToGolden) {
+  const eval::EngineKind kinds[] = {eval::EngineKind::Daop,
+                                    eval::EngineKind::Fiddler,
+                                    eval::EngineKind::MoEInfinity};
+  const sim::HazardScenario hazards[] = {
+      sim::HazardScenario{}, sim::make_hazard_scenario("all", 0.6)};
+  for (const auto kind : kinds) {
+    for (const auto& hz : hazards) {
+      SCOPED_TRACE(std::string(eval::engine_kind_name(kind)) +
+                   (hz.enabled() ? " under hazards" : " calm"));
+      const Fixture fx(7);
+      const engines::RunResult g = golden_run(fx, kind, hz, 7);
+      for (const int crash_step : {1, 6, 11}) {
+        SCOPED_TRACE("crash at decode step " + std::to_string(crash_step));
+        const engines::RunResult r =
+            killed_and_recovered_run(fx, kind, hz, 7, crash_step);
+        expect_bit_identical(g, r);
+      }
+    }
+  }
+}
+
+TEST(WarmRestart, CrossEnvironmentRestoreContinuesTheExactFrontier) {
+  // Fiddler schedules no speculative work past the decode frontier, so a
+  // snapshot restored onto a FRESH timeline (a cold peer) must continue the
+  // golden run's per-step frontier exactly.
+  const Fixture fx(23);
+  const sim::HazardScenario hz = sim::make_hazard_scenario("expert-load", 0.7);
+  const int crash_step = 5;
+
+  // Golden: record the frontier after every decode step.
+  std::vector<double> golden_frontier;
+  engines::RunResult g;
+  {
+    auto engine = eval::make_engine(eval::EngineKind::Fiddler, fx.costs,
+                                    fx.dcfg);
+    sim::FaultModel fm(hz, 23 ^ 0xFA017ULL);
+    engine->set_fault_model(&fm);
+    sim::Timeline tl;
+    engines::SessionEnv env;
+    env.timeline = &tl;
+    env.request_id = 7;
+    auto s = engine->open_session(fx.trace, fx.placement, env);
+    s->prefill();
+    while (s->decode_step()) golden_frontier.push_back(s->ready_time());
+    g = s->close();
+  }
+
+  // Take the snapshot at the crash step on one environment...
+  std::vector<std::uint8_t> snap;
+  {
+    auto engine = eval::make_engine(eval::EngineKind::Fiddler, fx.costs,
+                                    fx.dcfg);
+    sim::FaultModel fm(hz, 23 ^ 0xFA017ULL);
+    engine->set_fault_model(&fm);
+    sim::Timeline tl;
+    engines::SessionEnv env;
+    env.timeline = &tl;
+    env.request_id = 7;
+    auto s = engine->open_session(fx.trace, fx.placement, env);
+    s->prefill();
+    for (int t = 0; t < crash_step; ++t) ASSERT_TRUE(s->decode_step());
+    snap = s->checkpoint();
+    ASSERT_FALSE(snap.empty());
+  }
+
+  // ...and resume on a brand-new one (fresh timeline, fresh fault model of
+  // the same scenario/seed — the peer replays the suspended hazard streams
+  // via the snapshot's RNG cursor).
+  auto engine = eval::make_engine(eval::EngineKind::Fiddler, fx.costs,
+                                  fx.dcfg);
+  sim::FaultModel fm(hz, 23 ^ 0xFA017ULL);
+  engine->set_fault_model(&fm);
+  sim::Timeline tl;
+  engines::SessionEnv env;
+  env.timeline = &tl;
+  env.request_id = 7;
+  auto s = engine->open_session(fx.trace, fx.placement, env);
+  engines::RestoreOptions ro;
+  ro.resume_floor = 0.0;
+  ro.apply_rng_cursor = true;
+  ASSERT_TRUE(s->restore(snap, ro));
+  EXPECT_EQ(s->ready_time(),
+            golden_frontier[static_cast<std::size_t>(crash_step - 1)]);
+  int step = crash_step;
+  while (s->decode_step()) {
+    ASSERT_LT(static_cast<std::size_t>(step), golden_frontier.size());
+    EXPECT_EQ(s->ready_time(),
+              golden_frontier[static_cast<std::size_t>(step)])
+        << "decode step " << step << " diverged from the golden frontier";
+    ++step;
+  }
+  EXPECT_EQ(step, fx.trace.gen_len);
+  const engines::RunResult r = s->close();
+  EXPECT_EQ(r.prefill_s, g.prefill_s);
+  EXPECT_EQ(r.decode_s, g.decode_s);
+  EXPECT_EQ(r.total_s, g.total_s);
+  EXPECT_EQ(r.tokens_per_s, g.tokens_per_s);
+  EXPECT_EQ(r.counters.expert_migrations, g.counters.expert_migrations);
+  EXPECT_EQ(r.counters.cpu_expert_execs, g.counters.cpu_expert_execs);
+  EXPECT_EQ(r.counters.migration_retries, g.counters.migration_retries);
+}
+
+// ---------------------------------------------------------------------------
+// Router kill-and-recover
+
+ClusterServingOptions chaos_options(int nodes) {
+  ClusterServingOptions opt;
+  opt.n_nodes = nodes;
+  opt.base.arrival_rate_rps = 4.0;  // keep nodes busy at crash time
+  opt.base.n_requests = 16;
+  opt.base.min_prompt = 48;
+  opt.base.max_prompt = 64;
+  opt.base.min_gen = 16;
+  opt.base.max_gen = 32;
+  opt.base.calibration_seqs = 4;
+  opt.cluster.max_concurrent_per_node = 2;
+  opt.cluster.health.enabled = true;
+  opt.cluster.health.probe_interval_s = 0.5;
+  opt.cluster.health.eject_after = 1;
+  opt.cluster.failover_budget = 3;
+  opt.cluster.failover_backoff_s = 0.05;
+  opt.cluster.crash_node = 1;
+  opt.cluster.crash_time_s = 2.0;
+  opt.cluster.checkpoint.every_steps = 2;
+  return opt;
+}
+
+ClusterServingResult crun(eval::EngineKind kind,
+                          const ClusterServingOptions& opt) {
+  return run_cluster_serving_eval(kind, daop::testing::small_mixtral(),
+                                  sim::a6000_i9_platform(),
+                                  data::sharegpt_calibration(), opt);
+}
+
+double p99(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(v.size()))) - 1;
+  return v[std::min(i, v.size() - 1)];
+}
+
+TEST(ClusterWarmRestart, KillAndRecoverConservesEverySessionAcrossSeeds) {
+  long long total_restores = 0;
+  for (const std::uint64_t seed : {3u, 11u, 29u}) {
+    auto opt = chaos_options(4);
+    opt.base.seed = seed;
+    opt.node_hazards = sim::make_hazard_scenario("cluster", 0.6);
+    const auto r = crun(eval::EngineKind::Daop, opt);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(r.served + r.shed, 16);
+    // Loss-episode conservation: every lost session resolves exactly once.
+    // (Also DAOP_CHECKed inside run(); this re-checks the exported stats.)
+    EXPECT_EQ(r.recovery.lost_sessions, r.recovery.recovered_restored +
+                                            r.recovery.recovered_replayed +
+                                            r.recovery.recovered_shed);
+    EXPECT_EQ(r.recovery.restores, r.recovery.recovered_restored);
+    EXPECT_EQ(static_cast<long long>(r.recovery.events.size()),
+              r.recovery.recovered_restored + r.recovery.recovered_replayed);
+    EXPECT_EQ(r.recovery.recovery_latency_s.size(), r.recovery.events.size());
+    EXPECT_GE(r.recovery.lost_sessions, 1)
+        << "a crash at 2s under 4 rps must lose at least one session";
+    for (const auto& ev : r.recovery.events) {
+      EXPECT_GE(ev.latency_s, 0.0);
+      EXPECT_GE(ev.admit_time, ev.loss_time);
+      if (ev.restored) {
+        EXPECT_GT(ev.step, 0);
+      }
+    }
+    total_restores += r.recovery.restores;
+  }
+  EXPECT_GE(total_restores, 1)
+      << "at least one seed must recover via warm restore";
+}
+
+TEST(ClusterWarmRestart, KillAndRecoverIsDeterministicAcrossReruns) {
+  auto opt = chaos_options(4);
+  opt.base.seed = 11;
+  opt.node_hazards = sim::make_hazard_scenario("cluster", 0.6);
+  const auto a = crun(eval::EngineKind::Daop, opt);
+  const auto b = crun(eval::EngineKind::Daop, opt);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // bit-identical, not approximate
+  EXPECT_EQ(a.recovery.checkpoints_written, b.recovery.checkpoints_written);
+  EXPECT_EQ(a.recovery.checkpoint_bytes, b.recovery.checkpoint_bytes);
+  EXPECT_EQ(a.recovery.torn_writes, b.recovery.torn_writes);
+  EXPECT_EQ(a.recovery.restores, b.recovery.restores);
+  EXPECT_EQ(a.recovery.restored_tokens, b.recovery.restored_tokens);
+  EXPECT_EQ(a.recovery.lost_sessions, b.recovery.lost_sessions);
+  EXPECT_EQ(a.recovery.recovered_restored, b.recovery.recovered_restored);
+  EXPECT_EQ(a.recovery.recovered_replayed, b.recovery.recovered_replayed);
+  EXPECT_EQ(a.recovery.recovered_shed, b.recovery.recovered_shed);
+  EXPECT_EQ(a.recovery.reconcile_migrations, b.recovery.reconcile_migrations);
+  ASSERT_EQ(a.recovery.events.size(), b.recovery.events.size());
+  for (std::size_t i = 0; i < a.recovery.events.size(); ++i) {
+    EXPECT_EQ(a.recovery.events[i].request_id, b.recovery.events[i].request_id);
+    EXPECT_EQ(a.recovery.events[i].node, b.recovery.events[i].node);
+    EXPECT_EQ(a.recovery.events[i].restored, b.recovery.events[i].restored);
+    EXPECT_EQ(a.recovery.events[i].step, b.recovery.events[i].step);
+    EXPECT_EQ(a.recovery.events[i].latency_s, b.recovery.events[i].latency_s);
+  }
+  ASSERT_EQ(a.request_log.size(), b.request_log.size());
+  for (std::size_t i = 0; i < a.request_log.size(); ++i) {
+    EXPECT_EQ(a.request_log[i].outcome, b.request_log[i].outcome);
+    EXPECT_EQ(a.request_log[i].restores, b.request_log[i].restores);
+    EXPECT_EQ(a.request_log[i].recovery, b.request_log[i].recovery);
+  }
+}
+
+TEST(ClusterWarmRestart, WarmRestoreBeatsPrefillReplay) {
+  auto on = chaos_options(4);
+  on.base.seed = 11;
+  on.base.min_gen = 24;  // sessions deep into decode when the node dies
+  on.cluster.crash_time_s = 2.5;
+  on.cluster.checkpoint.every_steps = 1;
+  auto off = on;
+  off.cluster.checkpoint.every_steps = 0;  // prefill replay only
+
+  const auto r_on = crun(eval::EngineKind::Daop, on);
+  const auto r_off = crun(eval::EngineKind::Daop, off);
+
+  ASSERT_GE(r_on.recovery.restores, 1)
+      << "scenario must actually exercise warm restore";
+  EXPECT_EQ(r_off.recovery.restores, 0);
+  EXPECT_EQ(r_off.recovery.checkpoints_written, 0);
+  ASSERT_GE(r_off.recovery.lost_sessions, 1);
+
+  // The whole point of the checkpoint plane: fewer regenerated tokens and
+  // faster recovery than replaying prefill from scratch.
+  EXPECT_LT(r_on.cluster.replayed_tokens, r_off.cluster.replayed_tokens);
+  ASSERT_FALSE(r_on.recovery.recovery_latency_s.empty());
+  ASSERT_FALSE(r_off.recovery.recovery_latency_s.empty());
+  EXPECT_LT(p99(r_on.recovery.recovery_latency_s),
+            p99(r_off.recovery.recovery_latency_s));
+}
+
+TEST(ClusterWarmRestart, TornAndCorruptCheckpointChaosNeverCrashes) {
+  auto opt = chaos_options(4);
+  opt.base.seed = 29;
+  opt.cluster.checkpoint.every_steps = 1;  // maximum write pressure
+  // Node chaos plus certain-rate checkpoint damage: every restore path must
+  // validate, fall back, and keep conservation — never resume corrupt state.
+  opt.node_hazards = sim::make_hazard_scenario("cluster", 0.6);
+  opt.node_hazards.ckpt_torn_write_prob = 0.5;
+  opt.node_hazards.ckpt_corrupt_prob = 0.25;
+  opt.node_hazards.validate();
+  const auto r = crun(eval::EngineKind::Daop, opt);
+  EXPECT_EQ(r.served + r.shed, 16);
+  EXPECT_EQ(r.recovery.lost_sessions, r.recovery.recovered_restored +
+                                          r.recovery.recovered_replayed +
+                                          r.recovery.recovered_shed);
+  EXPECT_GT(r.recovery.checkpoints_written, 0);
+  EXPECT_GT(r.recovery.torn_writes + r.recovery.corrupt_writes, 0)
+      << "certain-rate hazards must damage at least one write";
+}
+
+TEST(ClusterWarmRestart, DisabledCheckpointingKeepsRecoveryPlaneInert) {
+  auto opt = chaos_options(4);
+  opt.base.seed = 3;
+  opt.cluster.checkpoint.every_steps = 0;
+  opt.node_hazards = sim::make_hazard_scenario("cluster", 0.6);
+  const auto r = crun(eval::EngineKind::Fiddler, opt);
+  EXPECT_EQ(r.recovery.checkpoints_written, 0);
+  EXPECT_EQ(r.recovery.checkpoint_bytes, 0);
+  EXPECT_EQ(r.recovery.restores, 0);
+  EXPECT_EQ(r.recovery.recovered_restored, 0);
+  // Loss episodes are still conserved — they just all resolve by replay or
+  // shed.
+  EXPECT_EQ(r.recovery.lost_sessions,
+            r.recovery.recovered_replayed + r.recovery.recovered_shed);
+  for (const auto& e : r.request_log) {
+    EXPECT_NE(e.recovery, "restored");
+    EXPECT_EQ(e.restores, 0);
+  }
+}
+
+TEST(ClusterWarmRestart, RequestLogCarriesTheRecoveryPath) {
+  auto opt = chaos_options(4);
+  opt.base.seed = 11;
+  opt.node_hazards = sim::make_hazard_scenario("cluster", 0.6);
+  const auto r = crun(eval::EngineKind::Daop, opt);
+  long long restored_entries = 0;
+  for (const auto& e : r.request_log) {
+    if (e.restores > 0) {
+      EXPECT_EQ(e.recovery, "restored")
+          << "request " << e.id << " restored but labeled " << e.recovery;
+      ++restored_entries;
+    }
+    if (e.recovery == "none") {
+      EXPECT_EQ(e.restores, 0);
+    }
+    if (e.recovery == "shed") {
+      EXPECT_NE(e.outcome, "served");
+    }
+  }
+  // Every request whose LAST episode warm-restored counts at least one
+  // restore; chained episodes can restore more than once per request.
+  long long restored_last = 0;
+  for (const auto& e : r.request_log) {
+    if (e.recovery == "restored") ++restored_last;
+  }
+  EXPECT_LE(restored_last, restored_entries);
+  EXPECT_GE(restored_entries, 1) << "seed 11 must warm-restore something";
+}
+
+}  // namespace
+}  // namespace daop::cluster
