@@ -12,10 +12,17 @@
 //                            fast path for tight tagged loops
 //   - FaultModel variants    hazard perturbation attached, with recording
 //                            off and on
+//   - TimeSeries variants    the obs::TimeSeriesRecorder hook cost around a
+//                            scheduler-loop-shaped tick: disabled recorders
+//                            must be structural no-ops (asserted, not just
+//                            measured), enabled ones pay only per-tick
+//                            registry work
 //
 // Run: ./build/bench/bench_micro_timeline [--benchmark_filter=...]
 #include <benchmark/benchmark.h>
 
+#include "common/check.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
 
@@ -106,6 +113,60 @@ void BM_ScheduleFaultModelRecordOn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kOpsPerIter);
 }
 BENCHMARK(BM_ScheduleFaultModelRecordOn);
+
+// ---------------------------------------------------------------------------
+// obs::TimeSeriesRecorder hook cost. The harness hot loops consult the
+// recorder once per scheduling decision, so the hook pattern benchmarked
+// here is one advance() plus a small burst of count/gauge/observe calls —
+// the shape of ClusterRouter::ts_tick.
+
+// Drives one scheduler-loop-shaped pass: schedule work on the timeline,
+// tick the recorder with the decision time as the CB/cluster hooks do.
+void run_recorder_loop(sim::Timeline& tl, obs::TimeSeriesRecorder& rec) {
+  double ready = 0.0;
+  for (int i = 0; i < kOpsPerIter / 2; ++i) {
+    ready = tl.schedule(sim::Res::GpuStream, ready, 1e-3, std::string_view{});
+    tl.schedule(sim::Res::CpuPool, ready, 2e-3, std::string_view{});
+    rec.advance(0, ready);
+    rec.count(0, "daop_serving_requests_total", "h");
+    rec.gauge_set(0, "daop_queue_depth", "h", static_cast<double>(i & 7));
+    rec.observe(0, "daop_serving_ttft_seconds", "h", ready);
+  }
+  benchmark::DoNotOptimize(tl.span());
+}
+
+void BM_TimeSeriesRecorderOff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Timeline tl;
+    obs::TimeSeriesRecorder rec(obs::TimeSeriesOptions{}, {});  // disabled
+    run_recorder_loop(tl, rec);
+    rec.finalize(tl.span());
+    // Perf-gate guard, not just a timing: a disabled recorder must do ZERO
+    // structural work. No channels, no windows, no series families, and no
+    // effect on the timeline's interval recording.
+    DAOP_CHECK_EQ(rec.n_channels(), 0);
+    DAOP_CHECK_EQ(rec.n_windows(), 0);
+    DAOP_CHECK(rec.aggregate().empty());
+    DAOP_CHECK_EQ(tl.interval_count(), 0);
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_TimeSeriesRecorderOff);
+
+void BM_TimeSeriesRecorderOn(benchmark::State& state) {
+  obs::TimeSeriesOptions opt;
+  opt.window_s = 0.05;  // many window seals across the ~1.5 s simulated span
+  for (auto _ : state) {
+    sim::Timeline tl;
+    obs::TimeSeriesRecorder rec(opt, {"node0"});
+    run_recorder_loop(tl, rec);
+    rec.finalize(tl.span());
+    DAOP_CHECK_GE(rec.n_windows(), 2);
+    benchmark::DoNotOptimize(rec.n_windows());
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_TimeSeriesRecorderOn);
 
 }  // namespace
 

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cache/calibration.hpp"
@@ -35,9 +36,11 @@
 #include "eval/similarity.hpp"
 #include "eval/speed.hpp"
 #include "model/config.hpp"
+#include "obs/alerting.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
 
@@ -99,17 +102,32 @@ int usage() {
       "            (decode steps between replans) --cache-report PATH\n"
       "            (speed, serve)\n"
       "metrics:    --metrics-out PATH --metrics-format prom|json\n"
-      "            (speed, compare, serve, timeline)\n"
+      "            (speed, compare, serve, serve --nodes N, timeline)\n"
       "profiling:  --profile-out PATH --profile-format json|text\n"
       "            critical-path attribution report (speed, compare,\n"
-      "            serve, timeline)\n");
+      "            serve, serve --nodes N, timeline)\n"
+      "timeseries: --tseries-out PATH --tseries-format json|text\n"
+      "            --tseries-window S (simulated seconds per window,\n"
+      "            default 5) windowed daop-tseries/1 export with SLO\n"
+      "            burn-rate alerts + correlated incidents (same five\n"
+      "            modes; serve/serve --nodes stream per-decision windows,\n"
+      "            batch modes export end-of-run totals)\n"
+      "            --slo-rules SPEC|FILE (inline 'k=v,...;k=v,...' rules\n"
+      "            or a rules file; default: stock TTFT/latency/shed SLOs)\n");
   return 2;
 }
 
 /// Writes the registry to --metrics-out when given (Prometheus text format
-/// by default, JSON with --metrics-format json). Returns 0 on success or
-/// when no output was requested, 1 on I/O failure.
-int write_metrics(const FlagParser& flags, const obs::MetricsRegistry& reg) {
+/// by default, JSON with --metrics-format json). `mode` must be registered
+/// for the flag in cli_output_flag_matrix() — the single source of truth
+/// that keeps output-flag support uniform across the report-producing
+/// modes. Returns 0 on success or when no output was requested, 1 on I/O
+/// failure.
+int write_metrics(const FlagParser& flags, const char* mode,
+                  const obs::MetricsRegistry& reg) {
+  DAOP_CHECK_MSG(cli_output_flag_supported("metrics-out", mode),
+                 "mode '" << mode << "' missing from the --metrics-out "
+                          << "support matrix (common/cli.cpp)");
   const std::string path = flags.get("metrics-out", "");
   const std::string format = flags.get("metrics-format", "prom");
   if (path.empty()) return 0;
@@ -130,7 +148,11 @@ int write_metrics(const FlagParser& flags, const obs::MetricsRegistry& reg) {
 /// (deterministic JSON by default, aligned text tables with
 /// --profile-format text). Returns 0 on success or when no output was
 /// requested, 1 on I/O failure.
-int write_profile(const FlagParser& flags, const obs::Profiler& prof) {
+int write_profile(const FlagParser& flags, const char* mode,
+                  const obs::Profiler& prof) {
+  DAOP_CHECK_MSG(cli_output_flag_supported("profile-out", mode),
+                 "mode '" << mode << "' missing from the --profile-out "
+                          << "support matrix (common/cli.cpp)");
   const std::string path = flags.get("profile-out", "");
   const std::string format = flags.get("profile-format", "json");
   if (path.empty()) return 0;
@@ -144,6 +166,75 @@ int write_profile(const FlagParser& flags, const obs::Profiler& prof) {
   }
   std::printf("profile written to %s (%zu runs, %s)\n", path.c_str(),
               prof.runs().size(), format.c_str());
+  return 0;
+}
+
+/// Recorder options from --tseries-out / --tseries-window: recording is
+/// enabled iff an output path was requested (the recorder stays a strict
+/// no-op otherwise, keeping unflagged runs byte-identical).
+obs::TimeSeriesOptions tseries_options_from(const FlagParser& flags,
+                                            const char* mode) {
+  DAOP_CHECK_MSG(cli_output_flag_supported("tseries-out", mode),
+                 "mode '" << mode << "' missing from the --tseries-out "
+                          << "support matrix (common/cli.cpp)");
+  const bool want = flags.has("tseries-out");
+  const double window_s = flags.get_double("tseries-window", 5.0);
+  obs::TimeSeriesOptions to;
+  if (want) to.window_s = window_s;
+  return to;
+}
+
+/// SLO rules from --slo-rules: inline spec when the value contains '=',
+/// otherwise a rules file (newlines double as rule separators); the stock
+/// default_slo_rules() when the flag is absent.
+std::vector<obs::SloRule> slo_rules_from(const FlagParser& flags) {
+  const std::string spec = flags.get("slo-rules", "");
+  if (spec.empty()) return obs::default_slo_rules();
+  if (spec.find('=') != std::string::npos) return obs::parse_slo_rules(spec);
+  std::ifstream f(spec);
+  DAOP_CHECK_MSG(f, "cannot read --slo-rules file '" << spec << "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  std::string text = ss.str();
+  std::replace(text.begin(), text.end(), '\n', ';');
+  std::replace(text.begin(), text.end(), '\r', ';');
+  return obs::parse_slo_rules(text);
+}
+
+/// Evaluates the SLO rules over the finalized recorder, correlates
+/// incidents against its causal event log, and writes the daop-tseries/1
+/// export to --tseries-out (JSON by default, sparkline report with
+/// --tseries-format text). Returns 0 on success or when no output was
+/// requested, 1 on I/O failure.
+int write_tseries(const FlagParser& flags, const char* mode,
+                  obs::TimeSeriesRecorder& rec) {
+  const std::string path = flags.get("tseries-out", "");
+  const std::string format = flags.get("tseries-format", "json");
+  if (path.empty()) return 0;
+  DAOP_CHECK_MSG(format == "json" || format == "text",
+                 "unknown --tseries-format '" << format << "'");
+  DAOP_CHECK_MSG(cli_output_flag_supported("tseries-out", mode),
+                 "mode '" << mode << "' missing from the --tseries-out "
+                          << "support matrix (common/cli.cpp)");
+  rec.finalize(0.0);  // harnesses already sealed at their makespan; no-op then
+  const std::vector<obs::SloRule> rules = slo_rules_from(flags);
+  const obs::AlertReport report = obs::evaluate_slo_rules(rules, rec);
+  const std::vector<obs::Incident> incidents =
+      obs::correlate_incidents(report, rec, 2.0 * rec.window_s());
+  std::ofstream f(path);
+  if (f) {
+    f << (format == "text" ? obs::to_tseries_text(rec, report, incidents)
+                           : obs::to_tseries_json(rec, report, incidents));
+  }
+  if (!f) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf(
+      "time series written to %s (%lld windows, %zu alert episodes, "
+      "%zu incidents, %s)\n",
+      path.c_str(), rec.n_windows(), report.episodes.size(), incidents.size(),
+      format.c_str());
   return 0;
 }
 
@@ -256,6 +347,8 @@ int cmd_speed(const FlagParser& flags) {
   opt.metrics = &reg;
   obs::Profiler prof;
   if (flags.has("profile-out")) opt.profiler = &prof;
+  obs::TimeSeriesRecorder tseries(tseries_options_from(flags, "speed"),
+                                  {"run"});
   const auto kind = pick_engine(flags.get("engine", "daop"));
   const auto r = eval::run_speed_eval(
       kind, pick_model(flags.get("model", "mixtral")),
@@ -294,11 +387,19 @@ int cmd_speed(const FlagParser& flags) {
     t.add_row({"cache policy", cache::cache_policy_name(opt.cache.policy)});
   }
   std::printf("%s", t.render().c_str());
-  const int rc = write_metrics(flags, reg);
-  const int rc_prof = write_profile(flags, prof);
+  // Batch mode: no streaming event loop, so the time-series export is the
+  // end-of-run registry totals in one degenerate window.
+  if (tseries.enabled()) {
+    tseries.record_registry_totals(0, reg, 0.0);
+    tseries.finalize(0.0);
+  }
+  const int rc = write_metrics(flags, "speed", reg);
+  const int rc_prof = write_profile(flags, "speed", prof);
+  const int rc_ts = write_tseries(flags, "speed", tseries);
   const int rc_cache = write_cache_report(flags, cache_report);
   if (rc != 0) return rc;
-  return rc_prof != 0 ? rc_prof : rc_cache;
+  if (rc_prof != 0) return rc_prof;
+  return rc_ts != 0 ? rc_ts : rc_cache;
 }
 
 /// `serve --nodes N`: N-replica fault-tolerant cluster serving
@@ -349,6 +450,18 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
   obs::SpanTracer tracer;
   const std::string trace_json = flags.get("out-json", "");
   if (!trace_json.empty()) opt.base.tracer = &tracer;
+  obs::Profiler prof;
+  if (flags.has("profile-out")) opt.base.profiler = &prof;
+  // Channel convention (ClusterOptions::tseries): one channel per node plus
+  // the trailing router-level "cluster" channel.
+  std::vector<std::string> ts_channels;
+  for (int i = 0; i < nodes; ++i) {
+    ts_channels.push_back("node" + std::to_string(i));
+  }
+  ts_channels.push_back("cluster");
+  obs::TimeSeriesRecorder tseries(
+      tseries_options_from(flags, "serve-cluster"), std::move(ts_channels));
+  if (tseries.enabled()) opt.base.tseries = &tseries;
   const auto r = cluster::run_cluster_serving_eval(
       pick_engine(flags.get("engine", "daop")),
       pick_model(flags.get("model", "mixtral")),
@@ -465,9 +578,13 @@ int cmd_serve_cluster(const FlagParser& flags, int nodes) {
     ct.add_row({"bytes moved", fmt_bytes(r.cache_bytes_moved)});
     cache_report = ct.render();
   }
-  const int rc = write_metrics(flags, reg);
+  const int rc = write_metrics(flags, "serve-cluster", reg);
+  const int rc_prof = write_profile(flags, "serve-cluster", prof);
+  const int rc_ts = write_tseries(flags, "serve-cluster", tseries);
   const int rc_cache = write_cache_report(flags, cache_report);
-  return rc != 0 ? rc : rc_cache;
+  if (rc != 0) return rc;
+  if (rc_prof != 0) return rc_prof;
+  return rc_ts != 0 ? rc_ts : rc_cache;
 }
 
 int cmd_serve(const FlagParser& flags) {
@@ -511,6 +628,9 @@ int cmd_serve(const FlagParser& flags) {
   if (!trace_json.empty()) opt.tracer = &tracer;
   obs::Profiler prof;
   if (flags.has("profile-out")) opt.profiler = &prof;
+  obs::TimeSeriesRecorder tseries(tseries_options_from(flags, "serve"),
+                                  {"serving"});
+  if (tseries.enabled()) opt.tseries = &tseries;
   const auto r = eval::run_serving_eval(
       pick_engine(flags.get("engine", "daop")),
       pick_model(flags.get("model", "mixtral")),
@@ -603,11 +723,13 @@ int cmd_serve(const FlagParser& flags) {
       return 1;
     }
   }
-  const int rc = write_metrics(flags, reg);
-  const int rc_prof = write_profile(flags, prof);
+  const int rc = write_metrics(flags, "serve", reg);
+  const int rc_prof = write_profile(flags, "serve", prof);
+  const int rc_ts = write_tseries(flags, "serve", tseries);
   const int rc_cache = write_cache_report(flags, cache_report);
   if (rc != 0) return rc;
-  return rc_prof != 0 ? rc_prof : rc_cache;
+  if (rc_prof != 0) return rc_prof;
+  return rc_ts != 0 ? rc_ts : rc_cache;
 }
 
 int cmd_accuracy(const FlagParser& flags) {
@@ -708,9 +830,18 @@ int cmd_timeline(const FlagParser& flags) {
   }
   obs::MetricsRegistry reg;
   engines::record_run_metrics(reg, r);
-  const int rc = write_metrics(flags, reg);
-  const int rc_prof = write_profile(flags, prof);
-  return rc != 0 ? rc : rc_prof;
+  obs::TimeSeriesRecorder tseries(tseries_options_from(flags, "timeline"),
+                                  {"run"});
+  if (tseries.enabled()) {
+    // Totals recorded at the run end; earlier grid windows seal empty.
+    tseries.record_registry_totals(0, reg, tl.span());
+    tseries.finalize(tl.span());
+  }
+  const int rc = write_metrics(flags, "timeline", reg);
+  const int rc_prof = write_profile(flags, "timeline", prof);
+  const int rc_ts = write_tseries(flags, "timeline", tseries);
+  if (rc != 0) return rc;
+  return rc_prof != 0 ? rc_prof : rc_ts;
 }
 
 int cmd_dump(const FlagParser& flags) {
@@ -746,6 +877,8 @@ int cmd_compare(const FlagParser& flags) {
   opt.metrics = &reg;
   obs::Profiler prof;
   if (flags.has("profile-out")) opt.profiler = &prof;
+  obs::TimeSeriesRecorder tseries(tseries_options_from(flags, "compare"),
+                                  {"run"});
 
   TextTable t({"engine", "tokens/s", "tokens/kJ", "hit rate"});
   for (auto kind : extended ? eval::extended_baseline_engines()
@@ -760,9 +893,15 @@ int cmd_compare(const FlagParser& flags) {
               cfg.name.c_str(), platform.name.c_str(), workload.name.c_str(),
               fmt_pct(opt.ecr).c_str(), opt.prompt_len, opt.gen_len);
   std::printf("%s", t.render().c_str());
-  const int rc = write_metrics(flags, reg);
-  const int rc_prof = write_profile(flags, prof);
-  return rc != 0 ? rc : rc_prof;
+  if (tseries.enabled()) {
+    tseries.record_registry_totals(0, reg, 0.0);
+    tseries.finalize(0.0);
+  }
+  const int rc = write_metrics(flags, "compare", reg);
+  const int rc_prof = write_profile(flags, "compare", prof);
+  const int rc_ts = write_tseries(flags, "compare", tseries);
+  if (rc != 0) return rc;
+  return rc_prof != 0 ? rc_prof : rc_ts;
 }
 
 int cmd_replay(const FlagParser& flags) {

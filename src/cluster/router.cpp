@@ -107,6 +107,14 @@ ClusterRouter::ClusterRouter(std::vector<NodeSeat> seats,
           options_.checkpoint, &n.timeline, n.fault.get());
     }
   }
+  if (options_.record_intervals) {
+    for (Node& n : nodes_) n.timeline.set_record_intervals(true);
+  }
+  if (ts_on()) {
+    // Channel convention: one channel per node plus the trailing router
+    // "cluster" channel (see ClusterOptions::tseries).
+    DAOP_CHECK_GE(options_.tseries->n_channels(), n_nodes() + 1);
+  }
   if (options_.tracer != nullptr) {
     tracer_track_ = options_.tracer->track("Cluster");
   }
@@ -251,6 +259,67 @@ void ClusterRouter::tinstant(long long request_id, const std::string& name,
   options_.tracer->instant(tracer_track_, name, t);
 }
 
+void ClusterRouter::ts_tick(double t) {
+  obs::TimeSeriesRecorder& r = *options_.tseries;
+  for (const Node& n : nodes_) {
+    r.advance(n.id, t);
+    r.count_total(n.id, "daop_hazard_stall_seconds_total",
+                  "Simulated seconds lost to injected hazards.",
+                  n.timeline.hazard_stall_s());
+    r.gauge_set(n.id, "daop_queue_depth",
+                "Request copies waiting in the node's admission queue.",
+                static_cast<double>(n.pending.size()));
+    r.gauge_set(n.id, "daop_active_sessions",
+                "Sessions in flight on the node.",
+                static_cast<double>(n.active.size()));
+    r.gauge_set(n.id, "daop_node_in_service",
+                "1 while the health checker routes to the node, else 0.",
+                health_.in_service(n.id) ? 1.0 : 0.0);
+  }
+  r.advance(ts_cluster_channel(), t);
+}
+
+void ClusterRouter::ts_served(const Track& tr, double start, double end,
+                              const engines::RunResult& result) {
+  obs::TimeSeriesRecorder& r = *options_.tseries;
+  const int ch = ts_cluster_channel();
+  const double arrival = tr.request.arrival;
+  r.advance(ch, end);
+  r.count(ch, "daop_serving_requests_total", "Request resolutions.", 1.0,
+          {{"outcome", "served"}});
+  r.count(ch, "daop_serving_generated_tokens_total",
+          "Tokens generated across served requests.",
+          static_cast<double>(result.generated_tokens));
+  // Same client-observed formulas as cluster/serving.cpp: everything counts
+  // from the ORIGINAL arrival so failover backoffs show in the windows.
+  r.observe(ch, "daop_serving_queue_wait_seconds",
+            "Arrival to admission on the serving node.", start - arrival);
+  r.observe(ch, "daop_serving_ttft_seconds",
+            "Arrival to first output token.",
+            (start - arrival) + result.prefill_s);
+  r.observe(ch, "daop_serving_latency_seconds",
+            "Arrival to request completion.", end - arrival);
+  if (result.generated_tokens > 0) {
+    r.observe(ch, "daop_serving_tpot_seconds",
+              "Mean time per output token per request.",
+              result.decode_s / result.generated_tokens);
+  }
+}
+
+void ClusterRouter::ts_shed(const Track& tr, eval::ShedReason reason,
+                            double t) {
+  obs::TimeSeriesRecorder& r = *options_.tseries;
+  const int ch = ts_cluster_channel();
+  const char* why = eval::shed_reason_name(reason);
+  r.advance(ch, t);
+  r.count(ch, "daop_serving_requests_total", "Request resolutions.", 1.0,
+          {{"outcome", "shed"}});
+  r.count(ch, "daop_requests_shed_total",
+          "Requests rejected or lost, by reason.", 1.0, {{"reason", why}});
+  r.record_event(t, ch, "shed",
+                 "req " + std::to_string(tr.request.id) + " (" + why + ")");
+}
+
 void ClusterRouter::dispatch_copy(std::size_t track, int node_id, double t,
                                   bool hedge) {
   Node& n = nodes_[static_cast<std::size_t>(node_id)];
@@ -258,6 +327,10 @@ void ClusterRouter::dispatch_copy(std::size_t track, int node_id, double t,
   ++stats_.dispatches;
   ++stats_.node_dispatched[static_cast<std::size_t>(node_id)];
   ++tr.live_copies;
+  if (ts_on()) {
+    options_.tseries->count(node_id, "daop_cluster_dispatches_total",
+                            "Request copies handed to the node.", 1.0);
+  }
   if (!n.alive) {
     // Dispatched into the void: the router only discovers the loss after
     // the failover backoff (its detection delay), then retries or sheds.
@@ -283,6 +356,16 @@ void ClusterRouter::lost_copy(std::size_t track, int tokens_done, double t,
     tr.loss_open = true;
     tr.loss_time = t;
     ++recovery_.lost_sessions;
+    if (ts_on()) {
+      options_.tseries->count(ts_cluster_channel(),
+                              "daop_cluster_loss_episodes_total",
+                              "Loss episodes opened (every live request "
+                              "copy lost).",
+                              1.0);
+      options_.tseries->record_event(
+          t, ts_cluster_channel(), "loss",
+          "req " + std::to_string(tr.request.id) + " lost every copy");
+    }
   }
   if (tr.failovers < options_.failover_budget) {
     ++tr.failovers;
@@ -294,6 +377,15 @@ void ClusterRouter::lost_copy(std::size_t track, int tokens_done, double t,
       ++stats_.failovers_node_crash;
     } else {
       ++stats_.failovers_dead_dispatch;
+    }
+    if (ts_on()) {
+      options_.tseries->count(
+          ts_cluster_channel(), "daop_cluster_failovers_total",
+          "Failover re-dispatches after losing every live request copy.",
+          1.0,
+          {{"reason", reason == FailoverReason::kNodeCrash
+                          ? "node-crash"
+                          : "dead-dispatch"}});
     }
     launches_.push_back({t + options_.failover_backoff_s, track});
     tinstant(tr.request.id,
@@ -339,6 +431,14 @@ void ClusterRouter::crash_node(Node& n, double t) {
   n.alive = false;
   n.crash_time = kInf;
   ++stats_.crashes;
+  if (ts_on()) {
+    options_.tseries->count(ts_cluster_channel(),
+                            "daop_cluster_crashes_total", "Node crashes.",
+                            1.0);
+    options_.tseries->record_event(t, n.id, "crash",
+                                   "node " + std::to_string(n.id) +
+                                       " crashed");
+  }
   if (n.ckpt != nullptr) {
     // Crash consistency: a durable write still in PCIe flight dies with
     // the node (counted as torn). Completed generations survive — the
@@ -388,6 +488,16 @@ void ClusterRouter::probe_round(double t) {
              std::string(e.ejected ? "eject node " : "readmit node ") +
                  std::to_string(e.node) + " (" + e.reason + ")",
              e.time);
+    if (ts_on()) {
+      const char* dir = e.ejected ? "eject" : "readmit";
+      options_.tseries->count(ts_cluster_channel(),
+                              "daop_cluster_health_transitions_total",
+                              "Health-checker ejections and re-admissions.",
+                              1.0, {{"direction", dir}});
+      options_.tseries->record_event(
+          e.time, e.node, dir,
+          "node " + std::to_string(e.node) + " (" + e.reason + ")");
+    }
   }
 }
 
@@ -398,6 +508,7 @@ void ClusterRouter::resolve_served(std::size_t track, int node_id,
   DAOP_CHECK_MSG(!tr.resolved, "request resolved twice");
   tr.resolved = true;
   --unresolved_;
+  if (ts_on()) ts_served(tr, start, end, result);
   Outcome& o = outcomes_[track];
   o.served = true;
   o.node = node_id;
@@ -424,6 +535,7 @@ void ClusterRouter::resolve_shed(std::size_t track, eval::ShedReason reason,
   DAOP_CHECK_EQ(tr.live_copies, 0);
   tr.resolved = true;
   --unresolved_;
+  if (ts_on()) ts_shed(tr, reason, t);
   if (tr.loss_open) {
     // The loss episode ends here: no copy will ever be re-admitted.
     tr.loss_open = false;
@@ -609,6 +721,11 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
     DAOP_CHECK_MSG(ev != Ev::kNone,
                    "unresolved requests but no schedulable event");
 
+    // Passive telemetry sampling at the chosen event time, BEFORE the event
+    // executes (events recorded while handling it land in the window
+    // containing best_t).
+    if (ts_on()) ts_tick(best_t);
+
     if (ev == Ev::kCrash) {
       crash_node(nodes_[static_cast<std::size_t>(crash_id)], best_t);
       continue;
@@ -753,6 +870,22 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
                        tr.loss_time;
         recovery_.recovery_latency_s.push_back(ev.latency_s);
         recovery_.events.push_back(ev);
+        if (ts_on()) {
+          const char* path = restored ? "restored" : "replayed";
+          options_.tseries->count(
+              ts_cluster_channel(), "daop_cluster_recoveries_total",
+              "Loss episodes resolved at re-admission, by recovery path.",
+              1.0, {{"path", path}});
+          options_.tseries->observe(ts_cluster_channel(),
+                                    "daop_recovery_latency_seconds",
+                                    "Last-copy loss to recovered-session "
+                                    "readiness.",
+                                    ev.latency_s);
+          options_.tseries->record_event(
+              t_admit, n.id, restored ? "restore" : "replay",
+              "req " + std::to_string(tr.request.id) + " on node " +
+                  std::to_string(n.id));
+        }
         tinstant(tr.request.id,
                  std::string(restored ? "warm restore req " : "replay req ") +
                      std::to_string(tr.request.id) + " on node " +
@@ -779,7 +912,14 @@ std::vector<ClusterRouter::Outcome> ClusterRouter::run() {
         const double now = a.session->ready_time();
         if (n.ckpt->due(rid, step, now)) {
           std::vector<std::uint8_t> snap = a.session->checkpoint();
-          if (!snap.empty()) n.ckpt->write(rid, step, now, std::move(snap));
+          if (!snap.empty()) {
+            n.ckpt->write(rid, step, now, std::move(snap));
+            if (ts_on()) {
+              options_.tseries->count(
+                  n.id, "daop_recovery_checkpoints_total",
+                  "Session snapshots durably written on the node.", 1.0);
+            }
+          }
         }
       }
       continue;

@@ -58,6 +58,7 @@
 #include "engines/session.hpp"
 #include "eval/overload.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/timeseries.hpp"
 #include "recovery/checkpoint_store.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/timeline.hpp"
@@ -130,6 +131,18 @@ struct ClusterOptions {
   /// Receives router-level instants (crashes, ejections, failovers,
   /// hedges). nullptr disables.
   obs::SpanTracer* tracer = nullptr;
+  /// Windowed time-series recorder (obs/timeseries.hpp). Channel
+  /// convention: channels 0..n_nodes-1 carry per-node series (hazard
+  /// stall, queue depth, active sessions, dispatches, checkpoint writes);
+  /// channel n_nodes is the router-level "cluster" channel (client-observed
+  /// outcome counters and latency histograms, crashes, health transitions,
+  /// loss episodes). Strictly passive like the tracer: consulted only after
+  /// each event is chosen, behind a null-pointer gate. nullptr disables.
+  obs::TimeSeriesRecorder* tseries = nullptr;
+  /// Turns on per-node Timeline interval recording so a profiler can
+  /// attribute each node's whole window after the run. Recording is passive
+  /// by Timeline contract — it never changes a scheduling decision.
+  bool record_intervals = false;
 
   void validate() const;
 };
@@ -373,6 +386,19 @@ class ClusterRouter {
                       bool hedge, engines::RunResult result);
   void resolve_shed(std::size_t track, eval::ShedReason reason, double t);
   void tinstant(long long request_id, const std::string& name, double t);
+
+  // ---- Time-series hooks (all no-ops when options_.tseries is null or
+  // disabled; see ClusterOptions::tseries for the channel convention). ----
+  bool ts_on() const {
+    return options_.tseries != nullptr && options_.tseries->enabled();
+  }
+  int ts_cluster_channel() const { return n_nodes(); }
+  /// Advances every channel to the chosen event time and samples per-node
+  /// hazard-stall totals and queue/occupancy gauges.
+  void ts_tick(double t);
+  void ts_served(const Track& tr, double start, double end,
+                 const engines::RunResult& result);
+  void ts_shed(const Track& tr, eval::ShedReason reason, double t);
 
   std::vector<Node> nodes_;
   ClusterOptions options_;

@@ -71,6 +71,12 @@ ClusterServingResult run_cluster_serving_eval(
 
   ClusterOptions router_opts = options.cluster;
   if (router_opts.tracer == nullptr) router_opts.tracer = options.base.tracer;
+  if (router_opts.tseries == nullptr) {
+    router_opts.tseries = options.base.tseries;
+  }
+  // Profiler attribution needs each node timeline's interval record;
+  // recording is passive and never changes a scheduling decision.
+  if (options.base.profiler != nullptr) router_opts.record_intervals = true;
   ClusterRouter router(std::move(seats), router_opts);
 
   // EXACT single-node request plan: same RNG seed and draw order (gap,
@@ -209,6 +215,21 @@ ClusterServingResult run_cluster_serving_eval(
 
   out.engine = std::string("cluster[") + std::to_string(options.n_nodes) +
                "x " + eval::engine_kind_name(kind) + "]";
+  // Seal the final time-series window at the run makespan (the recorder the
+  // router recorded into — router_opts.tseries — which defaulted from the
+  // base sink above).
+  if (router_opts.tseries != nullptr) router_opts.tseries->finalize(makespan);
+  if (options.base.profiler != nullptr) {
+    // One whole-window profile per node timeline, mirroring the
+    // continuous-batching harness's shared-timeline record (per-request
+    // phases are not attributable to one session).
+    for (int i = 0; i < router.n_nodes(); ++i) {
+      const sim::Timeline& tl = router.node_timeline(i);
+      options.base.profiler->record_window(
+          out.engine + " [node " + std::to_string(i) + "]", tl.intervals(),
+          tl.hazard_intervals(), 0.0, std::max(makespan, tl.span()));
+    }
+  }
   if (!latency.empty()) {
     out.ttft_s = summarize(ttft);
     out.latency_s = summarize(latency);

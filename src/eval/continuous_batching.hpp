@@ -28,6 +28,7 @@
 #include "engines/engine.hpp"
 #include "engines/session.hpp"
 #include "eval/overload.hpp"
+#include "obs/timeseries.hpp"
 
 namespace daop::eval {
 
@@ -62,6 +63,14 @@ class ContinuousBatchingScheduler {
     /// ladder steps); session-level spans come from the engine's own
     /// tracer. nullptr (the default) disables them.
     obs::SpanTracer* tracer = nullptr;
+    /// Windowed time-series recorder (obs/timeseries.hpp). Strictly
+    /// passive: consulted only AFTER each scheduling decision, behind a
+    /// null-pointer gate, so attaching one never changes the run. nullptr
+    /// (the default) records nothing.
+    obs::TimeSeriesRecorder* tseries = nullptr;
+    /// Recorder channel this scheduler records into (the cluster node
+    /// index; 0 for single-node serving).
+    int tseries_channel = 0;
   };
 
   struct Request {

@@ -138,6 +138,8 @@ ServingResult run_serving_eval(EngineKind kind,
     sched_opt.overload = options.overload;
     sched_opt.cache = options.cache;
     sched_opt.tracer = options.tracer;
+    sched_opt.tseries = options.tseries;
+    sched_opt.tseries_channel = 0;
     sim::Timeline tl;
     // Attribution needs the shared timeline's interval record; recording is
     // passive and never changes a scheduling decision.
@@ -245,6 +247,7 @@ ServingResult run_serving_eval(EngineKind kind,
       double eff_arrival = arrival;
       bool dropped = false;
       int attempts = 0;
+      obs::TimeSeriesRecorder* const rec = options.tseries;
       for (;;) {
         const double start = std::max(eff_arrival, server_free);
         if (options.request_timeout_s > 0.0 &&
@@ -255,6 +258,12 @@ ServingResult run_serving_eval(EngineKind kind,
             eff_arrival +=
                 options.request_timeout_s + options.retry_backoff_s;
             continue;
+          }
+          if (rec != nullptr) {
+            rec->advance(0, eff_arrival + options.request_timeout_s);
+            rec->count(0, "daop_serving_requests_total",
+                       "Request resolutions.", 1.0,
+                       {{"outcome", "dropped"}});
           }
           dropped = true;
           break;
@@ -269,6 +278,37 @@ ServingResult run_serving_eval(EngineKind kind,
         }();
         const double end = start + r.total_s;
         server_free = end;
+        if (rec != nullptr) {
+          // Same window-attribution convention as the CB scheduler:
+          // admission-time observations at the service start, resolution
+          // observations at completion. Both clocks are monotone here.
+          rec->advance(0, start);
+          rec->observe(0, "daop_serving_queue_wait_seconds",
+                       "Admission queue wait per served request.",
+                       start - arrival);
+          rec->observe(0, "daop_serving_ttft_seconds",
+                       "Time to first token (arrival to end of prefill).",
+                       (start - arrival) + r.prefill_s);
+          rec->advance(0, end);
+          rec->count(0, "daop_serving_requests_total", "Request resolutions.",
+                     1.0, {{"outcome", "served"}});
+          rec->count(0, "daop_serving_generated_tokens_total",
+                     "Decode tokens generated by served requests.",
+                     static_cast<double>(r.generated_tokens));
+          rec->observe(0, "daop_serving_latency_seconds",
+                       "End-to-end latency (arrival to completion).",
+                       end - arrival);
+          if (r.generated_tokens > 0) {
+            rec->observe(0, "daop_serving_tpot_seconds",
+                         "Mean time per generated token.",
+                         r.decode_s / static_cast<double>(r.generated_tokens));
+          }
+          if (r.counters.hazard_stall_s > 0.0) {
+            rec->count(0, "daop_hazard_stall_seconds_total",
+                       "Simulated seconds lost to injected hazard stalls.",
+                       r.counters.hazard_stall_s);
+          }
+        }
         record_served(i, arrival, start, end, r);
         break;
       }
@@ -285,6 +325,9 @@ ServingResult run_serving_eval(EngineKind kind,
       out.request_log.push_back(std::move(log));
     }
   }
+
+  // Seal the final (possibly partial) time-series window at the makespan.
+  if (options.tseries != nullptr) options.tseries->finalize(makespan);
 
   out.engine = engine->name();
   out.requests = options.n_requests;

@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/timeseries.hpp"
 
 namespace daop::eval {
 
@@ -101,6 +102,11 @@ struct ServingOptions {
   /// in continuous-batching mode the shared timeline's whole window is
   /// profiled once (per-request phases are not attributable to one session).
   obs::Profiler* profiler = nullptr;
+  /// Receives windowed time series over simulated time
+  /// (obs/timeseries.hpp), recorded on channel 0 as scheduling decisions
+  /// resolve and finalized at the run makespan. Strictly passive like the
+  /// other sinks.
+  obs::TimeSeriesRecorder* tseries = nullptr;
 };
 
 struct ServingResult {

@@ -1,0 +1,146 @@
+// Observability plane — SLO burn-rate alerting + incident correlation
+// (daop::obs).
+//
+// Declarative SLO rules are evaluated per sealed window over a
+// TimeSeriesRecorder's cluster-aggregate series, SRE multiwindow
+// multi-burn-rate style: an alert opens at the first window end where BOTH
+// the fast-window and slow-window burn rates exceed their thresholds, and
+// closes when the fast window clears. Burn rate is
+//     (bad fraction over the lookback) / (1 - objective)
+// so burn == 1 consumes the error budget exactly at the sustainable rate.
+// Detection latency is measured on the simulated clock: alert open time
+// minus the start of the run of consecutive budget-burning windows
+// (single-window burn >= 1) that led to it.
+//
+// The incident correlator then joins each alert episode against the
+// recorder's causal event log (crashes, health ejections, degradation-ladder
+// moves, loss episodes, sheds) and per-window signal spikes (hazard stall,
+// shed counts) into a causal chain like
+//     "hazard burst -> degrade L2 -> shed spike -> recovered".
+//
+// Everything here is a pure function of sealed recorder state — evaluation
+// can never perturb a simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace daop::obs {
+
+struct SloRule {
+  std::string name;
+
+  enum class Kind {
+    /// Good = histogram observations completing within `target_s`; the
+    /// signal is a latency histogram family (e.g. daop_serving_ttft_seconds).
+    kLatency,
+    /// Good = total - bad; `signal` is the bad-event counter family and
+    /// `total` the traffic counter family. All label sets sum together.
+    kRatio,
+  };
+  Kind kind = Kind::kLatency;
+
+  /// Histogram family (kLatency) or bad-event counter family (kRatio).
+  std::string signal;
+  /// Traffic counter family (kRatio only).
+  std::string total;
+  /// Latency threshold defining "good" (kLatency only). Snapped to a bucket
+  /// bound at evaluation time (counts are only known per bucket).
+  double target_s = 0.0;
+  /// SLO objective: required good fraction, e.g. 0.95. Error budget is
+  /// 1 - objective.
+  double objective = 0.95;
+
+  /// Multiwindow burn thresholds: the alert needs the burn rate over the
+  /// last `fast_windows` windows >= fast_burn AND over the last
+  /// `slow_windows` windows >= slow_burn. Fast catches pages quickly; slow
+  /// suppresses blips.
+  int fast_windows = 1;
+  int slow_windows = 6;
+  double fast_burn = 6.0;
+  double slow_burn = 3.0;
+
+  void validate() const;
+};
+
+/// Parses a rule spec: rules separated by ';', fields by ',', each field
+/// `key=value`. Keys: name, kind (latency|ratio), signal, total, target,
+/// objective, fast, slow, fast-burn, slow-burn. Example:
+///   name=ttft,kind=latency,signal=daop_serving_ttft_seconds,target=2.5,
+///   objective=0.9,fast=2,slow=6,fast-burn=4,slow-burn=2
+std::vector<SloRule> parse_slo_rules(const std::string& spec);
+
+/// The stock rule set used when --slo-rules is not given: TTFT and e2e
+/// latency SLOs plus a shed-ratio SLO, tuned so a calm in-budget run stays
+/// silent and saturation/chaos runs page.
+std::vector<SloRule> default_slo_rules();
+
+/// One open or close decision, timestamped at a window end.
+struct AlertEvent {
+  std::string rule;
+  double time = 0.0;
+  bool open = false;  ///< true = alert opened, false = closed
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+};
+
+/// One contiguous alert episode (open .. close, or open .. end of run).
+struct AlertEpisode {
+  std::string rule;
+  double open_time = 0.0;
+  double close_time = 0.0;
+  bool closed = false;
+  /// Simulated seconds from the start of the consecutive budget-burning
+  /// window run to the open decision.
+  double detection_latency_s = 0.0;
+  double peak_fast_burn = 0.0;
+};
+
+struct AlertReport {
+  std::vector<SloRule> rules;
+  std::vector<AlertEvent> events;
+  std::vector<AlertEpisode> episodes;
+};
+
+/// Evaluates rules over the recorder's cluster-aggregate windows. The
+/// recorder must be finalized.
+AlertReport evaluate_slo_rules(const std::vector<SloRule>& rules,
+                               const TimeSeriesRecorder& rec);
+
+/// One correlated incident: an alert episode joined with the causal events
+/// and signal spikes observed in [open - lookback, close].
+struct Incident {
+  std::string rule;
+  double open_time = 0.0;
+  double close_time = 0.0;
+  bool closed = false;
+  double detection_latency_s = 0.0;
+  /// Chronological contributing causes, e.g. "t=4.00 cluster crash node 1".
+  std::vector<std::string> causes;
+  /// Deduplicated causal chain, e.g.
+  /// "crash -> eject -> degrade -> shed spike -> recovered".
+  std::string chain;
+};
+
+std::vector<Incident> correlate_incidents(const AlertReport& report,
+                                          const TimeSeriesRecorder& rec,
+                                          double lookback_s);
+
+/// Sealed `daop-tseries/1` JSON export: schema header, per-channel and
+/// aggregate dense series arrays, causal event log, alert report and
+/// incidents. Deterministic byte-for-byte for a given recorder state (map
+/// ordering + shared format_metric_value printing). `report` and
+/// `incidents` may be empty.
+std::string to_tseries_json(const TimeSeriesRecorder& rec,
+                            const AlertReport& report,
+                            const std::vector<Incident>& incidents);
+
+/// Human-oriented text report: per-channel sparklines for every counter
+/// series and histogram p90, plus alert-episode and incident tables.
+std::string to_tseries_text(const TimeSeriesRecorder& rec,
+                            const AlertReport& report,
+                            const std::vector<Incident>& incidents);
+
+}  // namespace daop::obs

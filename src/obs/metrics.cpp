@@ -10,18 +10,7 @@
 namespace daop::obs {
 namespace {
 
-/// Formats a metric value: exact integers print without a fractional part so
-/// counter exports are stable and human-friendly; everything else uses %.10g.
-std::string fmt_value(double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    return buf;
-  }
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.10g", v);
-  return buf;
-}
+std::string fmt_value(double v) { return format_metric_value(v); }
 
 std::string escape_label(const std::string& s) {
   std::string out;
@@ -37,17 +26,8 @@ std::string escape_label(const std::string& s) {
   return out;
 }
 
-/// Serialized label set, e.g. {engine="DAOP",device="gpu"}; "" when empty.
-/// Labels keep their given order (callers use a fixed order per family).
 std::string label_key(const Labels& labels) {
-  if (labels.empty()) return "";
-  std::string out = "{";
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (i != 0) out += ",";
-    out += labels[i].first + "=\"" + escape_label(labels[i].second) + "\"";
-  }
-  out += "}";
-  return out;
+  return serialize_label_set(labels);
 }
 
 /// Like label_key but with an extra label appended (histogram "le" series).
@@ -58,11 +38,40 @@ std::string label_key_with(const Labels& labels, const std::string& extra_k,
   return label_key(l);
 }
 
-/// JSON string escaping for names, help text and label values. Any UTF-8
-/// byte >= 0x20 passes through untouched (JSON strings are UTF-8), but all
-/// control characters are escaped so the export is always parseable no
-/// matter what a caller puts in a label value.
-std::string json_escape(const std::string& s) {
+std::string json_escape(const std::string& s) { return json_escape_string(s); }
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return !(name[0] >= '0' && name[0] <= '9');
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared formatting helpers
+
+std::string format_metric_value(double v) {
+  // Exact integers print without a fractional part so counter exports are
+  // stable and human-friendly; everything else uses %.10g.
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string json_escape_string(const std::string& s) {
+  // Any UTF-8 byte >= 0x20 passes through untouched (JSON strings are
+  // UTF-8), but all control characters are escaped so the export is always
+  // parseable no matter what a caller puts in a label value.
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -88,17 +97,85 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-bool valid_metric_name(const std::string& name) {
-  if (name.empty()) return false;
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
-    if (!ok) return false;
+std::string serialize_label_set(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += labels[i].first + "=\"" + escape_label(labels[i].second) + "\"";
   }
-  return !(name[0] >= '0' && name[0] <= '9');
+  out += "}";
+  return out;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+bool MetricsSnapshot::zero() const {
+  for (const auto& [name, f] : families) {
+    for (const auto& [key, v] : f.values) {
+      if (v != 0.0) return false;
+    }
+    for (const auto& [key, h] : f.histograms) {
+      if (h.total != 0) return false;
+    }
+  }
+  return true;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& prev) const {
+  MetricsSnapshot out;
+  for (const auto& [name, f] : families) {
+    Family d;
+    d.kind = f.kind;
+    d.help = f.help;
+    d.label_sets = f.label_sets;
+    const auto pit = prev.families.find(name);
+    const Family* pf = pit == prev.families.end() ? nullptr : &pit->second;
+    if (pf != nullptr) {
+      DAOP_CHECK_MSG(pf->kind == f.kind,
+                     "snapshot family '" << name << "' changed kind");
+    }
+    for (const auto& [key, v] : f.values) {
+      if (f.kind == Kind::kGauge) {
+        d.values[key] = v;  // gauges report their last value, not a delta
+        continue;
+      }
+      double base = 0.0;
+      if (pf != nullptr) {
+        const auto vit = pf->values.find(key);
+        if (vit != pf->values.end()) base = vit->second;
+      }
+      DAOP_CHECK_MSG(v >= base,
+                     "counter '" << name << key << "' moved backwards");
+      d.values[key] = v - base;
+    }
+    for (const auto& [key, h] : f.histograms) {
+      const HistogramData* ph = nullptr;
+      if (pf != nullptr) {
+        const auto hit = pf->histograms.find(key);
+        if (hit != pf->histograms.end()) ph = &hit->second;
+      }
+      if (ph == nullptr || ph->counts.empty()) {
+        d.histograms[key] = h;
+        continue;
+      }
+      DAOP_CHECK_MSG(ph->upper_bounds == h.upper_bounds,
+                     "histogram '" << name << key << "' changed buckets");
+      HistogramData w(h.upper_bounds);
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        DAOP_CHECK_MSG(h.counts[i] >= ph->counts[i],
+                       "histogram '" << name << key << "' moved backwards");
+        w.counts[i] = h.counts[i] - ph->counts[i];
+      }
+      w.total = h.total - ph->total;
+      w.sum = h.sum - ph->sum;
+      d.histograms[key] = w;
+    }
+    out.families[name] = std::move(d);
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // HistogramData
@@ -389,6 +466,28 @@ std::string MetricsRegistry::to_json() const {
   }
   out += "]}\n";
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, f] : families_) {
+    MetricsSnapshot::Family sf;
+    switch (f.type) {
+      case Type::Counter: sf.kind = MetricsSnapshot::Kind::kCounter; break;
+      case Type::Gauge: sf.kind = MetricsSnapshot::Kind::kGauge; break;
+      case Type::Histogram: sf.kind = MetricsSnapshot::Kind::kHistogram; break;
+    }
+    sf.help = f.help;
+    sf.label_sets = f.label_sets;
+    for (const auto& [key, c] : f.counters) sf.values[key] = c->value();
+    for (const auto& [key, g] : f.gauges) sf.values[key] = g->value();
+    for (const auto& [key, h] : f.histograms) {
+      sf.histograms[key] = h->snapshot();
+    }
+    snap.families[name] = std::move(sf);
+  }
+  return snap;
 }
 
 std::size_t MetricsRegistry::family_count() const {

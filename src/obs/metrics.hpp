@@ -55,6 +55,50 @@ double histogram_quantile(const HistogramData& h, double q);
 /// TTFT, TPOT and end-to-end request latencies on every simulated platform.
 std::vector<double> default_latency_buckets();
 
+// ---- Shared deterministic formatting helpers ----
+// Every obs exporter (metrics, time series) prints values the same way so
+// cross-format diffs line up byte for byte.
+
+/// Exact integers print without a fractional part (stable counter exports);
+/// everything else uses %.10g.
+std::string format_metric_value(double v);
+/// JSON string escaping: control characters escaped, UTF-8 passes through.
+std::string json_escape_string(const std::string& s);
+/// Serialized label set, e.g. {engine="DAOP",device="gpu"}; "" when empty.
+/// Labels keep their given order (callers use a fixed order per family).
+std::string serialize_label_set(const Labels& labels);
+
+/// One immutable, copyable view of a registry's entire state, taken by
+/// MetricsRegistry::snapshot(). This is the time-series recorder's
+/// primitive: two snapshots subtract into a windowed delta, but it is
+/// independently useful anywhere a results struct wants to carry registry
+/// state without owning the registry.
+struct MetricsSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    /// Counter/gauge series values, keyed by the serialized label set
+    /// (deterministic iteration order, same convention as the registry).
+    std::map<std::string, double> values;
+    /// Histogram series, keyed by the serialized label set.
+    std::map<std::string, HistogramData> histograms;
+    /// Original labels per serialized key.
+    std::map<std::string, Labels> label_sets;
+  };
+  std::map<std::string, Family> families;
+
+  /// True when nothing non-zero is recorded: every counter/gauge value is 0
+  /// and every histogram holds zero observations.
+  bool zero() const;
+
+  /// Windowed view of what happened since `prev`: counters subtract
+  /// (monotonicity is CHECKed), gauges keep THIS snapshot's last value,
+  /// histograms subtract bucket-wise. Series absent from `prev` (created
+  /// inside the window) subtract against zero.
+  MetricsSnapshot delta(const MetricsSnapshot& prev) const;
+};
+
 class Counter {
  public:
   void inc(double d = 1.0);
@@ -112,6 +156,10 @@ class MetricsRegistry {
   std::string to_prometheus() const;
   /// JSON export: {"families":[{name,type,help,series:[...]}]}.
   std::string to_json() const;
+
+  /// Copyable point-in-time view of every family/series. O(registry size);
+  /// cheap at simulator scale (the registry holds aggregates, not samples).
+  MetricsSnapshot snapshot() const;
 
   std::size_t family_count() const;
   bool empty() const { return family_count() == 0; }

@@ -1,0 +1,182 @@
+// Acceptance for the fleet-scale observability plane: a chaos cluster run
+// with a time-series recorder attached fires at least one SLO burn-rate
+// alert whose correlated incident names the injected crash, a calm run
+// fires zero, the recorder is strictly passive (identical cluster results
+// and byte-identical exports with it attached), and the daop-tseries/1
+// export is bit-identical across re-runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../testing/helpers.hpp"
+#include "cluster/serving.hpp"
+#include "obs/alerting.hpp"
+#include "obs/timeseries.hpp"
+
+namespace daop::cluster {
+namespace {
+
+ClusterServingOptions chaos_options() {
+  // Mirror of the CI alerting smoke scenario: three nodes, a crash that
+  // strands in-flight work, and failover_budget 0 so the stranded request
+  // sheds with reason node_lost — the shed-burn SLO's bad event.
+  ClusterServingOptions opt;
+  opt.n_nodes = 3;
+  opt.base.arrival_rate_rps = 2.0;
+  opt.base.n_requests = 20;
+  opt.base.min_prompt = 16;
+  opt.base.max_prompt = 32;
+  opt.base.min_gen = 16;
+  opt.base.max_gen = 32;
+  opt.base.calibration_seqs = 4;
+  opt.base.seed = 7;
+  opt.cluster.max_concurrent_per_node = 2;
+  opt.cluster.failover_budget = 0;
+  opt.cluster.health.enabled = true;
+  opt.cluster.crash_node = 1;
+  opt.cluster.crash_time_s = 3.0;
+  return opt;
+}
+
+ClusterServingOptions calm_options() {
+  ClusterServingOptions opt = chaos_options();
+  opt.cluster.crash_node = -1;
+  opt.cluster.health.enabled = false;
+  return opt;
+}
+
+obs::TimeSeriesRecorder make_cluster_recorder(int n_nodes, double w) {
+  obs::TimeSeriesOptions o;
+  o.window_s = w;
+  std::vector<std::string> channels;
+  for (int i = 0; i < n_nodes; ++i) {
+    channels.push_back("node" + std::to_string(i));
+  }
+  channels.push_back("cluster");
+  return obs::TimeSeriesRecorder(o, std::move(channels));
+}
+
+ClusterServingResult crun(const ClusterServingOptions& opt) {
+  return run_cluster_serving_eval(eval::EngineKind::Fiddler,
+                                  daop::testing::small_mixtral(),
+                                  sim::a6000_i9_platform(),
+                                  data::sharegpt_calibration(), opt);
+}
+
+std::string export_json(const obs::TimeSeriesRecorder& rec) {
+  const obs::AlertReport rep =
+      obs::evaluate_slo_rules(obs::default_slo_rules(), rec);
+  const auto incidents =
+      obs::correlate_incidents(rep, rec, 2.0 * rec.window_s());
+  return obs::to_tseries_json(rec, rep, incidents);
+}
+
+TEST(ClusterAlerting, ChaosRunFiresAnAlertWhoseIncidentNamesTheCrash) {
+  auto opt = chaos_options();
+  auto rec = make_cluster_recorder(opt.n_nodes, 5.0);
+  opt.base.tseries = &rec;
+  const auto r = crun(opt);
+  ASSERT_TRUE(rec.finalized());
+  EXPECT_EQ(r.cluster.crashes, 1);
+  ASSERT_GE(r.shed_node_lost, 1)
+      << "scenario must strand in-flight work on the crashed node";
+
+  const obs::AlertReport rep =
+      obs::evaluate_slo_rules(obs::default_slo_rules(), rec);
+  ASSERT_GE(rep.episodes.size(), 1u)
+      << "a crash-induced shed must breach the shed-burn SLO";
+  for (const auto& ep : rep.episodes) {
+    // Detection happens within the multiwindow horizon of the slowest rule.
+    EXPECT_LE(ep.detection_latency_s, 6.0 * rec.window_s())
+        << ep.rule << " detection latency unbounded";
+  }
+
+  const auto incidents =
+      obs::correlate_incidents(rep, rec, 2.0 * rec.window_s());
+  ASSERT_EQ(incidents.size(), rep.episodes.size());
+  bool crash_blamed = false;
+  for (const auto& inc : incidents) {
+    for (const std::string& cause : inc.causes) {
+      if (cause.find("crash") != std::string::npos) crash_blamed = true;
+    }
+  }
+  EXPECT_TRUE(crash_blamed)
+      << "at least one incident must trace back to the injected crash";
+}
+
+TEST(ClusterAlerting, CalmRunFiresZeroAlerts) {
+  auto opt = calm_options();
+  auto rec = make_cluster_recorder(opt.n_nodes, 5.0);
+  opt.base.tseries = &rec;
+  const auto r = crun(opt);
+  EXPECT_EQ(r.shed, 0);
+  const obs::AlertReport rep =
+      obs::evaluate_slo_rules(obs::default_slo_rules(), rec);
+  EXPECT_TRUE(rep.episodes.empty())
+      << "stock rules must stay silent on an in-budget run";
+  EXPECT_TRUE(obs::correlate_incidents(rep, rec, 10.0).empty());
+}
+
+TEST(ClusterAlerting, RecorderIsPassiveOnClusterResults) {
+  // The same chaos scenario with and without the recorder attached must
+  // produce bit-identical simulated outcomes.
+  const auto r_off = crun(chaos_options());
+
+  auto opt = chaos_options();
+  auto rec = make_cluster_recorder(opt.n_nodes, 5.0);
+  opt.base.tseries = &rec;
+  const auto r_on = crun(opt);
+
+  EXPECT_EQ(r_off.makespan_s, r_on.makespan_s);
+  EXPECT_EQ(r_off.served, r_on.served);
+  EXPECT_EQ(r_off.shed, r_on.shed);
+  EXPECT_EQ(r_off.ttft_s.mean, r_on.ttft_s.mean);
+  EXPECT_EQ(r_off.latency_s.p99, r_on.latency_s.p99);
+  EXPECT_EQ(r_off.cluster.failovers_node_crash,
+            r_on.cluster.failovers_node_crash);
+  ASSERT_EQ(r_off.request_log.size(), r_on.request_log.size());
+  for (std::size_t i = 0; i < r_off.request_log.size(); ++i) {
+    EXPECT_EQ(r_off.request_log[i].outcome, r_on.request_log[i].outcome);
+  }
+}
+
+TEST(ClusterAlerting, ExportIsBitIdenticalAcrossReRuns) {
+  auto run_once = [] {
+    auto opt = chaos_options();
+    auto rec = make_cluster_recorder(opt.n_nodes, 5.0);
+    opt.base.tseries = &rec;
+    crun(opt);
+    return export_json(rec);
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\":\"daop-tseries/1\""), std::string::npos);
+}
+
+TEST(ClusterAlerting, PerNodeChannelsCarryTheCrashedNodesSeries) {
+  auto opt = chaos_options();
+  auto rec = make_cluster_recorder(opt.n_nodes, 5.0);
+  opt.base.tseries = &rec;
+  crun(opt);
+
+  // The crashed node's channel stops early but still carries dispatches.
+  double node1_dispatches = 0.0;
+  for (const auto& w : rec.windows(1)) {
+    const auto it = w.delta.families.find("daop_cluster_dispatches_total");
+    if (it == w.delta.families.end()) continue;
+    for (const auto& [key, v] : it->second.values) node1_dispatches += v;
+  }
+  EXPECT_GE(node1_dispatches, 1.0);
+
+  // The cluster channel saw the crash in the causal event log.
+  bool crash_event = false;
+  for (const auto& e : rec.events()) {
+    if (e.kind == "crash") crash_event = true;
+  }
+  EXPECT_TRUE(crash_event);
+}
+
+}  // namespace
+}  // namespace daop::cluster
